@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared configuration and table formatting for the experiment bench
+ * binaries. Each binary reproduces one figure/table of the paper
+ * (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+ * paper-vs-measured record).
+ *
+ * Scaling: the paper repairs 200 x 64 MB chunks with 1 MB slices and
+ * replays 100k requests per client. To keep every binary's wall time
+ * in seconds on one core, benches default to 60 chunks and 2 MB
+ * slices and scale request budgets similarly. The scaling applies
+ * identically to every algorithm in a table, so the comparisons and
+ * trends the paper reports are preserved; each binary prints its
+ * scale in the header.
+ */
+
+#ifndef CHAMELEON_BENCH_BENCH_COMMON_HH_
+#define CHAMELEON_BENCH_BENCH_COMMON_HH_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+
+namespace chameleon {
+namespace bench {
+
+/** Chunks repaired per cell (paper: 200). */
+inline constexpr int kBenchChunks = 60;
+
+/** Slice size used by benches (paper: 1 MB). */
+inline constexpr Bytes kBenchSlice = 2 * units::MiB;
+
+/** Baseline experiment config at the paper's Section V-A settings
+ * (scaled per the file comment). */
+inline analysis::ExperimentConfig
+defaultConfig()
+{
+    analysis::ExperimentConfig cfg;
+    cfg.chunksToRepair = kBenchChunks;
+    cfg.exec.sliceSize = kBenchSlice;
+    cfg.trace = traffic::ycsbA();
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** The four baseline-vs-Chameleon comparison algorithms. */
+inline std::vector<analysis::Algorithm>
+comparisonAlgorithms()
+{
+    using analysis::Algorithm;
+    return {Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe,
+            Algorithm::kChameleon};
+}
+
+inline void
+printHeader(const std::string &title, const std::string &setup)
+{
+    std::printf("==================================================="
+                "=============\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("setup: %s\n", setup.c_str());
+    std::printf("scale: %d chunks x 64 MiB, %.0f MiB slices "
+                "(paper: 200 x 64 MiB, 1 MiB)\n",
+                kBenchChunks, kBenchSlice / units::MiB);
+    std::printf("==================================================="
+                "=============\n");
+}
+
+inline void
+printRow(const std::string &label, double tput_mbs, double p99_ms)
+{
+    std::printf("  %-16s repair throughput %7.1f MB/s   P99 %6.1f ms\n",
+                label.c_str(), tput_mbs, p99_ms);
+}
+
+} // namespace bench
+} // namespace chameleon
+
+#endif // CHAMELEON_BENCH_BENCH_COMMON_HH_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exp#5 / Figure 16: coordinator computation time to generate repair
+ * plans, versus cluster size (n = 100..500 nodes) and the number of
+ * chunks planned in a phase (200..1000). This measures the real
+ * planner (task dispatch + Algorithm 1) with google-benchmark; the
+ * paper reports <= ~0.6 s for 1000 chunks on a 500-node system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "repair/chameleon_planner.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace {
+
+using namespace chameleon;
+using namespace chameleon::repair;
+
+constexpr int kK = 10;
+constexpr int kM = 4;
+
+/** Plans `chunks` chunks on an `nodes`-node cluster once. */
+void
+planBatch(int nodes, int chunks, Rng &rng)
+{
+    PlannerState state = PlannerState::make(nodes, 64 * units::MiB);
+    for (int i = 0; i < nodes; ++i) {
+        state.bandUp[static_cast<std::size_t>(i)] =
+            (0.5 + rng.uniform()) * 1e9;
+        state.bandDown[static_cast<std::size_t>(i)] =
+            (0.5 + rng.uniform()) * 1e9;
+    }
+
+    for (int c = 0; c < chunks; ++c) {
+        PlannerChunkInput input;
+        input.stripe = c;
+        input.failed = 0;
+        input.required = kK;
+        input.combinable = true;
+        // Random distinct placement of the k+m-1 helpers.
+        std::vector<bool> used(static_cast<std::size_t>(nodes), false);
+        while (static_cast<int>(input.helperNodes.size()) <
+               kK + kM - 1) {
+            auto node = static_cast<NodeId>(
+                rng.below(static_cast<uint64_t>(nodes)));
+            if (used[static_cast<std::size_t>(node)])
+                continue;
+            used[static_cast<std::size_t>(node)] = true;
+            input.helperNodes.push_back(node);
+            input.helperChunks.push_back(
+                static_cast<ChunkIndex>(input.helperNodes.size()));
+            input.fractions.push_back(1.0);
+        }
+        for (NodeId node = 0; node < nodes; ++node)
+            if (!used[static_cast<std::size_t>(node)])
+                input.destCandidates.push_back(node);
+        auto planned = planChunk(state, input);
+        benchmark::DoNotOptimize(planned);
+    }
+}
+
+void
+BM_PlanPhase(benchmark::State &state)
+{
+    const int nodes = static_cast<int>(state.range(0));
+    const int chunks = static_cast<int>(state.range(1));
+    Rng rng(7);
+    for (auto _ : state)
+        planBatch(nodes, chunks, rng);
+    state.SetLabel(std::to_string(nodes) + " nodes, " +
+                   std::to_string(chunks) + " chunks");
+}
+
+BENCHMARK(BM_PlanPhase)
+    ->ArgsProduct({{100, 200, 300, 400, 500}, {200, 600, 1000}})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Exp#7 / Figure 18: repair with no foreground traffic, with the
+ * link bandwidth throttled (wondershaper-style) from 1 to 10 Gb/s.
+ * The paper reports ChameleonEC still ahead by 25.0-41.3% (35.1% on
+ * average) because bandwidth-aware dispatch balances multi-chunk
+ * repair even without interference.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace chameleon;
+    using namespace chameleon::bench;
+
+    printHeader("Exp#7 (Fig. 18): no foreground traffic",
+                "link bandwidth swept 1..10 Gb/s, no clients");
+
+    for (double gbps : {1.0, 2.5, 5.0, 10.0}) {
+        std::printf("%.1f Gb/s links:\n", gbps);
+        double cham = 0, best_base = 0;
+        for (auto algo : comparisonAlgorithms()) {
+            auto cfg = defaultConfig();
+            cfg.trace.reset();
+            cfg.cluster.uplinkBw = gbps * units::Gbps;
+            cfg.cluster.downlinkBw = gbps * units::Gbps;
+            auto r = runExperiment(algo, cfg);
+            std::printf("  %-16s %7.1f MB/s\n",
+                        analysis::algorithmName(algo).c_str(),
+                        r.repairThroughput / 1e6);
+            if (algo == analysis::Algorithm::kChameleon)
+                cham = r.repairThroughput;
+            else
+                best_base = std::max(best_base, r.repairThroughput);
+        }
+        std::printf("  ChameleonEC vs best baseline: %+.1f%%\n",
+                    (cham / best_base - 1) * 100.0);
+    }
+    std::printf("\nShape check: throughput grows with bandwidth; "
+                "ChameleonEC keeps an edge even without foreground "
+                "traffic (paper: +25-41%%).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exp#12 / Figure 23: storage-bottlenecked scenarios. Disk bandwidth
+ * sweeps 250..500 MB/s while the network stays fixed; ChameleonEC-IO
+ * (dispatch keyed on storage residual bandwidth) overtakes plain
+ * ChameleonEC as disks tighten (paper: +35.7% at 250 MB/s), and the
+ * overall advantage over CR shrinks (43.8% -> 15.5%).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace chameleon;
+    using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    printHeader("Exp#12 (Fig. 23): storage-bottlenecked scenarios",
+                "disk bandwidth swept 125..500 MB/s, links fixed");
+
+    for (double disk_mbps : {125.0, 250.0, 500.0}) {
+        std::printf("disk %.0f MB/s:\n", disk_mbps);
+        double cham = 0, cham_io = 0, cr = 0;
+        for (auto algo : {Algorithm::kCr, Algorithm::kChameleon,
+                          Algorithm::kChameleonIo}) {
+            auto cfg = defaultConfig();
+            // The paper's storage-bottleneck premise: network far
+            // above disk (their 10 Gb/s NICs vs <= 500 MB/s disks).
+            cfg.cluster.uplinkBw = 10 * units::Gbps;
+            cfg.cluster.downlinkBw = 10 * units::Gbps;
+            cfg.cluster.diskBw = disk_mbps * units::MBps;
+            auto r = runExperiment(algo, cfg);
+            std::printf("  %-16s %7.1f MB/s\n",
+                        analysis::algorithmName(algo).c_str(),
+                        r.repairThroughput / 1e6);
+            if (algo == Algorithm::kChameleon)
+                cham = r.repairThroughput;
+            if (algo == Algorithm::kChameleonIo)
+                cham_io = r.repairThroughput;
+            if (algo == Algorithm::kCr)
+                cr = r.repairThroughput;
+        }
+        std::printf("  Chameleon vs CR %+.1f%%; Chameleon-IO vs "
+                    "Chameleon %+.1f%%\n",
+                    (cham / cr - 1) * 100.0,
+                    (cham_io / cham - 1) * 100.0);
+    }
+    std::printf("\nShape checks: ChameleonEC-IO beats plain "
+                "ChameleonEC under stringent storage bandwidth "
+                "(paper: +35.7%% at the tightest disks) and gives "
+                "the edge back when disks are plentiful. Note: in "
+                "our substrate ChameleonEC's advantage over CR "
+                "*grows* as disks tighten (balance matters more), "
+                "whereas the paper reports it shrinking — see "
+                "EXPERIMENTS.md.\n");
+    return 0;
+}

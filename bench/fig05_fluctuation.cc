@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 5 (root cause R1): fluctuation of the bandwidth occupied by
+ * foreground traffic across 15-second windows. The paper reports an
+ * average swing of ~1.1 Gb/s per window and peaks up to 3.6 Gb/s.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "traffic/foreground_driver.hh"
+
+int
+main()
+{
+    using namespace chameleon;
+    using namespace chameleon::bench;
+
+    printHeader("Figure 5: foreground bandwidth fluctuation",
+                "YCSB-A, 4 clients, 15 s windows, no repair");
+
+    sim::Simulator sim;
+    cluster::ClusterConfig ccfg;
+    ccfg.uplinkBw = ccfg.downlinkBw = 2.5 * units::Gbps;
+    ccfg.usageWindow = 15.0;
+    cluster::Cluster cluster(sim, ccfg);
+    traffic::ForegroundDriver driver(cluster, traffic::ycsbA(),
+                                     Rng(42), 0);
+    driver.start();
+    sim.run(240.0);
+    driver.stop();
+    sim.run(sim.now() + 50.0);
+
+    auto report = [&](const char *name, bool uplink) {
+        Summary fluct, mean;
+        for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+            auto id = uplink ? cluster.uplink(n) : cluster.downlink(n);
+            const auto &usage =
+                cluster.network().usage(id, sim::FlowTag::kForeground);
+            if (usage.windowCount() == 0)
+                continue;
+            fluct.add(usage.fluctuation() * 8 / 1e9);
+            mean.add(usage.meanRate() * 8 / 1e9);
+        }
+        std::printf("%s: per-window fluctuation avg %.2f Gb/s "
+                    "(min %.2f, max %.2f); mean occupied %.2f Gb/s\n",
+                    name, fluct.mean, fluct.min, fluct.max, mean.mean);
+    };
+    report("uplinks  ", true);
+    report("downlinks", false);
+
+    std::printf("\nShape check: occupied bandwidth keeps changing "
+                "across windows (paper: ~1.1 Gb/s average swing, up "
+                "to 3.6 Gb/s on 10 Gb/s NICs; here scaled to the "
+                "2.5 Gb/s sustained links).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6 (root cause R2): most-loaded (ML) vs least-loaded (LL)
+ * uplink and downlink utilization (repair + foreground bandwidth)
+ * for each repair algorithm. The paper finds e.g. ECPipe's ML uplink
+ * carries 110.5% more than its LL uplink.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace chameleon;
+    using namespace chameleon::bench;
+
+    printHeader("Figure 6: ML vs LL link utilization during repair",
+                "RS(10,4), YCSB-A, per-node repair+foreground "
+                "bandwidth over the repair window");
+
+    for (auto algo : comparisonAlgorithms()) {
+        auto cfg = defaultConfig();
+        auto r = runExperiment(algo, cfg);
+        auto report = [&](const char *dir,
+                          const std::vector<analysis::LinkLoad> &all) {
+            // The failed node carries no traffic; exclude it.
+            std::vector<analysis::LinkLoad> links(all.begin() + 1,
+                                                  all.end());
+            auto ml = *std::max_element(
+                links.begin(), links.end(),
+                [](const auto &a, const auto &b) {
+                    return a.total() < b.total();
+                });
+            auto ll = *std::min_element(
+                links.begin(), links.end(),
+                [](const auto &a, const auto &b) {
+                    return a.total() < b.total();
+                });
+            std::printf("  %-12s %s ML: %6.2f Gb/s (repair %5.2f + "
+                        "fg %5.2f) | LL: %6.2f Gb/s | ML/LL-1 = "
+                        "%5.1f%%\n",
+                        analysis::algorithmName(algo).c_str(), dir,
+                        ml.total() * 8 / 1e9, ml.repairMean * 8 / 1e9,
+                        ml.foregroundMean * 8 / 1e9,
+                        ll.total() * 8 / 1e9,
+                        ll.total() > 0
+                            ? (ml.total() / ll.total() - 1.0) * 100.0
+                            : 0.0);
+        };
+        report("up  ", r.uplinks);
+        report("down", r.downlinks);
+    }
+    std::printf("\nShape check: utilization varies strongly across "
+                "links for the baselines; ChameleonEC's "
+                "bandwidth-aware dispatch narrows the ML/LL gap.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "analysis/reliability.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace analysis {
+
+namespace {
+
+constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+
+double
+binomial(int n, int i)
+{
+    double acc = 1.0;
+    for (int j = 1; j <= i; ++j)
+        acc *= static_cast<double>(n - j + 1) / static_cast<double>(j);
+    return acc;
+}
+
+} // namespace
+
+double
+ReliabilityModel::failureProbability(double tau_seconds) const
+{
+    CHAMELEON_ASSERT(tau_seconds >= 0, "negative duration");
+    double theta_seconds = thetaYears * kSecondsPerYear;
+    return 1.0 - std::exp(-tau_seconds / theta_seconds);
+}
+
+double
+ReliabilityModel::dataLossProbability(Rate repair_throughput) const
+{
+    CHAMELEON_ASSERT(repair_throughput > 0,
+                     "repair throughput must be positive");
+    const double tau = nodeBytes / repair_throughput;
+    const double f = failureProbability(tau);
+    const int peers = k + m - 1;
+    // Pr_dl = 1 - sum_{i=0}^{m-1} C(peers, i) f^i (1-f)^(peers-i).
+    double survive = 0.0;
+    for (int i = 0; i < m; ++i) {
+        survive += binomial(peers, i) * std::pow(f, i) *
+                   std::pow(1.0 - f, peers - i);
+    }
+    return 1.0 - survive;
+}
+
+} // namespace analysis
+} // namespace chameleon

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's reliability model (Section II-B, Figure 2): the
+ * probability of data loss during a single-node repair as a function
+ * of repair throughput, assuming exponentially distributed node
+ * lifetimes.
+ */
+
+#ifndef CHAMELEON_ANALYSIS_RELIABILITY_HH_
+#define CHAMELEON_ANALYSIS_RELIABILITY_HH_
+
+#include "util/types.hh"
+
+namespace chameleon {
+namespace analysis {
+
+/** Parameters of the Figure 2 analysis. */
+struct ReliabilityModel
+{
+    int k = 10;
+    int m = 4;
+    /** Data per node (paper: 96 TB). */
+    Bytes nodeBytes = 96e12;
+    /** Expected node lifetime in years (paper: 10). */
+    double thetaYears = 10.0;
+
+    /**
+     * Probability that a node fails within `tau` seconds:
+     * f = 1 - e^(-tau/theta).
+     */
+    double failureProbability(double tau_seconds) const;
+
+    /**
+     * Data-loss probability during a single-node repair running at
+     * `repair_throughput` bytes/s: the chance that m or more of the
+     * remaining k+m-1 nodes fail before the repair finishes
+     * (Equation (2)).
+     */
+    double dataLossProbability(Rate repair_throughput) const;
+};
+
+} // namespace analysis
+} // namespace chameleon
+
+#endif // CHAMELEON_ANALYSIS_RELIABILITY_HH_

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The cluster model: a set of storage nodes and client nodes, each
+ * with an uplink, a downlink, and (storage nodes only) a disk, all
+ * registered as resources of one FlowNetwork.
+ *
+ * Mirrors the paper's testbed: 20 m5.xlarge instances with 10 Gb/s
+ * full-duplex networking and ~500 MB/s SSDs, plus separate client
+ * instances replaying traces.
+ */
+
+#ifndef CHAMELEON_CLUSTER_CLUSTER_HH_
+#define CHAMELEON_CLUSTER_CLUSTER_HH_
+
+#include <vector>
+
+#include "sim/flow_network.hh"
+#include "sim/simulator.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace cluster {
+
+/** Static cluster dimensions and per-node capacities. */
+struct ClusterConfig
+{
+    /** Storage nodes (the paper provisions 20 instances). */
+    int numNodes = 20;
+    /** Client nodes replaying foreground traces. */
+    int numClients = 4;
+    /** Per-node uplink capacity (bytes/s). */
+    Rate uplinkBw = 10 * units::Gbps;
+    /** Per-node downlink capacity (bytes/s). */
+    Rate downlinkBw = 10 * units::Gbps;
+    /** Per-node disk bandwidth shared by reads and writes. */
+    Rate diskBw = 500 * units::MBps;
+    /** Window for bandwidth accounting (paper: 15 s). */
+    SimTime usageWindow = 15.0;
+    /**
+     * Racks for hierarchical topologies (0 = flat, the paper's EC2
+     * setting). With R > 0 racks, node i belongs to rack i % R, and
+     * every cross-rack transfer additionally traverses the source
+     * rack's aggregation uplink and the target rack's aggregation
+     * downlink.
+     */
+    int racks = 0;
+    /**
+     * Oversubscription of rack aggregation links: a rack's uplink
+     * capacity is (nodes-in-rack * uplinkBw) / oversubscription, the
+     * standard datacenter design ratio (1 = full bisection).
+     */
+    double rackOversubscription = 1.0;
+};
+
+/** Owns the FlowNetwork resources for all nodes; see file comment. */
+class Cluster
+{
+  public:
+    Cluster(sim::Simulator &sim, const ClusterConfig &config);
+
+    sim::Simulator &simulator() { return sim_; }
+    sim::FlowNetwork &network() { return net_; }
+    const sim::FlowNetwork &network() const { return net_; }
+    const ClusterConfig &config() const { return config_; }
+
+    int numNodes() const { return config_.numNodes; }
+    int numClients() const { return config_.numClients; }
+
+    /** Uplink resource of storage node `node`. */
+    sim::ResourceId uplink(NodeId node) const;
+    /** Downlink resource of storage node `node`. */
+    sim::ResourceId downlink(NodeId node) const;
+    /** Disk resource of storage node `node`. */
+    sim::ResourceId disk(NodeId node) const;
+
+    /** Uplink resource of client `client`. */
+    sim::ResourceId clientUplink(int client) const;
+    /** Downlink resource of client `client`. */
+    sim::ResourceId clientDownlink(int client) const;
+
+    /** Rack of a storage node (-1 when the topology is flat). */
+    int rackOf(NodeId node) const;
+    /** Aggregation uplink of rack `rack` (racks > 0 only). */
+    sim::ResourceId rackUplink(int rack) const;
+    /** Aggregation downlink of rack `rack` (racks > 0 only). */
+    sim::ResourceId rackDownlink(int rack) const;
+
+    /**
+     * Resource path of a node-to-node transfer.
+     *
+     * @param read_disk   include the source's disk (reading stored
+     *                    chunk data, as opposed to forwarding a
+     *                    partially decoded chunk held in memory).
+     * @param write_disk  include the destination's disk (persisting a
+     *                    repaired chunk, as opposed to combining in
+     *                    memory at a relay).
+     */
+    std::vector<sim::ResourceId>
+    transferPath(NodeId from, NodeId to, bool read_disk,
+                 bool write_disk) const;
+
+    /** Path of a foreground read served by `node` to `client`. */
+    std::vector<sim::ResourceId>
+    clientReadPath(NodeId node, int client) const;
+
+    /** Path of a foreground update from `client` to `node`. */
+    std::vector<sim::ResourceId>
+    clientWritePath(int client, NodeId node) const;
+
+  private:
+    void checkNode(NodeId node) const;
+    void checkClient(int client) const;
+
+    sim::Simulator &sim_;
+    ClusterConfig config_;
+    sim::FlowNetwork net_;
+    std::vector<sim::ResourceId> uplinks_;
+    std::vector<sim::ResourceId> downlinks_;
+    std::vector<sim::ResourceId> disks_;
+    std::vector<sim::ResourceId> clientUplinks_;
+    std::vector<sim::ResourceId> clientDownlinks_;
+    std::vector<sim::ResourceId> rackUplinks_;
+    std::vector<sim::ResourceId> rackDownlinks_;
+};
+
+} // namespace cluster
+} // namespace chameleon
+
+#endif // CHAMELEON_CLUSTER_CLUSTER_HH_

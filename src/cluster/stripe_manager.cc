@@ -1,0 +1,186 @@
+#include "cluster/stripe_manager.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace cluster {
+
+StripeManager::StripeManager(
+    std::shared_ptr<const ec::ErasureCode> code, int num_nodes)
+    : code_(std::move(code)), numNodes_(num_nodes),
+      nodeFailed_(static_cast<std::size_t>(num_nodes), false)
+{
+    CHAMELEON_ASSERT(code_ != nullptr, "null code");
+    CHAMELEON_ASSERT(num_nodes >= code_->n(),
+                     "cluster of ", num_nodes, " nodes cannot host ",
+                     code_->name(), " stripes (need ", code_->n(), ")");
+}
+
+void
+StripeManager::createStripes(int count, Rng &rng)
+{
+    CHAMELEON_ASSERT(count >= 0, "negative stripe count");
+    const int n = code_->n();
+    for (int s = 0; s < count; ++s) {
+        // Uniform random placement: partial Fisher-Yates over nodes.
+        std::vector<NodeId> nodes(static_cast<std::size_t>(numNodes_));
+        for (int i = 0; i < numNodes_; ++i)
+            nodes[static_cast<std::size_t>(i)] = i;
+        for (int i = 0; i < n; ++i) {
+            auto j = static_cast<std::size_t>(i) +
+                     rng.below(nodes.size() -
+                               static_cast<std::size_t>(i));
+            std::swap(nodes[static_cast<std::size_t>(i)], nodes[j]);
+        }
+        nodes.resize(static_cast<std::size_t>(n));
+        placement_.push_back(std::move(nodes));
+        lost_.emplace_back(static_cast<std::size_t>(n), false);
+    }
+}
+
+void
+StripeManager::checkStripe(StripeId stripe) const
+{
+    CHAMELEON_ASSERT(stripe >= 0 &&
+                     static_cast<std::size_t>(stripe) <
+                         placement_.size(),
+                     "bad stripe id ", stripe);
+}
+
+NodeId
+StripeManager::location(StripeId stripe, ChunkIndex chunk) const
+{
+    checkStripe(stripe);
+    CHAMELEON_ASSERT(chunk >= 0 && chunk < code_->n(),
+                     "bad chunk index ", chunk);
+    return placement_[static_cast<std::size_t>(stripe)]
+                     [static_cast<std::size_t>(chunk)];
+}
+
+void
+StripeManager::relocate(StripeId stripe, ChunkIndex chunk, NodeId node)
+{
+    checkStripe(stripe);
+    CHAMELEON_ASSERT(node >= 0 && node < numNodes_, "bad node ", node);
+    // Enforce the one-chunk-per-node invariant.
+    const auto &nodes = placement_[static_cast<std::size_t>(stripe)];
+    for (ChunkIndex c = 0; c < code_->n(); ++c) {
+        if (c != chunk && nodes[static_cast<std::size_t>(c)] == node &&
+            !lost_[static_cast<std::size_t>(stripe)]
+                  [static_cast<std::size_t>(c)]) {
+            CHAMELEON_PANIC("relocating chunk ", chunk, " of stripe ",
+                            stripe, " onto node ", node,
+                            " which hosts live chunk ", c);
+        }
+    }
+    placement_[static_cast<std::size_t>(stripe)]
+              [static_cast<std::size_t>(chunk)] = node;
+}
+
+bool
+StripeManager::chunkLost(StripeId stripe, ChunkIndex chunk) const
+{
+    checkStripe(stripe);
+    return lost_[static_cast<std::size_t>(stripe)]
+                [static_cast<std::size_t>(chunk)];
+}
+
+void
+StripeManager::markLost(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    lost_[static_cast<std::size_t>(stripe)]
+         [static_cast<std::size_t>(chunk)] = true;
+}
+
+void
+StripeManager::markRepaired(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    lost_[static_cast<std::size_t>(stripe)]
+         [static_cast<std::size_t>(chunk)] = false;
+}
+
+std::vector<FailedChunk>
+StripeManager::failNode(NodeId node)
+{
+    CHAMELEON_ASSERT(node >= 0 && node < numNodes_, "bad node ", node);
+    CHAMELEON_ASSERT(!nodeFailed_[static_cast<std::size_t>(node)],
+                     "node ", node, " already failed");
+    nodeFailed_[static_cast<std::size_t>(node)] = true;
+    std::vector<FailedChunk> out;
+    for (StripeId s = 0; s < stripeCount(); ++s) {
+        for (ChunkIndex c = 0; c < code_->n(); ++c) {
+            if (location(s, c) == node && !chunkLost(s, c)) {
+                markLost(s, c);
+                out.push_back(FailedChunk{s, c});
+            }
+        }
+    }
+    return out;
+}
+
+bool
+StripeManager::nodeFailed(NodeId node) const
+{
+    CHAMELEON_ASSERT(node >= 0 && node < numNodes_, "bad node ", node);
+    return nodeFailed_[static_cast<std::size_t>(node)];
+}
+
+std::vector<FailedChunk>
+StripeManager::lostChunks() const
+{
+    std::vector<FailedChunk> out;
+    for (StripeId s = 0; s < stripeCount(); ++s)
+        for (ChunkIndex c = 0; c < code_->n(); ++c)
+            if (chunkLost(s, c))
+                out.push_back(FailedChunk{s, c});
+    return out;
+}
+
+std::vector<ChunkIndex>
+StripeManager::availableChunks(StripeId stripe) const
+{
+    checkStripe(stripe);
+    std::vector<ChunkIndex> out;
+    for (ChunkIndex c = 0; c < code_->n(); ++c)
+        if (!chunkLost(stripe, c))
+            out.push_back(c);
+    return out;
+}
+
+std::vector<NodeId>
+StripeManager::candidateDestinations(StripeId stripe) const
+{
+    checkStripe(stripe);
+    std::vector<bool> hosting(static_cast<std::size_t>(numNodes_),
+                              false);
+    for (ChunkIndex c = 0; c < code_->n(); ++c) {
+        if (!chunkLost(stripe, c))
+            hosting[static_cast<std::size_t>(location(stripe, c))] =
+                true;
+    }
+    std::vector<NodeId> out;
+    for (NodeId node = 0; node < numNodes_; ++node) {
+        if (!hosting[static_cast<std::size_t>(node)] &&
+            !nodeFailed_[static_cast<std::size_t>(node)])
+            out.push_back(node);
+    }
+    return out;
+}
+
+std::vector<FailedChunk>
+StripeManager::chunksOnNode(NodeId node) const
+{
+    std::vector<FailedChunk> out;
+    for (StripeId s = 0; s < stripeCount(); ++s)
+        for (ChunkIndex c = 0; c < code_->n(); ++c)
+            if (location(s, c) == node)
+                out.push_back(FailedChunk{s, c});
+    return out;
+}
+
+} // namespace cluster
+} // namespace chameleon

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Stripe metadata: which chunk of which stripe lives on which node,
+ * which nodes have failed, and the derived views repair scheduling
+ * needs (surviving chunks, candidate sources, candidate
+ * destinations). This plays the role of the HDFS NameNode metadata
+ * that the paper's coordinator consults (Fig. 11, step 1).
+ */
+
+#ifndef CHAMELEON_CLUSTER_STRIPE_MANAGER_HH_
+#define CHAMELEON_CLUSTER_STRIPE_MANAGER_HH_
+
+#include <memory>
+#include <vector>
+
+#include "ec/code.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace cluster {
+
+/** A chunk lost to a node failure, pending repair. */
+struct FailedChunk
+{
+    StripeId stripe = 0;
+    ChunkIndex chunk = 0;
+
+    bool operator==(const FailedChunk &o) const = default;
+};
+
+/** Stripe placement + failure bookkeeping; see file comment. */
+class StripeManager
+{
+  public:
+    /**
+     * @param code       the erasure code shared by all stripes.
+     * @param num_nodes  cluster size; must be >= code->n().
+     */
+    StripeManager(std::shared_ptr<const ec::ErasureCode> code,
+                  int num_nodes);
+
+    const ec::ErasureCode &code() const { return *code_; }
+    std::shared_ptr<const ec::ErasureCode> codePtr() const
+    {
+        return code_;
+    }
+    int numNodes() const { return numNodes_; }
+
+    /** Creates `count` stripes with uniform random placement. */
+    void createStripes(int count, Rng &rng);
+
+    int stripeCount() const
+    {
+        return static_cast<int>(placement_.size());
+    }
+
+    /** Node currently hosting (stripe, chunk). */
+    NodeId location(StripeId stripe, ChunkIndex chunk) const;
+
+    /** Re-homes a chunk (after repair to a new destination). */
+    void relocate(StripeId stripe, ChunkIndex chunk, NodeId node);
+
+    /** True while the chunk's data is lost. */
+    bool chunkLost(StripeId stripe, ChunkIndex chunk) const;
+
+    /** Marks a single chunk lost (degraded-read scenarios). */
+    void markLost(StripeId stripe, ChunkIndex chunk);
+
+    /** Marks a chunk repaired (clears the lost flag). */
+    void markRepaired(StripeId stripe, ChunkIndex chunk);
+
+    /**
+     * Fails a node: every chunk it hosts becomes lost.
+     * @return the newly lost chunks, in stripe order.
+     */
+    std::vector<FailedChunk> failNode(NodeId node);
+
+    bool nodeFailed(NodeId node) const;
+
+    /** All chunks currently lost, in stripe order. */
+    std::vector<FailedChunk> lostChunks() const;
+
+    /** Chunk indices of `stripe` that are alive (not lost). */
+    std::vector<ChunkIndex> availableChunks(StripeId stripe) const;
+
+    /**
+     * Alive nodes not hosting any live chunk of `stripe` — the
+     * paper's candidate destination set D, which preserves the
+     * one-chunk-per-node fault tolerance invariant.
+     */
+    std::vector<NodeId> candidateDestinations(StripeId stripe) const;
+
+    /** Chunks hosted by `node` (lost ones included). */
+    std::vector<FailedChunk> chunksOnNode(NodeId node) const;
+
+  private:
+    void checkStripe(StripeId stripe) const;
+
+    std::shared_ptr<const ec::ErasureCode> code_;
+    int numNodes_;
+    /** placement_[stripe][chunk] = node. */
+    std::vector<std::vector<NodeId>> placement_;
+    /** lost_[stripe][chunk]. */
+    std::vector<std::vector<bool>> lost_;
+    std::vector<bool> nodeFailed_;
+};
+
+} // namespace cluster
+} // namespace chameleon
+
+#endif // CHAMELEON_CLUSTER_STRIPE_MANAGER_HH_

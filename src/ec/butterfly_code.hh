@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Butterfly(4,2): an XOR-based regenerating code with k = 2 data
+ * chunks, 2 parity chunks, and sub-packetization 2 (each chunk is two
+ * half-chunk "rows").
+ *
+ * Construction (rows over GF(2), data symbols a0,a1,b0,b1):
+ *   node 0 (data A):   a0,            a1
+ *   node 1 (data B):   b0,            b1
+ *   node 2 (P):        a0^b0,         a1^b1
+ *   node 3 (Q):        a0^b1,         a1^b0^b1
+ *
+ * Q = A + T*B with T = [[0,1],[1,1]]; A, T, and A+T are invertible,
+ * which makes any two losses decodable (MDS).
+ *
+ * Repairing a data node or P reads one half-chunk from each of the
+ * three survivors (1.5 chunks vs 2 for RS(2,2)); repairing Q is not
+ * bandwidth-optimal (2 chunks), the usual property of systematic-MSR
+ * butterfly constructions. Because repair operates on sub-chunks,
+ * relays cannot form partially decoded chunks, so RepairSpecs are
+ * marked non-combinable — matching the paper's observation in Exp#9
+ * that ChameleonEC "cannot establish the elastic repair plan" for
+ * Butterfly and gains only slightly over CR.
+ */
+
+#ifndef CHAMELEON_EC_BUTTERFLY_CODE_HH_
+#define CHAMELEON_EC_BUTTERFLY_CODE_HH_
+
+#include "ec/code.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** Butterfly(4,2); see file comment. */
+class ButterflyCode : public ErasureCode
+{
+  public:
+    ButterflyCode() = default;
+
+    int k() const override { return 2; }
+    int m() const override { return 2; }
+    std::string name() const override { return "Butterfly(4,2)"; }
+
+    std::vector<Buffer>
+    encode(const std::vector<Buffer> &data) const override;
+
+    RepairSpec
+    makeRepairSpec(ChunkIndex failed,
+                   std::span<const ChunkIndex> available,
+                   Rng &rng) const override;
+
+    /** All three survivors, fixed, non-combinable. */
+    HelperPool
+    helperPool(ChunkIndex failed,
+               std::span<const ChunkIndex> available) const override;
+
+    std::optional<RepairSpec>
+    specFor(ChunkIndex failed,
+            std::span<const ChunkIndex> helpers) const override;
+
+    Buffer
+    repairCompute(const RepairSpec &spec,
+                  const std::vector<Buffer> &helper_data) const override;
+
+    bool decode(std::vector<Buffer> &chunks) const override;
+};
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_BUTTERFLY_CODE_HH_

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The erasure-code abstraction the repair framework schedules against.
+ *
+ * A code stores n = k + m chunks per stripe. The repair framework only
+ * needs three things from it:
+ *   1. encode()        — produce the stored chunks from data chunks;
+ *   2. makeRepairSpec()— given a failed chunk and the surviving chunk
+ *                        indices, which helpers to read, what fraction
+ *                        of each helper chunk is needed, the decoding
+ *                        coefficient per helper, and whether relays may
+ *                        partially combine contributions (the paper's
+ *                        "tunability": linearity + addition
+ *                        associativity of Equation (1));
+ *   3. repairCompute() — bit-exact reference reconstruction used to
+ *                        validate every simulated repair.
+ */
+
+#ifndef CHAMELEON_EC_CODE_HH_
+#define CHAMELEON_EC_CODE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** Raw chunk contents. */
+using Buffer = std::vector<uint8_t>;
+
+/** One helper read within a repair. */
+struct RepairRead
+{
+    /** Index (within the stripe) of the surviving chunk to read. */
+    ChunkIndex helper = 0;
+    /** Fraction of the helper chunk that must be read (1.0 for
+     * RS/LRC; 0.5 for Butterfly sub-chunk repair). */
+    double fraction = 1.0;
+    /** Decoding coefficient alpha_i of Equation (1); meaningful only
+     * when the enclosing spec is combinable. */
+    gf::Elem coeff = 0;
+};
+
+/**
+ * The set of chunks a scheduler may choose repair helpers from.
+ *
+ * ChameleonEC picks helpers by available bandwidth rather than at
+ * random, so it needs to know which survivors are eligible and how
+ * many must be chosen, not just one concrete choice.
+ */
+struct HelperPool
+{
+    /** Chunks eligible to serve as helpers. */
+    std::vector<ChunkIndex> candidates;
+    /** How many of the candidates a repair must read. */
+    int required = 0;
+    /** True when exactly the candidate set must be used (LRC local
+     * groups, Butterfly) and no subset choice exists. */
+    bool fixedSet = false;
+    /** Whether relays may partially combine (see RepairSpec). */
+    bool combinable = true;
+};
+
+/** Complete recipe for repairing one failed chunk. */
+struct RepairSpec
+{
+    ChunkIndex failed = 0;
+    std::vector<RepairRead> reads;
+    /**
+     * True when intermediate nodes may merge contributions into
+     * partially decoded chunks (all linear full-chunk codes). False
+     * for sub-chunk codes like Butterfly, where — as the paper notes
+     * in Exp#9 — ChameleonEC cannot establish an elastic plan and
+     * falls back to direct transfers.
+     */
+    bool combinable = true;
+};
+
+/**
+ * Interface implemented by every code family.
+ *
+ * Chunk indices 0..k-1 are data chunks; k..n-1 are parity chunks
+ * (systematic layout, as all the paper's codes are systematic).
+ */
+class ErasureCode
+{
+  public:
+    virtual ~ErasureCode() = default;
+
+    virtual int k() const = 0;
+    virtual int m() const = 0;
+    int n() const { return k() + m(); }
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Encodes one stripe.
+     *
+     * @param data   k equally sized data chunks.
+     * @return       m parity chunks of the same size.
+     */
+    virtual std::vector<Buffer>
+    encode(const std::vector<Buffer> &data) const = 0;
+
+    /**
+     * Chooses helpers and coefficients to repair `failed`.
+     *
+     * @param failed     index of the lost chunk.
+     * @param available  indices of chunks that survive (anywhere in
+     *                   the stripe); must allow repair.
+     * @param rng        source of randomness for helper selection
+     *                   (the paper selects RS helpers at random).
+     */
+    virtual RepairSpec
+    makeRepairSpec(ChunkIndex failed,
+                   std::span<const ChunkIndex> available,
+                   Rng &rng) const = 0;
+
+    /**
+     * Eligible helpers for a bandwidth-aware scheduler to choose
+     * among (see HelperPool).
+     */
+    virtual HelperPool
+    helperPool(ChunkIndex failed,
+               std::span<const ChunkIndex> available) const = 0;
+
+    /**
+     * Builds a RepairSpec for an explicit helper choice.
+     *
+     * @return nullopt when `helpers` cannot repair `failed` (possible
+     *         for non-MDS codes); callers fall back to
+     *         makeRepairSpec().
+     */
+    virtual std::optional<RepairSpec>
+    specFor(ChunkIndex failed,
+            std::span<const ChunkIndex> helpers) const = 0;
+
+    /**
+     * Reference reconstruction of the failed chunk from helper data.
+     *
+     * @param spec         a spec previously produced by
+     *                     makeRepairSpec().
+     * @param helper_data  full helper chunk contents, ordered as
+     *                     spec.reads (full chunks are passed even for
+     *                     fractional reads; the code picks the bytes
+     *                     it declared it needs).
+     */
+    virtual Buffer
+    repairCompute(const RepairSpec &spec,
+                  const std::vector<Buffer> &helper_data) const = 0;
+
+    /**
+     * Full decode used by tests: reconstructs every missing chunk of
+     * a stripe from the survivors.
+     *
+     * @param chunks  n slots; missing chunks are empty buffers, and
+     *                are filled in place on success.
+     * @retval true if the failure pattern was decodable.
+     */
+    virtual bool decode(std::vector<Buffer> &chunks) const = 0;
+};
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_CODE_HH_

@@ -1,0 +1,36 @@
+#include "ec/factory.hh"
+
+#include "ec/butterfly_code.hh"
+#include "ec/lrc_code.hh"
+#include "ec/replicated_code.hh"
+#include "ec/rs_code.hh"
+
+namespace chameleon {
+namespace ec {
+
+std::shared_ptr<ErasureCode>
+makeRs(int k, int m)
+{
+    return std::make_shared<RsCode>(k, m);
+}
+
+std::shared_ptr<ErasureCode>
+makeLrc(int k, int l, int m)
+{
+    return std::make_shared<LrcCode>(k, l, m);
+}
+
+std::shared_ptr<ErasureCode>
+makeButterfly()
+{
+    return std::make_shared<ButterflyCode>();
+}
+
+std::shared_ptr<ErasureCode>
+makeReplicated(int copies)
+{
+    return std::make_shared<ReplicatedCode>(copies);
+}
+
+} // namespace ec
+} // namespace chameleon

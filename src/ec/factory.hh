@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Convenience constructors for the code families the paper evaluates.
+ */
+
+#ifndef CHAMELEON_EC_FACTORY_HH_
+#define CHAMELEON_EC_FACTORY_HH_
+
+#include <memory>
+
+#include "ec/code.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** RS(k, m) — e.g. RS(10,4) of Facebook f4, RS(8,3) of Yahoo COS. */
+std::shared_ptr<ErasureCode> makeRs(int k, int m);
+
+/** LRC(k, l, m) — e.g. LRC(8,2,2), LRC(10,2,2). */
+std::shared_ptr<ErasureCode> makeLrc(int k, int l, int m);
+
+/** Butterfly(4,2). */
+std::shared_ptr<ErasureCode> makeButterfly();
+
+/** copies-way replication (the paper's storage-cost comparison). */
+std::shared_ptr<ErasureCode> makeReplicated(int copies);
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_FACTORY_HH_

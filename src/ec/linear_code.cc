@@ -1,0 +1,215 @@
+#include "ec/linear_code.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace ec {
+
+LinearCode::LinearCode(int k, int m, gf::Matrix gen)
+    : k_(k), m_(m), gen_(std::move(gen))
+{
+    CHAMELEON_ASSERT(k >= 1 && m >= 1, "k and m must be positive");
+    CHAMELEON_ASSERT(gen_.rows() == static_cast<std::size_t>(k + m) &&
+                     gen_.cols() == static_cast<std::size_t>(k),
+                     "generator must be (k+m) x k");
+    // Systematic check: identity on the first k rows.
+    for (int i = 0; i < k; ++i) {
+        for (int j = 0; j < k; ++j) {
+            gf::Elem want = (i == j) ? gf::kOne : gf::kZero;
+            CHAMELEON_ASSERT(gen_.at(i, j) == want,
+                             "generator is not systematic at (", i,
+                             ",", j, ")");
+        }
+    }
+}
+
+std::vector<Buffer>
+LinearCode::encode(const std::vector<Buffer> &data) const
+{
+    CHAMELEON_ASSERT(data.size() == static_cast<std::size_t>(k_),
+                     "encode expects ", k_, " data chunks, got ",
+                     data.size());
+    const std::size_t size = data[0].size();
+    for (const auto &d : data)
+        CHAMELEON_ASSERT(d.size() == size, "chunk sizes differ");
+
+    std::vector<Buffer> parity(m_, Buffer(size, 0));
+    for (int p = 0; p < m_; ++p) {
+        for (int j = 0; j < k_; ++j) {
+            gf::mulAddRegion(std::span<uint8_t>(parity[p]),
+                             std::span<const uint8_t>(data[j]),
+                             gen_.at(k_ + p, j));
+        }
+    }
+    return parity;
+}
+
+std::optional<std::vector<gf::Elem>>
+LinearCode::repairCoeffs(ChunkIndex failed,
+                         std::span<const ChunkIndex> helpers) const
+{
+    const auto h = helpers.size();
+    CHAMELEON_ASSERT(failed >= 0 && failed < n(), "bad failed index");
+    for (auto idx : helpers) {
+        CHAMELEON_ASSERT(idx >= 0 && idx < n(), "bad helper index");
+        CHAMELEON_ASSERT(idx != failed, "helper equals failed chunk");
+    }
+
+    // Solve M x = b where column i of M is G[helpers[i]] (length k)
+    // and b = G[failed]. Gaussian elimination on the k x (h+1)
+    // augmented matrix; free variables default to zero.
+    const std::size_t rows = static_cast<std::size_t>(k_);
+    std::vector<std::vector<gf::Elem>> aug(
+        rows, std::vector<gf::Elem>(h + 1, 0));
+    for (std::size_t c = 0; c < rows; ++c) {
+        for (std::size_t i = 0; i < h; ++i)
+            aug[c][i] = gen_.at(static_cast<std::size_t>(helpers[i]), c);
+        aug[c][h] = gen_.at(static_cast<std::size_t>(failed), c);
+    }
+
+    std::vector<std::size_t> pivot_col_of_row(rows, h);
+    std::size_t rank = 0;
+    for (std::size_t col = 0; col < h && rank < rows; ++col) {
+        std::size_t piv = rank;
+        while (piv < rows && aug[piv][col] == 0)
+            ++piv;
+        if (piv == rows)
+            continue;
+        std::swap(aug[rank], aug[piv]);
+        gf::Elem piv_inv = gf::inv(aug[rank][col]);
+        for (std::size_t j = col; j <= h; ++j)
+            aug[rank][j] = gf::mul(aug[rank][j], piv_inv);
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (r == rank || aug[r][col] == 0)
+                continue;
+            gf::Elem f = aug[r][col];
+            for (std::size_t j = col; j <= h; ++j)
+                aug[r][j] = gf::add(aug[r][j],
+                                    gf::mul(f, aug[rank][j]));
+        }
+        pivot_col_of_row[rank] = col;
+        ++rank;
+    }
+    // Inconsistency check: a zero row with nonzero RHS.
+    for (std::size_t r = rank; r < rows; ++r) {
+        bool all_zero = true;
+        for (std::size_t j = 0; j < h; ++j) {
+            if (aug[r][j] != 0) {
+                all_zero = false;
+                break;
+            }
+        }
+        if (all_zero && aug[r][h] != 0)
+            return std::nullopt;
+    }
+
+    std::vector<gf::Elem> x(h, 0);
+    for (std::size_t r = 0; r < rank; ++r)
+        x[pivot_col_of_row[r]] = aug[r][h];
+    return x;
+}
+
+bool
+LinearCode::canRepairWith(ChunkIndex failed,
+                          std::span<const ChunkIndex> helpers) const
+{
+    return repairCoeffs(failed, helpers).has_value();
+}
+
+RepairSpec
+LinearCode::specFromHelpers(ChunkIndex failed,
+                            std::span<const ChunkIndex> helpers) const
+{
+    auto coeffs = repairCoeffs(failed, helpers);
+    CHAMELEON_ASSERT(coeffs.has_value(),
+                     "helpers cannot repair chunk ", failed);
+    RepairSpec spec;
+    spec.failed = failed;
+    spec.combinable = true;
+    spec.reads.reserve(helpers.size());
+    for (std::size_t i = 0; i < helpers.size(); ++i) {
+        // A zero coefficient means this helper contributes nothing;
+        // dropping it keeps repair traffic minimal.
+        if ((*coeffs)[i] == 0)
+            continue;
+        spec.reads.push_back(RepairRead{helpers[i], 1.0, (*coeffs)[i]});
+    }
+    return spec;
+}
+
+std::optional<RepairSpec>
+LinearCode::specFor(ChunkIndex failed,
+                    std::span<const ChunkIndex> helpers) const
+{
+    if (!repairCoeffs(failed, helpers))
+        return std::nullopt;
+    return specFromHelpers(failed, helpers);
+}
+
+Buffer
+LinearCode::repairCompute(const RepairSpec &spec,
+                          const std::vector<Buffer> &helper_data) const
+{
+    CHAMELEON_ASSERT(helper_data.size() == spec.reads.size(),
+                     "helper data count mismatch");
+    CHAMELEON_ASSERT(!helper_data.empty(), "no helper data");
+    const std::size_t size = helper_data[0].size();
+    Buffer out(size, 0);
+    for (std::size_t i = 0; i < helper_data.size(); ++i) {
+        CHAMELEON_ASSERT(helper_data[i].size() == size,
+                         "helper chunk sizes differ");
+        gf::mulAddRegion(std::span<uint8_t>(out),
+                         std::span<const uint8_t>(helper_data[i]),
+                         spec.reads[i].coeff);
+    }
+    return out;
+}
+
+bool
+LinearCode::decode(std::vector<Buffer> &chunks) const
+{
+    CHAMELEON_ASSERT(chunks.size() == static_cast<std::size_t>(n()),
+                     "decode expects ", n(), " chunk slots");
+    std::vector<ChunkIndex> survivors;
+    std::vector<ChunkIndex> missing;
+    std::size_t size = 0;
+    for (ChunkIndex i = 0; i < n(); ++i) {
+        if (chunks[i].empty()) {
+            missing.push_back(i);
+        } else {
+            survivors.push_back(i);
+            size = chunks[i].size();
+        }
+    }
+    if (missing.empty())
+        return true;
+
+    // A missing chunk is recoverable iff its generator row lies in
+    // the span of the survivor rows; expressing it as a combination
+    // handles both MDS (RS) and non-MDS (LRC) patterns uniformly.
+    std::vector<std::vector<gf::Elem>> coeff_sets;
+    coeff_sets.reserve(missing.size());
+    for (ChunkIndex miss : missing) {
+        auto coeffs = repairCoeffs(miss, survivors);
+        if (!coeffs)
+            return false;
+        coeff_sets.push_back(std::move(*coeffs));
+    }
+    for (std::size_t mi = 0; mi < missing.size(); ++mi) {
+        Buffer out(size, 0);
+        for (std::size_t i = 0; i < survivors.size(); ++i) {
+            gf::mulAddRegion(
+                std::span<uint8_t>(out),
+                std::span<const uint8_t>(
+                    chunks[static_cast<std::size_t>(survivors[i])]),
+                coeff_sets[mi][i]);
+        }
+        chunks[static_cast<std::size_t>(missing[mi])] = std::move(out);
+    }
+    return true;
+}
+
+} // namespace ec
+} // namespace chameleon

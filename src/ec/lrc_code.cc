@@ -1,0 +1,162 @@
+#include "ec/lrc_code.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace ec {
+
+namespace {
+
+gf::Matrix
+buildLrcGenerator(int k, int l, int m)
+{
+    CHAMELEON_ASSERT(l >= 1 && k % l == 0,
+                     "LRC requires l | k, got k=", k, " l=", l);
+    const int group = k / l;
+    const int n = k + l + m;
+    gf::Matrix gen(static_cast<std::size_t>(n),
+                   static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        gen.set(i, i, gf::kOne);
+    // Local parities: XOR of the group's data chunks.
+    for (int g = 0; g < l; ++g)
+        for (int j = 0; j < group; ++j)
+            gen.set(k + g, g * group + j, gf::kOne);
+    // Global parities: Cauchy combinations of all data chunks.
+    gf::Matrix parity = gf::Matrix::cauchy(static_cast<std::size_t>(m),
+                                           static_cast<std::size_t>(k));
+    for (int r = 0; r < m; ++r)
+        for (int c = 0; c < k; ++c)
+            gen.set(k + l + r, c, parity.at(r, c));
+    return gen;
+}
+
+} // namespace
+
+LrcCode::LrcCode(int k, int l, int m)
+    : LinearCode(k, l + m, buildLrcGenerator(k, l, m)),
+      l_(l), mGlobal_(m)
+{
+}
+
+std::string
+LrcCode::name() const
+{
+    return "LRC(" + std::to_string(k()) + "," + std::to_string(l_) +
+           "," + std::to_string(mGlobal_) + ")";
+}
+
+int
+LrcCode::groupOf(ChunkIndex idx) const
+{
+    if (idx < k())
+        return idx / groupSize();
+    if (idx < k() + l_)
+        return idx - k();
+    return -1;
+}
+
+RepairSpec
+LrcCode::makeRepairSpec(ChunkIndex failed,
+                        std::span<const ChunkIndex> available,
+                        Rng &rng) const
+{
+    const int g = groupOf(failed);
+    if (g >= 0) {
+        // Data chunk or local parity: try the local group first.
+        std::vector<ChunkIndex> helpers;
+        for (int j = 0; j < groupSize(); ++j) {
+            ChunkIndex idx = g * groupSize() + j;
+            if (idx != failed)
+                helpers.push_back(idx);
+        }
+        ChunkIndex lp = static_cast<ChunkIndex>(k() + g);
+        if (lp != failed)
+            helpers.push_back(lp);
+        bool all_present = std::all_of(
+            helpers.begin(), helpers.end(), [&](ChunkIndex h) {
+                return std::find(available.begin(), available.end(), h) !=
+                       available.end();
+            });
+        if (all_present)
+            return specFromHelpers(failed, helpers);
+    } else {
+        // Global parity: read the k data chunks when intact.
+        std::vector<ChunkIndex> helpers;
+        for (ChunkIndex j = 0; j < k(); ++j)
+            helpers.push_back(j);
+        bool all_present = std::all_of(
+            helpers.begin(), helpers.end(), [&](ChunkIndex h) {
+                return std::find(available.begin(), available.end(), h) !=
+                       available.end();
+            });
+        if (all_present)
+            return specFromHelpers(failed, helpers);
+    }
+
+    // Degraded path (another failure in the group / missing data):
+    // shuffle the survivors and let the coefficient solver pick a
+    // minimal combination (zero-coefficient helpers are dropped).
+    std::vector<ChunkIndex> pool(available.begin(), available.end());
+    for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+        auto j = i + rng.below(pool.size() - i);
+        std::swap(pool[i], pool[j]);
+    }
+    auto coeffs = repairCoeffs(failed, pool);
+    CHAMELEON_ASSERT(coeffs.has_value(),
+                     name(), ": failure pattern not recoverable for chunk ",
+                     failed);
+    return specFromHelpers(failed, pool);
+}
+
+HelperPool
+LrcCode::helperPool(ChunkIndex failed,
+                    std::span<const ChunkIndex> available) const
+{
+    auto contains_all = [&](const std::vector<ChunkIndex> &want) {
+        return std::all_of(want.begin(), want.end(), [&](ChunkIndex h) {
+            return std::find(available.begin(), available.end(), h) !=
+                   available.end();
+        });
+    };
+
+    HelperPool pool;
+    pool.combinable = true;
+    const int g = groupOf(failed);
+    if (g >= 0) {
+        std::vector<ChunkIndex> group;
+        for (int j = 0; j < groupSize(); ++j) {
+            ChunkIndex idx = g * groupSize() + j;
+            if (idx != failed)
+                group.push_back(idx);
+        }
+        ChunkIndex lp = static_cast<ChunkIndex>(k() + g);
+        if (lp != failed)
+            group.push_back(lp);
+        if (contains_all(group)) {
+            pool.candidates = std::move(group);
+            pool.required = static_cast<int>(pool.candidates.size());
+            pool.fixedSet = true;
+            return pool;
+        }
+    } else {
+        std::vector<ChunkIndex> data;
+        for (ChunkIndex j = 0; j < k(); ++j)
+            data.push_back(j);
+        if (contains_all(data)) {
+            pool.candidates = std::move(data);
+            pool.required = k();
+            pool.fixedSet = true;
+            return pool;
+        }
+    }
+    pool.candidates.assign(available.begin(), available.end());
+    pool.required = k();
+    pool.fixedSet = false;
+    return pool;
+}
+
+} // namespace ec
+} // namespace chameleon

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Azure-style Locally Repairable Code LRC(k, l, m).
+ *
+ * The k data chunks are split into l equal local groups; each group
+ * gets one local parity (the XOR of its members) and the stripe gets
+ * m global parities (Cauchy combinations of all k data chunks).
+ * Repairing a data chunk or a local parity touches only the k/l
+ * chunks of its group; repairing a global parity reads k chunks —
+ * exactly the asymmetry the paper exploits in Exp#9.
+ *
+ * Chunk layout within a stripe:
+ *   [0, k)            data chunks,
+ *   [k, k+l)          local parities (group g's parity at k+g),
+ *   [k+l, k+l+m)      global parities.
+ */
+
+#ifndef CHAMELEON_EC_LRC_CODE_HH_
+#define CHAMELEON_EC_LRC_CODE_HH_
+
+#include "ec/linear_code.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** LRC(k, l, m); see file comment. m() reports total parity l + m. */
+class LrcCode : public LinearCode
+{
+  public:
+    /**
+     * @param k  data chunks; must be divisible by l.
+     * @param l  number of local groups / local parities.
+     * @param m  number of global parities.
+     */
+    LrcCode(int k, int l, int m);
+
+    std::string name() const override;
+
+    int localGroups() const { return l_; }
+    int globalParities() const { return mGlobal_; }
+    int groupSize() const { return k() / l_; }
+
+    /** Group of a data chunk or local parity; -1 for globals. */
+    int groupOf(ChunkIndex idx) const;
+
+    RepairSpec
+    makeRepairSpec(ChunkIndex failed,
+                   std::span<const ChunkIndex> available,
+                   Rng &rng) const override;
+
+    /**
+     * The local group when intact (fixed set); the data chunks for a
+     * global parity; otherwise the full survivor set with a free
+     * choice of k helpers.
+     */
+    HelperPool
+    helperPool(ChunkIndex failed,
+               std::span<const ChunkIndex> available) const override;
+
+  private:
+    int l_;
+    int mGlobal_;
+};
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_LRC_CODE_HH_

@@ -1,0 +1,59 @@
+#include "ec/replicated_code.hh"
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace ec {
+
+namespace {
+
+gf::Matrix
+buildReplicationGenerator(int copies)
+{
+    CHAMELEON_ASSERT(copies >= 2, "replication needs >= 2 copies");
+    gf::Matrix gen(static_cast<std::size_t>(copies), 1);
+    for (int i = 0; i < copies; ++i)
+        gen.set(static_cast<std::size_t>(i), 0, gf::kOne);
+    return gen;
+}
+
+} // namespace
+
+ReplicatedCode::ReplicatedCode(int copies)
+    : LinearCode(1, copies - 1, buildReplicationGenerator(copies))
+{
+}
+
+std::string
+ReplicatedCode::name() const
+{
+    return "Replication(x" + std::to_string(n()) + ")";
+}
+
+RepairSpec
+ReplicatedCode::makeRepairSpec(ChunkIndex failed,
+                               std::span<const ChunkIndex> available,
+                               Rng &rng) const
+{
+    CHAMELEON_ASSERT(!available.empty(),
+                     "no surviving replica for chunk ", failed);
+    std::vector<ChunkIndex> helper = {
+        available[rng.below(available.size())]};
+    return specFromHelpers(failed, helper);
+}
+
+HelperPool
+ReplicatedCode::helperPool(ChunkIndex failed,
+                           std::span<const ChunkIndex> available) const
+{
+    (void)failed;
+    HelperPool pool;
+    pool.candidates.assign(available.begin(), available.end());
+    pool.required = 1;
+    pool.fixedSet = false;
+    pool.combinable = true;
+    return pool;
+}
+
+} // namespace ec
+} // namespace chameleon

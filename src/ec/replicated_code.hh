@@ -1,0 +1,42 @@
+/**
+ * @file
+ * N-way replication expressed as a degenerate linear code (k = 1,
+ * every stored chunk an identical copy). The paper motivates erasure
+ * coding by its storage savings over replication; this class makes
+ * the comparison runnable: repair reads exactly one surviving copy
+ * (no amplification) at copies-times the storage cost.
+ */
+
+#ifndef CHAMELEON_EC_REPLICATED_CODE_HH_
+#define CHAMELEON_EC_REPLICATED_CODE_HH_
+
+#include "ec/linear_code.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** copies-way replication; tolerates copies-1 failures. */
+class ReplicatedCode : public LinearCode
+{
+  public:
+    /** @param copies total replicas (>= 2). */
+    explicit ReplicatedCode(int copies);
+
+    std::string name() const override;
+
+    /** One random surviving copy. */
+    RepairSpec
+    makeRepairSpec(ChunkIndex failed,
+                   std::span<const ChunkIndex> available,
+                   Rng &rng) const override;
+
+    /** Any single survivor qualifies. */
+    HelperPool
+    helperPool(ChunkIndex failed,
+               std::span<const ChunkIndex> available) const override;
+};
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_REPLICATED_CODE_HH_

@@ -1,0 +1,75 @@
+#include "ec/rs_code.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace ec {
+
+namespace {
+
+gf::Matrix
+buildRsGenerator(int k, int m)
+{
+    gf::Matrix gen(static_cast<std::size_t>(k + m),
+                   static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        gen.set(i, i, gf::kOne);
+    gf::Matrix parity = gf::Matrix::cauchy(static_cast<std::size_t>(m),
+                                           static_cast<std::size_t>(k));
+    for (int r = 0; r < m; ++r)
+        for (int c = 0; c < k; ++c)
+            gen.set(k + r, c, parity.at(r, c));
+    return gen;
+}
+
+} // namespace
+
+RsCode::RsCode(int k, int m)
+    : LinearCode(k, m, buildRsGenerator(k, m))
+{
+    CHAMELEON_ASSERT(k + m <= 256, "RS(", k, ",", m,
+                     ") exceeds GF(2^8) limit");
+}
+
+std::string
+RsCode::name() const
+{
+    return "RS(" + std::to_string(k()) + "," + std::to_string(m()) + ")";
+}
+
+RepairSpec
+RsCode::makeRepairSpec(ChunkIndex failed,
+                       std::span<const ChunkIndex> available,
+                       Rng &rng) const
+{
+    CHAMELEON_ASSERT(available.size() >= static_cast<std::size_t>(k()),
+                     name(), " repair needs >= ", k(), " survivors, got ",
+                     available.size());
+    // Fisher-Yates partial shuffle for a uniform k-subset.
+    std::vector<ChunkIndex> pool(available.begin(), available.end());
+    for (int i = 0; i < k(); ++i) {
+        auto j = static_cast<std::size_t>(i) +
+                 rng.below(pool.size() - static_cast<std::size_t>(i));
+        std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    }
+    pool.resize(static_cast<std::size_t>(k()));
+    return specFromHelpers(failed, pool);
+}
+
+HelperPool
+RsCode::helperPool(ChunkIndex failed,
+                   std::span<const ChunkIndex> available) const
+{
+    (void)failed;
+    HelperPool pool;
+    pool.candidates.assign(available.begin(), available.end());
+    pool.required = k();
+    pool.fixedSet = false;
+    pool.combinable = true;
+    return pool;
+}
+
+} // namespace ec
+} // namespace chameleon

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Systematic Reed-Solomon code RS(k, m) built from a Cauchy parity
+ * matrix (every square submatrix of a Cauchy matrix is nonsingular,
+ * which makes [I; Cauchy] MDS — the construction Jerasure's cauchy
+ * mode and HDFS-EC both rely on).
+ */
+
+#ifndef CHAMELEON_EC_RS_CODE_HH_
+#define CHAMELEON_EC_RS_CODE_HH_
+
+#include "ec/linear_code.hh"
+
+namespace chameleon {
+namespace ec {
+
+/** RS(k, m): repair of any single chunk reads any k survivors. */
+class RsCode : public LinearCode
+{
+  public:
+    RsCode(int k, int m);
+
+    std::string name() const override;
+
+    /**
+     * Picks k helpers uniformly at random from the survivors, matching
+     * the paper's setup ("We randomly select the k sources ... since
+     * the random selection can generate more balanced repair traffic
+     * in most cases than the LRU-based selection").
+     */
+    RepairSpec
+    makeRepairSpec(ChunkIndex failed,
+                   std::span<const ChunkIndex> available,
+                   Rng &rng) const override;
+
+    /** Any k of the survivors (MDS property). */
+    HelperPool
+    helperPool(ChunkIndex failed,
+               std::span<const ChunkIndex> available) const override;
+};
+
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_RS_CODE_HH_

@@ -1,0 +1,137 @@
+#include "gf/gf256.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace gf {
+
+namespace {
+
+/** Primitive polynomial x^8+x^4+x^3+x^2+1 -> 0x11D. */
+constexpr unsigned kPoly = 0x11D;
+
+struct Tables
+{
+    std::array<Elem, 256> log{};
+    std::array<Elem, 512> exp{}; // doubled so mul never reduces mod 255
+
+    constexpr Tables()
+    {
+        unsigned x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp[i] = static_cast<Elem>(x);
+            exp[i + 255] = static_cast<Elem>(x);
+            log[x] = static_cast<Elem>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= kPoly;
+        }
+        exp[510] = exp[255];
+        exp[511] = exp[256];
+        log[0] = 0; // unused sentinel; callers guard zero operands
+    }
+};
+
+constexpr Tables kTables{};
+
+} // namespace
+
+Elem
+mul(Elem a, Elem b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return kTables.exp[kTables.log[a] + kTables.log[b]];
+}
+
+Elem
+inv(Elem a)
+{
+    CHAMELEON_ASSERT(a != 0, "inverse of zero");
+    return kTables.exp[255 - kTables.log[a]];
+}
+
+Elem
+div(Elem a, Elem b)
+{
+    CHAMELEON_ASSERT(b != 0, "division by zero");
+    if (a == 0)
+        return 0;
+    unsigned diff = 255u + kTables.log[a] - kTables.log[b];
+    return kTables.exp[diff % 255];
+}
+
+Elem
+pow(Elem a, unsigned e)
+{
+    if (e == 0)
+        return kOne;
+    if (a == 0)
+        return kZero;
+    unsigned le = (static_cast<unsigned>(kTables.log[a]) * e) % 255;
+    return kTables.exp[le];
+}
+
+void
+mulAddRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff)
+{
+    CHAMELEON_ASSERT(dst.size() == src.size(),
+                     "region size mismatch: ", dst.size(), " vs ",
+                     src.size());
+    if (coeff == 0)
+        return;
+    if (coeff == 1) {
+        addRegion(dst, src);
+        return;
+    }
+    const unsigned lc = kTables.log[coeff];
+    const Elem *exp = kTables.exp.data();
+    const Elem *log = kTables.log.data();
+    Elem *d = dst.data();
+    const Elem *s = src.data();
+    for (std::size_t i = 0, n = dst.size(); i < n; ++i) {
+        Elem v = s[i];
+        if (v)
+            d[i] ^= exp[lc + log[v]];
+    }
+}
+
+void
+mulRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff)
+{
+    CHAMELEON_ASSERT(dst.size() == src.size(), "region size mismatch");
+    if (coeff == 0) {
+        for (auto &b : dst)
+            b = 0;
+        return;
+    }
+    if (coeff == 1) {
+        if (dst.data() != src.data())
+            std::copy(src.begin(), src.end(), dst.begin());
+        return;
+    }
+    const unsigned lc = kTables.log[coeff];
+    const Elem *exp = kTables.exp.data();
+    const Elem *log = kTables.log.data();
+    Elem *d = dst.data();
+    const Elem *s = src.data();
+    for (std::size_t i = 0, n = dst.size(); i < n; ++i) {
+        Elem v = s[i];
+        d[i] = v ? exp[lc + log[v]] : 0;
+    }
+}
+
+void
+addRegion(std::span<Elem> dst, std::span<const Elem> src)
+{
+    CHAMELEON_ASSERT(dst.size() == src.size(), "region size mismatch");
+    Elem *d = dst.data();
+    const Elem *s = src.data();
+    for (std::size_t i = 0, n = dst.size(); i < n; ++i)
+        d[i] ^= s[i];
+}
+
+} // namespace gf
+} // namespace chameleon

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GF(2^8) arithmetic, the algebra underlying every erasure code here.
+ *
+ * The field is constructed from the AES/Rijndael-compatible primitive
+ * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial
+ * Jerasure/GF-complete default to for w = 8. Multiplication uses
+ * log/antilog tables; bulk chunk operations go through mulRegion /
+ * addRegion, which are what the codecs and relay combination use.
+ */
+
+#ifndef CHAMELEON_GF_GF256_HH_
+#define CHAMELEON_GF_GF256_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace chameleon {
+namespace gf {
+
+/** Field element. */
+using Elem = uint8_t;
+
+/** Additive identity. */
+inline constexpr Elem kZero = 0;
+/** Multiplicative identity. */
+inline constexpr Elem kOne = 1;
+
+/** Addition = subtraction = XOR in characteristic 2. */
+inline Elem add(Elem a, Elem b) { return a ^ b; }
+inline Elem sub(Elem a, Elem b) { return a ^ b; }
+
+/** Field multiplication via log tables. */
+Elem mul(Elem a, Elem b);
+
+/** Multiplicative inverse; a must be nonzero. */
+Elem inv(Elem a);
+
+/** a / b with b nonzero. */
+Elem div(Elem a, Elem b);
+
+/** a raised to integer power e (e >= 0). */
+Elem pow(Elem a, unsigned e);
+
+/**
+ * dst ^= coeff * src over byte regions (the GF "axpy").
+ *
+ * This is the single hot loop of encoding, decoding, and the relay
+ * nodes' partial-decode combination (Equation (1) of the paper).
+ * Regions must be the same length and may not alias unless equal.
+ */
+void mulAddRegion(std::span<Elem> dst, std::span<const Elem> src,
+                  Elem coeff);
+
+/** dst = coeff * src over byte regions. */
+void mulRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff);
+
+/** dst ^= src over byte regions. */
+void addRegion(std::span<Elem> dst, std::span<const Elem> src);
+
+} // namespace gf
+} // namespace chameleon
+
+#endif // CHAMELEON_GF_GF256_HH_

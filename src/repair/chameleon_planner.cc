@@ -1,0 +1,299 @@
+#include "repair/chameleon_planner.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace repair {
+
+PlannerState
+PlannerState::make(int nodes, Bytes chunk_size)
+{
+    PlannerState state;
+    state.taskUp.assign(static_cast<std::size_t>(nodes), 0);
+    state.taskDown.assign(static_cast<std::size_t>(nodes), 0);
+    state.bandUp.assign(static_cast<std::size_t>(nodes), 0.0);
+    state.bandDown.assign(static_cast<std::size_t>(nodes), 0.0);
+    state.chunkSize = chunk_size;
+    return state;
+}
+
+double
+PlannerState::nodeTime(NodeId node) const
+{
+    auto i = static_cast<std::size_t>(node);
+    CHAMELEON_ASSERT(bandUp[i] > 0 && bandDown[i] > 0,
+                     "bandwidth estimate missing for node ", node);
+    double up = static_cast<double>(taskUp[i]) * chunkSize / bandUp[i];
+    double down =
+        static_cast<double>(taskDown[i]) * chunkSize / bandDown[i];
+    return std::max(up, down);
+}
+
+double
+PlannerState::nodeServiceTime(NodeId node) const
+{
+    auto i = static_cast<std::size_t>(node);
+    Rate up_rate = i < serviceUp.size() ? serviceUp[i] : bandUp[i];
+    Rate down_rate =
+        i < serviceDown.size() ? serviceDown[i] : bandDown[i];
+    CHAMELEON_ASSERT(up_rate > 0 && down_rate > 0,
+                     "service estimate missing for node ", node);
+    double up = static_cast<double>(taskUp[i]) * chunkSize / up_rate;
+    double down =
+        static_cast<double>(taskDown[i]) * chunkSize / down_rate;
+    return std::max(up, down);
+}
+
+std::vector<int>
+establishPaths(const std::vector<int> &downloads, int dest_downloads)
+{
+    const int k = static_cast<int>(downloads.size());
+    CHAMELEON_ASSERT(dest_downloads >= 1,
+                     "destination needs at least one download");
+    int total = dest_downloads;
+    for (int d : downloads) {
+        CHAMELEON_ASSERT(d >= 0, "negative download count");
+        total += d;
+    }
+    CHAMELEON_ASSERT(total == k,
+                     "task mismatch: ", total, " downloads vs ", k,
+                     " uploads");
+
+    std::vector<int> parent(static_cast<std::size_t>(k),
+                            kToDestination);
+    std::vector<int> down_left = downloads;
+    std::vector<bool> up_left(static_cast<std::size_t>(k), true);
+
+    // E: sources whose upload is unpaired and whose downloads are all
+    // paired (Line 2 of Algorithm 1).
+    std::deque<int> eligible;
+    for (int i = 0; i < k; ++i)
+        if (down_left[static_cast<std::size_t>(i)] == 0)
+            eligible.push_back(i);
+
+    int remaining = k - dest_downloads;
+    while (remaining > 0) {
+        // N_y: source with the fewest unpaired downloads (> 0).
+        int y = -1;
+        for (int i = 0; i < k; ++i) {
+            if (down_left[static_cast<std::size_t>(i)] > 0 &&
+                (y < 0 || down_left[static_cast<std::size_t>(i)] <
+                              down_left[static_cast<std::size_t>(y)]))
+                y = i;
+        }
+        CHAMELEON_ASSERT(y >= 0, "bookkeeping error");
+        CHAMELEON_ASSERT(!eligible.empty(),
+                         "Algorithm 1 invariant violated: E empty");
+        int x = eligible.front();
+        eligible.pop_front();
+        CHAMELEON_ASSERT(x != y, "self-pairing in Algorithm 1");
+        parent[static_cast<std::size_t>(x)] = y;
+        up_left[static_cast<std::size_t>(x)] = false;
+        if (--down_left[static_cast<std::size_t>(y)] == 0)
+            eligible.push_back(y);
+        --remaining;
+    }
+    // Remaining uploads pair with the destination's downloads
+    // (Lines 12-16); parent defaults to kToDestination already.
+    int to_dest = 0;
+    for (int i = 0; i < k; ++i)
+        to_dest += up_left[static_cast<std::size_t>(i)] ? 1 : 0;
+    CHAMELEON_ASSERT(to_dest == dest_downloads,
+                     "destination pairing mismatch: ", to_dest,
+                     " vs ", dest_downloads);
+    return parent;
+}
+
+std::optional<PlannedChunk>
+planChunk(PlannerState &state, const PlannerChunkInput &input)
+{
+    if (input.destCandidates.empty())
+        return std::nullopt;
+    const int k = input.required;
+    const auto m = input.helperChunks.size();
+    CHAMELEON_ASSERT(k >= 1, "required helper count must be positive");
+    CHAMELEON_ASSERT(m == input.helperNodes.size() &&
+                     m == input.fractions.size(),
+                     "candidate arrays disagree");
+    CHAMELEON_ASSERT(static_cast<int>(m) >= k,
+                     "not enough helper candidates");
+    CHAMELEON_ASSERT(!input.fixedSet || static_cast<int>(m) == k,
+                     "fixed set must match required count");
+    const Bytes C = state.chunkSize;
+
+    // --- Destination: minimum-time-first on download time.
+    NodeId dest = input.destCandidates[0];
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId d : input.destCandidates) {
+        auto i = static_cast<std::size_t>(d);
+        double t = static_cast<double>(state.taskDown[i] + 1) * C /
+                   state.bandDown[i];
+        if (t < best) {
+            best = t;
+            dest = d;
+        }
+    }
+    auto dd = static_cast<std::size_t>(dest);
+    state.taskDown[dd] += 1;
+    int dest_downloads = 1;
+
+    // --- Remaining k-1 download tasks (Section III-A).
+    std::vector<int> relay_downloads(m, 0);
+    if (input.combinable) {
+        for (int t = 1; t < k; ++t) {
+            double best_time = std::numeric_limits<double>::infinity();
+            int best_cand = -1; // -1 encodes the destination
+            {
+                double up = static_cast<double>(state.taskUp[dd]) * C /
+                            state.bandUp[dd];
+                double down =
+                    static_cast<double>(state.taskDown[dd] + 1) * C /
+                    state.bandDown[dd];
+                best_time = std::max(up, down);
+            }
+            for (std::size_t ci = 0; ci < m; ++ci) {
+                auto ni = static_cast<std::size_t>(
+                    input.helperNodes[ci]);
+                // First download couples an upload task (the relay
+                // must forward its partial decode); later ones do not.
+                int up_tasks = state.taskUp[ni] +
+                               (relay_downloads[ci] == 0 ? 1 : 0);
+                double up = static_cast<double>(up_tasks) * C /
+                                state.bandUp[ni] +
+                            state.relayTaskPenalty;
+                double down =
+                    static_cast<double>(state.taskDown[ni] + 1) * C /
+                    state.bandDown[ni];
+                double time = std::max(up, down);
+                if (time < best_time) {
+                    best_time = time;
+                    best_cand = static_cast<int>(ci);
+                }
+            }
+            if (best_cand < 0) {
+                state.taskDown[dd] += 1;
+                ++dest_downloads;
+            } else {
+                auto ci = static_cast<std::size_t>(best_cand);
+                auto ni = static_cast<std::size_t>(
+                    input.helperNodes[ci]);
+                if (relay_downloads[ci] == 0)
+                    state.taskUp[ni] += 1; // coupled upload
+                state.taskDown[ni] += 1;
+                relay_downloads[ci] += 1;
+            }
+        }
+    } else {
+        // Sub-chunk codes: no relays; everything lands on the
+        // destination.
+        state.taskDown[dd] += k - 1;
+        dest_downloads = k;
+    }
+
+    // --- Helper selection: relays are helpers; the rest of the k
+    // slots go minimum-time-first on upload time.
+    std::vector<int> helper_order; // candidate indices, k entries
+    for (std::size_t ci = 0; ci < m; ++ci)
+        if (relay_downloads[ci] > 0)
+            helper_order.push_back(static_cast<int>(ci));
+    if (input.fixedSet) {
+        for (std::size_t ci = 0; ci < m; ++ci) {
+            if (relay_downloads[ci] == 0) {
+                helper_order.push_back(static_cast<int>(ci));
+                state.taskUp[static_cast<std::size_t>(
+                    input.helperNodes[ci])] += 1;
+            }
+        }
+    } else {
+        while (static_cast<int>(helper_order.size()) < k) {
+            double best_time =
+                std::numeric_limits<double>::infinity();
+            int best_cand = -1;
+            for (std::size_t ci = 0; ci < m; ++ci) {
+                if (relay_downloads[ci] > 0 ||
+                    std::find(helper_order.begin(),
+                              helper_order.end(),
+                              static_cast<int>(ci)) !=
+                        helper_order.end())
+                    continue;
+                auto ni = static_cast<std::size_t>(
+                    input.helperNodes[ci]);
+                double time =
+                    static_cast<double>(state.taskUp[ni] + 1) * C /
+                    state.bandUp[ni];
+                if (time < best_time) {
+                    best_time = time;
+                    best_cand = static_cast<int>(ci);
+                }
+            }
+            CHAMELEON_ASSERT(best_cand >= 0, "ran out of candidates");
+            helper_order.push_back(best_cand);
+            state.taskUp[static_cast<std::size_t>(
+                input.helperNodes[static_cast<std::size_t>(
+                    best_cand)])] += 1;
+        }
+    }
+    CHAMELEON_ASSERT(static_cast<int>(helper_order.size()) == k,
+                     "helper selection miscounted");
+
+    // --- Algorithm 1 over the chunk-local task distribution.
+    std::vector<int> downloads(static_cast<std::size_t>(k), 0);
+    for (int j = 0; j < k; ++j) {
+        downloads[static_cast<std::size_t>(j)] =
+            relay_downloads[static_cast<std::size_t>(
+                helper_order[static_cast<std::size_t>(j)])];
+    }
+    std::vector<int> parent = establishPaths(downloads, dest_downloads);
+
+    // --- Assemble the plan.
+    PlannedChunk out;
+    out.plan.stripe = input.stripe;
+    out.plan.failedChunk = input.failed;
+    out.plan.destination = dest;
+    out.plan.combinable = input.combinable;
+    for (int j = 0; j < k; ++j) {
+        auto ci = static_cast<std::size_t>(
+            helper_order[static_cast<std::size_t>(j)]);
+        PlanSource src;
+        src.node = input.helperNodes[ci];
+        src.chunk = input.helperChunks[ci];
+        src.coeff = gf::kOne; // caller fills real coefficients
+        src.fraction = input.fractions[ci];
+        src.parent = parent[static_cast<std::size_t>(j)];
+        out.plan.sources.push_back(src);
+    }
+    out.plan.validate();
+
+    // --- Estimates and per-edge expectations (honest service rates,
+    // so straggler detection does not false-positive when the disk,
+    // not the link, paces tasks).
+    out.estimatedTime = state.nodeServiceTime(dest);
+    for (const auto &src : out.plan.sources)
+        out.estimatedTime = std::max(out.estimatedTime,
+                                     state.nodeServiceTime(src.node));
+    for (int j = 0; j < static_cast<int>(out.plan.sources.size());
+         ++j) {
+        const auto &src =
+            out.plan.sources[static_cast<std::size_t>(j)];
+        NodeId tgt = src.parent == kToDestination
+                         ? dest
+                         : out.plan
+                               .sources[static_cast<std::size_t>(
+                                   src.parent)]
+                               .node;
+        double expect = std::max(state.nodeServiceTime(src.node),
+                                 state.nodeServiceTime(tgt));
+        // A relay's upload pays the combine/turnaround overhead.
+        if (!out.plan.childrenOf(j).empty())
+            expect += state.relayTaskPenalty;
+        out.edgeExpectation.push_back(expect);
+    }
+    return out;
+}
+
+} // namespace repair
+} // namespace chameleon

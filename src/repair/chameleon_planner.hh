@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ChameleonEC's plan construction, as pure logic with no simulator
+ * dependencies (so Exp#5 can measure real planning time and unit
+ * tests can probe it exhaustively).
+ *
+ * Section III-A: a chunk's repair is decomposed into k upload and k
+ * download tasks. The destination is picked minimum-time-first on
+ * download time; each remaining download task goes to the node —
+ * destination or candidate source — whose estimated repair time
+ *   R_i = max(T_up_i * |C| / B_up_i, T_down_i * |C| / B_down_i)
+ * after the assignment is smallest, with the relay-coupling rule: the
+ * first download assigned to a source brings an upload task with it
+ * (the partially decoded chunk must be forwarded), later downloads to
+ * the same source do not. Remaining uploads go minimum-time-first to
+ * sources without downloads.
+ *
+ * Section III-B / Algorithm 1: upload and download tasks are paired
+ * into transmission paths among the sources first (always feeding the
+ * source with the fewest unpaired downloads from a source whose own
+ * downloads are settled), then the leftover uploads connect to the
+ * destination — yielding the tunable in-tree plan.
+ */
+
+#ifndef CHAMELEON_REPAIR_CHAMELEON_PLANNER_HH_
+#define CHAMELEON_REPAIR_CHAMELEON_PLANNER_HH_
+
+#include <optional>
+#include <vector>
+
+#include "repair/plan.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace repair {
+
+/**
+ * Mutable per-phase dispatcher state: cumulative task counts per
+ * node (reset each phase) and the monitor's bandwidth estimates.
+ */
+struct PlannerState
+{
+    /** Upload tasks accumulated on each node this phase. */
+    std::vector<int> taskUp;
+    /** Download tasks accumulated on each node this phase. */
+    std::vector<int> taskDown;
+    /** Estimated idle upload-side bandwidth per node (bytes/s),
+     * used for dispatch decisions (network links for ChameleonEC,
+     * disks for ChameleonEC-IO). */
+    std::vector<Rate> bandUp;
+    /** Estimated idle download-side bandwidth per node (bytes/s). */
+    std::vector<Rate> bandDown;
+    /**
+     * Honest per-task service rates (min of link and disk residual)
+     * used for admission estimates and straggler expectations; falls
+     * back to bandUp/bandDown when left empty.
+     */
+    std::vector<Rate> serviceUp;
+    std::vector<Rate> serviceDown;
+    /** Chunk size |C| in bytes. */
+    Bytes chunkSize = 0;
+    /**
+     * Estimated extra seconds a relay upload task costs over a
+     * direct upload (per-slice combine/turnaround summed over the
+     * chunk). The dispatcher charges this when weighing a download
+     * assignment that would turn a source into a relay, so relaying
+     * happens only where the bandwidth imbalance pays for it.
+     */
+    double relayTaskPenalty = 0.0;
+
+    /** Initializes zeroed counts for `nodes` nodes. */
+    static PlannerState make(int nodes, Bytes chunk_size);
+
+    /** R_i of the paper: the node's estimated busy time (dispatch
+     * bandwidth). */
+    double nodeTime(NodeId node) const;
+
+    /** Busy-time estimate at honest service rates. */
+    double nodeServiceTime(NodeId node) const;
+};
+
+/** One chunk's inputs to the planner. */
+struct PlannerChunkInput
+{
+    StripeId stripe = 0;
+    ChunkIndex failed = 0;
+    /** Candidate destinations (set D of the paper). */
+    std::vector<NodeId> destCandidates;
+    /** Candidate helper chunks and their hosting nodes (set S). */
+    std::vector<ChunkIndex> helperChunks;
+    std::vector<NodeId> helperNodes;
+    /** Helpers a repair must read (k for RS, k/l for LRC). */
+    int required = 0;
+    /** All candidates must be used (LRC groups, Butterfly). */
+    bool fixedSet = false;
+    /** Relays may combine partial decodes. */
+    bool combinable = true;
+    /** Per-candidate read fraction (1.0 except Butterfly). */
+    std::vector<double> fractions;
+};
+
+/** Planner output for one admitted chunk. */
+struct PlannedChunk
+{
+    /** Plan with topology and fractions; coefficients are left as
+     * gf::kOne for the caller (the scheduler) to fill from the code. */
+    ChunkRepairPlan plan;
+    /** max R_i over the nodes this chunk touches, after admission. */
+    double estimatedTime = 0.0;
+    /** Expected completion (seconds from now) per plan source. */
+    std::vector<double> edgeExpectation;
+};
+
+/**
+ * Algorithm 1: pairs `downloads[i]` download tasks per source (plus
+ * `dest_downloads` at the destination) with one upload per source.
+ *
+ * @return parent[i] for each source (kToDestination or a source
+ *         index).
+ */
+std::vector<int>
+establishPaths(const std::vector<int> &downloads, int dest_downloads);
+
+/**
+ * Dispatches tasks and establishes the plan for one chunk, mutating
+ * `state`'s task counts (the admission side effect).
+ *
+ * @return nullopt when no destination candidate exists.
+ */
+std::optional<PlannedChunk>
+planChunk(PlannerState &state, const PlannerChunkInput &input);
+
+} // namespace repair
+} // namespace chameleon
+
+#endif // CHAMELEON_REPAIR_CHAMELEON_PLANNER_HH_

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The ChameleonEC coordinator: drives repair in phases of T_phase
+ * seconds (Section III-A), admitting chunks against the monitor's
+ * residual-bandwidth estimates until the estimated phase time is
+ * exhausted, establishing tunable plans (Section III-B via the
+ * planner), and running straggler-aware re-scheduling (Section
+ * III-C): repair re-tuning redirects a delayed relay download to the
+ * destination; transmission re-ordering postpones a straggling
+ * chunk's remaining tasks into a waiting queue and wakes them when
+ * their nodes fall idle or a backoff expires. A straggler is an edge
+ * past its expectation whose in-flight transmission made no progress
+ * since the previous check.
+ */
+
+#ifndef CHAMELEON_REPAIR_CHAMELEON_SCHEDULER_HH_
+#define CHAMELEON_REPAIR_CHAMELEON_SCHEDULER_HH_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "cluster/stripe_manager.hh"
+#include "repair/chameleon_planner.hh"
+#include "repair/executor.hh"
+#include "repair/monitor.hh"
+#include "util/rng.hh"
+
+namespace chameleon {
+namespace repair {
+
+/** Multi-node repair ordering policies (Section III-D). */
+enum class RepairPriority {
+    kSequential,      ///< failed chunks in discovery order
+    kMostFailedFirst, ///< stripes with more lost chunks first
+    kShortestFirst,   ///< least repair traffic first
+};
+
+/** Scheduler tuning; defaults follow the paper's Section V-A. */
+struct ChameleonConfig
+{
+    /** Repair phase length (paper default 20 s, swept in Exp#3). */
+    SimTime tPhase = 20.0;
+    /** Straggler-detection check period. */
+    SimTime checkPeriod = 2.0;
+    /** An edge is a straggler once it runs this many seconds past
+     * its expectation. */
+    SimTime stragglerSlack = 5.0;
+    /**
+     * Safety multiplier applied to planner expectations before
+     * straggler comparison: residual-bandwidth estimates are
+     * conservative about what a task really achieves once repair
+     * and elastic foreground traffic share links, so raw estimates
+     * would flag healthy tasks.
+     */
+    double expectationFactor = 2.0;
+    /**
+     * Maximum postponement of a re-ordered chunk before its tasks
+     * restart opportunistically (the paper restarts them within the
+     * phase when their nodes free up, or in the next phase).
+     */
+    SimTime reorderBackoff = 5.0;
+    /** Ablation switches (Exp#11: ETRP = both off, full = both on). */
+    bool enableReordering = true;
+    bool enableRetuning = true;
+    RepairPriority priority = RepairPriority::kSequential;
+};
+
+/** The coordinator; see file comment. */
+class ChameleonScheduler
+{
+  public:
+    ChameleonScheduler(cluster::StripeManager &stripes,
+                       RepairExecutor &executor,
+                       BandwidthMonitor &monitor, ChameleonConfig config,
+                       Rng rng);
+
+    /** Starts repairing `pending`; the first phase begins now. */
+    void start(std::vector<cluster::FailedChunk> pending);
+
+    bool finished() const;
+    SimTime startTime() const { return startTime_; }
+    SimTime finishTime() const { return finishTime_; }
+    int chunksRepaired() const { return chunksRepaired_; }
+    int phasesRun() const { return phasesRun_; }
+    int retunes() const { return retunes_; }
+    int reorders() const { return reorders_; }
+
+    /** Repaired bytes per second over the whole run. */
+    Rate throughput() const;
+
+  private:
+    void runPhase();
+    /** Admits pending chunks against the current phase state until
+     * the estimated phase budget is spent. */
+    void admitPending();
+    void progressCheck();
+    void onChunkDone(RepairId id, const ChunkRepairPlan &plan,
+                     SimTime when);
+    enum class Admission { kAdmitted, kNoBudget, kNoDestination };
+    Admission admitChunk(PlannerState &state,
+                         const cluster::FailedChunk &chunk,
+                         bool force);
+    std::vector<cluster::FailedChunk> orderedPending() const;
+
+    cluster::StripeManager &stripes_;
+    RepairExecutor &executor_;
+    BandwidthMonitor &monitor_;
+    ChameleonConfig config_;
+    Rng rng_;
+
+    std::deque<cluster::FailedChunk> pending_;
+    /** Dispatcher state of the current phase (counts + estimates). */
+    std::unique_ptr<PlannerState> phaseState_;
+    /** End time of the current phase. */
+    SimTime phaseEnd_ = 0.0;
+    std::set<RepairId> activeIds_;
+    /** Postponed chunks and the time their backoff expires. */
+    std::map<RepairId, SimTime> pausedIds_;
+    /** Per-edge delivered counts at the previous progress check,
+     * used to detect zero-progress (crawling) transmissions. */
+    std::map<RepairId, std::vector<int>> lastDelivered_;
+    std::map<StripeId, std::set<NodeId>> reserved_;
+
+    bool started_ = false;
+    SimTime startTime_ = 0.0;
+    SimTime finishTime_ = kTimeNever;
+    int totalChunks_ = 0;
+    int chunksRepaired_ = 0;
+    int phasesRun_ = 0;
+    int retunes_ = 0;
+    int reorders_ = 0;
+};
+
+} // namespace repair
+} // namespace chameleon
+
+#endif // CHAMELEON_REPAIR_CHAMELEON_SCHEDULER_HH_

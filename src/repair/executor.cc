@@ -1,0 +1,590 @@
+#include "repair/executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace repair {
+
+namespace {
+
+/** Sentinel marking an edge whose flow is being created right now,
+ * protecting against re-entrant double launches. */
+constexpr sim::FlowId kLaunchingFlow = -2;
+
+int
+sliceCount(Bytes total, Bytes slice)
+{
+    return static_cast<int>(std::ceil(total / slice));
+}
+
+} // namespace
+
+RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
+                               ExecutorConfig config)
+    : cluster_(cluster), config_(config)
+{
+    CHAMELEON_ASSERT(config_.chunkSize > 0 && config_.sliceSize > 0,
+                     "sizes must be positive");
+    CHAMELEON_ASSERT(config_.sliceSize <= config_.chunkSize,
+                     "slice larger than chunk");
+    slots_.resize(static_cast<std::size_t>(cluster_.numNodes()));
+}
+
+void
+RepairExecutor::wake(std::vector<std::pair<RepairId, int>> &waiters)
+{
+    if (waiters.empty())
+        return;
+    auto woken = std::move(waiters);
+    waiters.clear();
+    for (const auto &[id, edge_index] : woken) {
+        cluster_.simulator().scheduleAfter(
+            0.0, [this, id = id, edge_index = edge_index] {
+                auto it = active_.find(id);
+                if (it != active_.end())
+                    tryLaunchEdge(it->second, edge_index);
+            });
+    }
+}
+
+RepairId
+RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done)
+{
+    plan.validate();
+    CHAMELEON_ASSERT(plan.sources.size() <= 31,
+                     "plan too wide for contribution masks");
+
+    RepairId id = nextId_++;
+    ChunkExec chunk;
+    chunk.id = id;
+    chunk.plan = plan;
+    chunk.onDone = std::move(on_done);
+    chunk.chunkSlices = sliceCount(config_.chunkSize, config_.sliceSize);
+
+    const int nsrc = static_cast<int>(plan.sources.size());
+    for (int i = 0; i < nsrc; ++i) {
+        Edge edge;
+        edge.source = i;
+        edge.target = plan.sources[static_cast<std::size_t>(i)].parent;
+        edge.slicesTotal = sliceCount(
+            plan.sources[static_cast<std::size_t>(i)].fraction *
+                config_.chunkSize,
+            config_.sliceSize);
+        edge.payload.assign(
+            static_cast<std::size_t>(edge.slicesTotal), 0);
+        chunk.edges.push_back(std::move(edge));
+    }
+    if (plan.combinable) {
+        chunk.receivedMask.assign(
+            static_cast<std::size_t>(nsrc),
+            std::vector<Mask>(
+                static_cast<std::size_t>(chunk.chunkSlices), 0));
+        chunk.destMask.assign(
+            static_cast<std::size_t>(chunk.chunkSlices), 0);
+    }
+    active_.emplace(id, std::move(chunk));
+
+    // Defer initial launches through the event loop so launch() is
+    // safe to call from any context.
+    for (int i = 0; i < nsrc; ++i) {
+        cluster_.simulator().scheduleAfter(
+            0.0, [this, id, i] {
+                auto it = active_.find(id);
+                if (it != active_.end())
+                    tryLaunchEdge(it->second, i);
+            });
+    }
+    return id;
+}
+
+bool
+RepairExecutor::chunkActive(RepairId id) const
+{
+    return active_.count(id) > 0;
+}
+
+const RepairExecutor::ChunkExec &
+RepairExecutor::get(RepairId id) const
+{
+    auto it = active_.find(id);
+    CHAMELEON_ASSERT(it != active_.end(), "repair ", id, " not active");
+    return it->second;
+}
+
+RepairExecutor::ChunkExec &
+RepairExecutor::get(RepairId id)
+{
+    auto it = active_.find(id);
+    CHAMELEON_ASSERT(it != active_.end(), "repair ", id, " not active");
+    return it->second;
+}
+
+const ChunkRepairPlan &
+RepairExecutor::plan(RepairId id) const
+{
+    return get(id).plan;
+}
+
+std::vector<EdgeStatus>
+RepairExecutor::edgeStatus(RepairId id) const
+{
+    const ChunkExec &chunk = get(id);
+    std::vector<EdgeStatus> out;
+    for (const Edge &edge : chunk.edges) {
+        EdgeStatus st;
+        st.source = edge.source;
+        st.target = edge.target;
+        st.slicesTotal = edge.slicesTotal;
+        st.slicesDelivered = edge.delivered;
+        st.done = (edge.delivered >= edge.slicesTotal);
+        st.retuned = edge.retuned;
+        st.active = (edge.activeFlow != sim::kInvalidFlow);
+        st.expectation = edge.expectation;
+        out.push_back(st);
+    }
+    return out;
+}
+
+void
+RepairExecutor::setEdgeExpectation(RepairId id, int source,
+                                   SimTime when)
+{
+    ChunkExec &chunk = get(id);
+    CHAMELEON_ASSERT(source >= 0 &&
+                     source < static_cast<int>(chunk.edges.size()),
+                     "bad edge index ", source);
+    chunk.edges[static_cast<std::size_t>(source)].expectation = when;
+}
+
+void
+RepairExecutor::pauseChunk(RepairId id)
+{
+    ChunkExec &chunk = get(id);
+    chunk.paused = true;
+    // Postpone the chunk's transmissions: cancel in-flight slices
+    // (they restart from the slice boundary on resume) so the node
+    // slots they occupy — possibly crawling through a straggler —
+    // free up for other chunks immediately.
+    for (Edge &edge : chunk.edges) {
+        if (edge.activeFlow != sim::kInvalidFlow &&
+            edge.activeFlow != kLaunchingFlow) {
+            cluster_.network().cancelFlow(edge.activeFlow);
+            edge.activeFlow = sim::kInvalidFlow;
+        }
+        // Also release slots an idle edge is holding between slices
+        // (task continuity); launching edges release via
+        // beginSliceFlow's paused check.
+        if (edge.activeFlow == sim::kInvalidFlow)
+            releaseSlots(edge);
+    }
+}
+
+void
+RepairExecutor::resumeChunk(RepairId id)
+{
+    ChunkExec &chunk = get(id);
+    if (!chunk.paused)
+        return;
+    chunk.paused = false;
+    for (int i = 0; i < static_cast<int>(chunk.edges.size()); ++i) {
+        cluster_.simulator().scheduleAfter(
+            0.0, [this, id, i] {
+                auto it = active_.find(id);
+                if (it != active_.end())
+                    tryLaunchEdge(it->second, i);
+            });
+    }
+}
+
+bool
+RepairExecutor::chunkPaused(RepairId id) const
+{
+    return get(id).paused;
+}
+
+void
+RepairExecutor::retuneEdge(RepairId id, int source)
+{
+    ChunkExec &chunk = get(id);
+    CHAMELEON_ASSERT(chunk.plan.combinable,
+                     "cannot re-tune a non-combinable plan");
+    CHAMELEON_ASSERT(source >= 0 &&
+                     source < static_cast<int>(chunk.edges.size()),
+                     "bad edge index ", source);
+    Edge &edge = chunk.edges[static_cast<std::size_t>(source)];
+    if (edge.target == kToDestination)
+        return; // already uploads to the destination
+    if (edge.delivered >= edge.slicesTotal)
+        return; // finished; nothing to redirect
+
+    int old_target = edge.target;
+    // Abandon the in-flight slice (its bytes are wasted, as a real
+    // re-tuned transfer's would be) and redirect the remainder.
+    if (edge.activeFlow != sim::kInvalidFlow &&
+        edge.activeFlow != kLaunchingFlow) {
+        cluster_.network().cancelFlow(edge.activeFlow);
+        edge.activeFlow = sim::kInvalidFlow;
+        releaseSlots(edge);
+    }
+    edge.target = kToDestination;
+    edge.retuned = true;
+    // Keep the plan's bookkeeping in step so childrenOf() and later
+    // validation reflect reality.
+    chunk.plan.sources[static_cast<std::size_t>(source)].parent =
+        kToDestination;
+
+    // The old relay no longer waits for this child; it may have a
+    // blocked slice ready to go, and this edge restarts toward the
+    // destination.
+    cluster_.simulator().scheduleAfter(
+        0.0, [this, id, source, old_target] {
+            auto it = active_.find(id);
+            if (it == active_.end())
+                return;
+            tryLaunchEdge(it->second, source);
+            tryLaunchEdge(it->second, old_target);
+        });
+}
+
+double
+RepairExecutor::destinationProgress(RepairId id) const
+{
+    const ChunkExec &chunk = get(id);
+    if (chunk.plan.combinable) {
+        const Mask full =
+            (Mask(1) << chunk.plan.sources.size()) - 1;
+        int complete = 0;
+        for (Mask m : chunk.destMask)
+            complete += (m == full);
+        return static_cast<double>(complete) /
+               static_cast<double>(chunk.chunkSlices);
+    }
+    int delivered = 0, total = 0;
+    for (const Edge &edge : chunk.edges) {
+        delivered += edge.delivered;
+        total += edge.slicesTotal;
+    }
+    return total ? static_cast<double>(delivered) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+int
+RepairExecutor::activeEdgesTouching(NodeId node) const
+{
+    int count = 0;
+    for (const auto &[id, chunk] : active_) {
+        if (chunk.paused)
+            continue;
+        for (const Edge &edge : chunk.edges) {
+            if (edge.delivered >= edge.slicesTotal)
+                continue;
+            NodeId src = chunk.plan
+                             .sources[static_cast<std::size_t>(
+                                 edge.source)]
+                             .node;
+            NodeId tgt =
+                edge.target == kToDestination
+                    ? chunk.plan.destination
+                    : chunk.plan
+                          .sources[static_cast<std::size_t>(
+                              edge.target)]
+                          .node;
+            if (src == node || tgt == node)
+                ++count;
+        }
+    }
+    return count;
+}
+
+bool
+RepairExecutor::edgeDepsSatisfied(const ChunkExec &chunk,
+                                  const Edge &edge) const
+{
+    if (!chunk.plan.combinable)
+        return true; // direct transfers only
+    const int s = edge.nextSlice;
+    for (const Edge &child : chunk.edges) {
+        if (child.target == edge.source && child.delivered <= s)
+            return false;
+    }
+    return true;
+}
+
+void
+RepairExecutor::tryLaunchEdge(ChunkExec &chunk, int edge_index)
+{
+    Edge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+    if (chunk.paused || edge.activeFlow != sim::kInvalidFlow ||
+        edge.nextSlice >= edge.slicesTotal ||
+        !edgeDepsSatisfied(chunk, edge)) {
+        // Do not sit on slots while unable to send.
+        if (edge.activeFlow == sim::kInvalidFlow)
+            releaseSlots(edge);
+        return;
+    }
+
+    const int s = edge.nextSlice;
+    const auto &src =
+        chunk.plan.sources[static_cast<std::size_t>(edge.source)];
+    const bool to_dest = (edge.target == kToDestination);
+    const NodeId to = to_dest
+                          ? chunk.plan.destination
+                          : chunk.plan
+                                .sources[static_cast<std::size_t>(
+                                    edge.target)]
+                                .node;
+    // Per-node repair slots (bounded reconstruction streams).
+    // Blocked edges wait for a release. An edge that already holds
+    // its slots (continuing a task) skips acquisition.
+    if (edge.holdUp == kInvalidNode) {
+        auto &src_slots = slots_[static_cast<std::size_t>(src.node)];
+        auto &dst_slots = slots_[static_cast<std::size_t>(to)];
+        if (src_slots.upActive >= config_.nodeUploadSlots) {
+            src_slots.upWaiters.emplace_back(chunk.id, edge_index);
+            return;
+        }
+        if (dst_slots.downActive >= config_.nodeDownloadSlots) {
+            dst_slots.downWaiters.emplace_back(chunk.id, edge_index);
+            return;
+        }
+        src_slots.upActive += 1;
+        dst_slots.downActive += 1;
+        edge.holdUp = src.node;
+        edge.holdDown = to;
+    }
+
+    if (chunk.plan.combinable) {
+        edge.inFlightMask =
+            ownMask(edge.source) |
+            chunk.receivedMask[static_cast<std::size_t>(edge.source)]
+                              [static_cast<std::size_t>(s)];
+    }
+
+    const RepairId id = chunk.id;
+    edge.activeFlow = kLaunchingFlow;
+
+    // Relay forwarding overhead: a combined (partially decoded)
+    // slice costs CPU and turnaround time at the relay before it can
+    // leave, and the relay's upload stream is occupied meanwhile.
+    // Pure local slices (CR-style direct uploads) skip it.
+    const bool combined =
+        chunk.plan.combinable &&
+        edge.inFlightMask != ownMask(edge.source);
+    if (combined && config_.relayOverheadPerMiB > 0) {
+        const Bytes total = src.fraction * config_.chunkSize;
+        const Bytes slice_bytes = std::min(
+            config_.sliceSize,
+            total - static_cast<double>(s) * config_.sliceSize);
+        cluster_.simulator().scheduleAfter(
+            config_.relayOverheadPerMiB * slice_bytes / units::MiB,
+            [this, id, edge_index] {
+                auto it = active_.find(id);
+                if (it != active_.end())
+                    beginSliceFlow(it->second, edge_index);
+            });
+    } else {
+        beginSliceFlow(chunk, edge_index);
+    }
+}
+
+void
+RepairExecutor::beginSliceFlow(ChunkExec &chunk, int edge_index)
+{
+    Edge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+    CHAMELEON_ASSERT(edge.activeFlow == kLaunchingFlow,
+                     "beginSliceFlow on an edge with no pending slice");
+    if (chunk.paused) {
+        // Postponed while the relay was combining: back off fully.
+        edge.activeFlow = sim::kInvalidFlow;
+        releaseSlots(edge);
+        return;
+    }
+    const int s = edge.nextSlice;
+    const auto &src =
+        chunk.plan.sources[static_cast<std::size_t>(edge.source)];
+    // Recompute the target: a re-tune may have redirected the edge
+    // while the relay was combining.
+    const bool to_dest = (edge.target == kToDestination);
+    const NodeId to = to_dest
+                          ? chunk.plan.destination
+                          : chunk.plan
+                                .sources[static_cast<std::size_t>(
+                                    edge.target)]
+                                .node;
+    if (to != edge.holdDown) {
+        // Move the held download slot to the new target.
+        auto &old_slots =
+            slots_[static_cast<std::size_t>(edge.holdDown)];
+        CHAMELEON_ASSERT(old_slots.downActive > 0, "slot underflow");
+        old_slots.downActive -= 1;
+        wake(old_slots.downWaiters);
+        slots_[static_cast<std::size_t>(to)].downActive += 1;
+        edge.holdDown = to;
+    }
+
+    // The source reads its local chunk slice from disk for every
+    // upload; relays and the destination fold received contributions
+    // in memory. The destination persists each *reconstructed* slice
+    // exactly once via issueDestWrite(), so incoming transfers never
+    // pass through its disk.
+    auto path = cluster_.transferPath(src.node, to,
+                                      /*read_disk=*/true,
+                                      /*write_disk=*/false);
+    const Bytes total = src.fraction * config_.chunkSize;
+    const Bytes bytes =
+        std::min(config_.sliceSize,
+                 total - static_cast<double>(s) * config_.sliceSize);
+    CHAMELEON_ASSERT(bytes > 0, "empty slice");
+
+    const RepairId id = chunk.id;
+    sim::FlowId flow = cluster_.network().startFlow(
+        std::move(path), bytes, sim::FlowTag::kRepair,
+        [this, id, edge_index] { onSliceDelivered(id, edge_index); });
+    edge.activeFlow = flow;
+}
+
+void
+RepairExecutor::releaseSlots(Edge &edge)
+{
+    if (edge.holdUp != kInvalidNode) {
+        auto &s = slots_[static_cast<std::size_t>(edge.holdUp)];
+        CHAMELEON_ASSERT(s.upActive > 0, "slot underflow");
+        s.upActive -= 1;
+        wake(s.upWaiters);
+        edge.holdUp = kInvalidNode;
+    }
+    if (edge.holdDown != kInvalidNode) {
+        auto &s = slots_[static_cast<std::size_t>(edge.holdDown)];
+        CHAMELEON_ASSERT(s.downActive > 0, "slot underflow");
+        s.downActive -= 1;
+        wake(s.downWaiters);
+        edge.holdDown = kInvalidNode;
+    }
+}
+
+void
+RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
+{
+    auto it = active_.find(id);
+    CHAMELEON_ASSERT(it != active_.end(),
+                     "slice delivery for inactive repair ", id);
+    ChunkExec &chunk = it->second;
+    Edge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+
+    const int s = edge.nextSlice;
+    edge.activeFlow = sim::kInvalidFlow;
+    edge.delivered = s + 1;
+    edge.nextSlice = s + 1;
+    // Task-queue semantics: the edge keeps its slots while it has
+    // immediately sendable slices (a node works through an upload
+    // task to completion, as the paper's per-node task model and the
+    // dispatcher's serial-time estimates assume); it yields them
+    // when done, paused, or blocked on a dependency.
+    const bool continues = edge.nextSlice < edge.slicesTotal &&
+                           !chunk.paused &&
+                           edgeDepsSatisfied(chunk, edge);
+    if (!continues)
+        releaseSlots(edge);
+
+    if (chunk.plan.combinable) {
+        const Mask mask = edge.inFlightMask;
+        edge.payload[static_cast<std::size_t>(s)] = mask;
+        if (edge.target == kToDestination) {
+            Mask &dm = chunk.destMask[static_cast<std::size_t>(s)];
+            CHAMELEON_ASSERT((dm & mask) == 0,
+                             "slice ", s, " of repair ", id,
+                             " delivered a duplicate contribution");
+            dm |= mask;
+            const Mask full =
+                (Mask(1) << chunk.plan.sources.size()) - 1;
+            if (dm == full) {
+                // Slice fully reconstructed: persist it.
+                Bytes bytes = std::min(
+                    config_.sliceSize,
+                    config_.chunkSize -
+                        static_cast<double>(s) * config_.sliceSize);
+                issueDestWrite(chunk, bytes);
+            }
+        } else {
+            chunk.receivedMask[static_cast<std::size_t>(edge.target)]
+                              [static_cast<std::size_t>(s)] |= mask;
+        }
+    }
+
+    // Defer follow-up launches so this callback stays re-entrant
+    // safe with respect to the flow network's dispatch loop.
+    const int target = edge.target;
+    cluster_.simulator().scheduleAfter(0.0, [this, id, edge_index,
+                                             target] {
+        auto lit = active_.find(id);
+        if (lit == active_.end())
+            return;
+        tryLaunchEdge(lit->second, edge_index);
+        if (target != kToDestination)
+            tryLaunchEdge(lit->second, target);
+    });
+
+    checkChunkDone(id);
+}
+
+void
+RepairExecutor::issueDestWrite(ChunkExec &chunk, Bytes bytes)
+{
+    chunk.writesIssued += 1;
+    const RepairId id = chunk.id;
+    cluster_.network().startFlow(
+        {cluster_.disk(chunk.plan.destination)}, bytes,
+        sim::FlowTag::kRepair, [this, id] {
+            auto it = active_.find(id);
+            CHAMELEON_ASSERT(it != active_.end(),
+                             "write completion for inactive repair");
+            it->second.writesDone += 1;
+            checkChunkDone(id);
+        });
+}
+
+void
+RepairExecutor::checkChunkDone(RepairId id)
+{
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    ChunkExec &chunk = it->second;
+    for (const Edge &edge : chunk.edges) {
+        if (edge.delivered < edge.slicesTotal)
+            return;
+    }
+    // Non-combinable codes reconstruct from sub-chunks after all
+    // transfers arrive, then persist the whole chunk.
+    if (!chunk.plan.combinable && chunk.writesIssued == 0)
+        issueDestWrite(chunk, config_.chunkSize);
+    if (chunk.writesDone < chunk.writesIssued ||
+        chunk.writesIssued == 0)
+        return;
+    if (chunk.plan.combinable) {
+        // Every slice must have exactly one contribution from every
+        // source — the invariant that re-tuning must preserve.
+        const Mask full = (Mask(1) << chunk.plan.sources.size()) - 1;
+        for (int s = 0; s < chunk.chunkSlices; ++s) {
+            CHAMELEON_ASSERT(
+                chunk.destMask[static_cast<std::size_t>(s)] == full,
+                "slice ", s, " of repair ", id,
+                " is missing contributions: mask ",
+                chunk.destMask[static_cast<std::size_t>(s)], " != ",
+                full);
+        }
+    }
+    ++completedChunks_;
+    auto plan_copy = chunk.plan;
+    auto done = std::move(chunk.onDone);
+    active_.erase(it);
+    if (done)
+        done(plan_copy, cluster_.simulator().now());
+}
+
+} // namespace repair
+} // namespace chameleon

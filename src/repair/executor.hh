@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Executes repair plans on the simulated cluster at slice
+ * granularity.
+ *
+ * Every source's upload is an "edge" that ships the chunk slice by
+ * slice (the paper slices chunks for all algorithms so storage and
+ * network I/O pipeline). Slices on one edge are serialized; slices of
+ * different edges overlap, which is what gives CR its parallel star,
+ * PPR its staged tree, and ECPipe its O(1) pipeline. A relay may send
+ * slice s only after every current child delivered slice s (it must
+ * fold their contributions into its partially decoded slice).
+ *
+ * Each node serves a bounded number of concurrent repair upload
+ * slices (recovery read streams, tightly limited as in HDFS) and
+ * download slices (reader streams at a destination, generous). This
+ * mirrors the paper's task model — a node works through its assigned
+ * upload tasks roughly in order, which is what the dispatcher's
+ * R_i = T * |C| / B estimates assume — while letting a destination
+ * ingest from its k sources in parallel.
+ *
+ * The executor also implements the two straggler-aware re-scheduling
+ * primitives of Section III-C:
+ *  - pauseChunk/resumeChunk (transmission re-ordering): stop
+ *    launching new slices of a chunk; in-flight slices drain.
+ *  - retuneEdge (repair re-tuning): redirect a source's remaining
+ *    slices from its relay parent to the destination; the relay stops
+ *    waiting for it, and correctness is preserved by linearity.
+ *
+ * Correctness is checked continuously: each payload carries the set
+ * of helper contributions it folds in, and the destination asserts
+ * that every slice receives each helper's contribution exactly once.
+ */
+
+#ifndef CHAMELEON_REPAIR_EXECUTOR_HH_
+#define CHAMELEON_REPAIR_EXECUTOR_HH_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "repair/plan.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace repair {
+
+/** Handle for a launched chunk repair. */
+using RepairId = int64_t;
+
+inline constexpr RepairId kInvalidRepair = -1;
+
+/** Chunk/slice sizing for plan execution. */
+struct ExecutorConfig
+{
+    /** Chunk size (paper default: 64 MB as in HDFS). */
+    Bytes chunkSize = 64 * units::MiB;
+    /** Slice size (paper default: 1 MB). */
+    Bytes sliceSize = 1 * units::MiB;
+    /**
+     * Concurrent repair upload slices a node serves. Models the
+     * bounded recovery read streams of real systems (HDFS throttles
+     * reconstruction streams per DataNode); 1 reproduces the strict
+     * sequential task queue of the paper's timeslot model.
+     */
+    int nodeUploadSlots = 2;
+    /**
+     * Concurrent repair download slices a node accepts. Destinations
+     * ingest from many sources in parallel (an HDFS ECWorker opens k
+     * reader streams), so this is generous by default.
+     */
+    int nodeDownloadSlots = 16;
+    /**
+     * Seconds per MiB a relay needs before forwarding a received
+     * slice: GF combination on CPUs shared with the co-located
+     * foreground service, plus per-hop receive/send turnaround.
+     * This is the cost of transmission dependency that makes
+     * chained/tree plans "susceptible to network fluctuations" in
+     * the paper's Section II-D analysis; direct (CR-style) transfers
+     * never pay it. Expressed per MiB so the model is independent of
+     * the configured slice size.
+     */
+    SimTime relayOverheadPerMiB = 0.010;
+};
+
+/** Observable state of one edge, consumed by the SAR scheduler. */
+struct EdgeStatus
+{
+    /** Index of the uploading source within the plan. */
+    int source = 0;
+    /** Current target: source index or kToDestination. */
+    int target = kToDestination;
+    int slicesTotal = 0;
+    int slicesDelivered = 0;
+    bool done = false;
+    bool retuned = false;
+    /** True while a slice of this edge is in flight. */
+    bool active = false;
+    /** Scheduler-set expected completion time (kTimeNever if unset). */
+    SimTime expectation = kTimeNever;
+};
+
+/** Slice-level plan executor; see file comment. */
+class RepairExecutor
+{
+  public:
+    /** Invoked once when a chunk's repair completes. */
+    using ChunkDone =
+        std::function<void(const ChunkRepairPlan &, SimTime)>;
+
+    RepairExecutor(cluster::Cluster &cluster, ExecutorConfig config);
+
+    const ExecutorConfig &config() const { return config_; }
+
+    cluster::Cluster &cluster() { return cluster_; }
+
+    /** Starts executing `plan`; returns a handle for control calls. */
+    RepairId launch(const ChunkRepairPlan &plan, ChunkDone on_done);
+
+    bool chunkActive(RepairId id) const;
+
+    /** The plan being executed (valid while active). */
+    const ChunkRepairPlan &plan(RepairId id) const;
+
+    /** Per-edge progress snapshot (valid while active). */
+    std::vector<EdgeStatus> edgeStatus(RepairId id) const;
+
+    /** Sets the expectation used for straggler detection. */
+    void setEdgeExpectation(RepairId id, int source, SimTime when);
+
+    /** Transmission re-ordering: stop launching new slices. */
+    void pauseChunk(RepairId id);
+
+    /** Resumes a paused chunk. */
+    void resumeChunk(RepairId id);
+
+    bool chunkPaused(RepairId id) const;
+
+    /**
+     * Repair re-tuning: redirect source `source`'s remaining slices
+     * to the destination. Only valid for edges currently targeting a
+     * relay source; no-op if the edge already finished.
+     */
+    void retuneEdge(RepairId id, int source);
+
+    /** Fraction of the chunk's slices delivered to the destination. */
+    double destinationProgress(RepairId id) const;
+
+    /**
+     * Number of unfinished, unpaused edges that touch `node` as the
+     * uploader or the receive target (used by the re-ordering wakeup
+     * check: a postponed chunk resumes once its nodes are otherwise
+     * idle).
+     */
+    int activeEdgesTouching(NodeId node) const;
+
+    /** Total chunks completed since construction. */
+    int64_t completedChunks() const { return completedChunks_; }
+
+    /** Total repaired bytes (chunkSize per completed chunk). */
+    Bytes repairedBytes() const
+    {
+        return static_cast<double>(completedChunks_) *
+               config_.chunkSize;
+    }
+
+  private:
+    /** Helper-contribution bitmask; plans have at most 31 sources. */
+    using Mask = uint32_t;
+
+    struct Edge
+    {
+        int source = 0;
+        int target = kToDestination;
+        int slicesTotal = 0;
+        int nextSlice = 0;     // next slice index to launch
+        int delivered = 0;     // slices fully delivered so far
+        bool retuned = false;
+        sim::FlowId activeFlow = sim::kInvalidFlow;
+        /** Nodes whose up/down slots the in-flight slice occupies. */
+        NodeId holdUp = kInvalidNode;
+        NodeId holdDown = kInvalidNode;
+        SimTime expectation = kTimeNever;
+        /** Payload mask of the slice currently in flight. */
+        Mask inFlightMask = 0;
+        /** Payload masks of delivered slices (for validation). */
+        std::vector<Mask> payload;
+    };
+
+    struct ChunkExec
+    {
+        RepairId id = kInvalidRepair;
+        ChunkRepairPlan plan;
+        std::vector<Edge> edges; // edges[i] is source i's upload
+        /** receivedMask[i][s]: contributions node i holds for slice
+         * s (combinable plans only). */
+        std::vector<std::vector<Mask>> receivedMask;
+        /** destMask[s]: contributions the destination holds. */
+        std::vector<Mask> destMask;
+        int chunkSlices = 0; // slices of a full chunk
+        /** Reconstructed slices persisted to the destination disk.
+         * The destination combines contributions in memory and
+         * writes each repaired slice exactly once. */
+        int writesIssued = 0;
+        int writesDone = 0;
+        bool paused = false;
+        ChunkDone onDone;
+    };
+
+    void tryLaunchEdge(ChunkExec &chunk, int edge_index);
+    /** Starts the network flow for an edge's pending slice (after
+     * slot acquisition and any relay overhead). */
+    void beginSliceFlow(ChunkExec &chunk, int edge_index);
+    void onSliceDelivered(RepairId id, int edge_index);
+    /** Persists a reconstructed slice at the destination. */
+    void issueDestWrite(ChunkExec &chunk, Bytes bytes);
+    bool edgeDepsSatisfied(const ChunkExec &chunk,
+                           const Edge &edge) const;
+    void checkChunkDone(RepairId id);
+    Mask ownMask(int source) const { return Mask(1) << source; }
+
+    const ChunkExec &get(RepairId id) const;
+    ChunkExec &get(RepairId id);
+
+    /** Per-node repair slice slots; see file comment. */
+    struct NodeSlots
+    {
+        int upActive = 0;
+        int downActive = 0;
+        /** Edges blocked on this node's slots, woken on release. */
+        std::vector<std::pair<RepairId, int>> upWaiters;
+        std::vector<std::pair<RepairId, int>> downWaiters;
+    };
+
+    void wake(std::vector<std::pair<RepairId, int>> &waiters);
+    void releaseSlots(Edge &edge);
+
+    cluster::Cluster &cluster_;
+    ExecutorConfig config_;
+    std::unordered_map<RepairId, ChunkExec> active_;
+    std::vector<NodeSlots> slots_;
+    RepairId nextId_ = 0;
+    int64_t completedChunks_ = 0;
+};
+
+} // namespace repair
+} // namespace chameleon
+
+#endif // CHAMELEON_REPAIR_EXECUTOR_HH_

@@ -1,0 +1,215 @@
+#include "repair/plan.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace repair {
+
+double
+ChunkRepairPlan::trafficChunks() const
+{
+    // Each source's upload carries one chunk's worth of data (a full
+    // chunk or a same-sized partial decode) scaled by its fraction;
+    // relays do not add traffic beyond their own upload.
+    double total = 0.0;
+    for (const auto &src : sources)
+        total += src.fraction;
+    return total;
+}
+
+std::vector<int>
+ChunkRepairPlan::childrenOf(int idx) const
+{
+    std::vector<int> out;
+    for (int i = 0; i < static_cast<int>(sources.size()); ++i)
+        if (sources[static_cast<std::size_t>(i)].parent == idx)
+            out.push_back(i);
+    return out;
+}
+
+int
+ChunkRepairPlan::depth() const
+{
+    int max_depth = 0;
+    for (int i = 0; i < static_cast<int>(sources.size()); ++i) {
+        int d = 1;
+        int cur = sources[static_cast<std::size_t>(i)].parent;
+        while (cur != kToDestination) {
+            ++d;
+            cur = sources[static_cast<std::size_t>(cur)].parent;
+        }
+        max_depth = std::max(max_depth, d);
+    }
+    return max_depth;
+}
+
+void
+ChunkRepairPlan::validate() const
+{
+    CHAMELEON_ASSERT(destination != kInvalidNode, "plan lacks destination");
+    CHAMELEON_ASSERT(!sources.empty(), "plan has no sources");
+    std::set<NodeId> nodes;
+    const int n = static_cast<int>(sources.size());
+    for (int i = 0; i < n; ++i) {
+        const auto &src = sources[static_cast<std::size_t>(i)];
+        CHAMELEON_ASSERT(src.node != kInvalidNode, "source lacks node");
+        CHAMELEON_ASSERT(src.node != destination,
+                         "destination node also a source");
+        CHAMELEON_ASSERT(nodes.insert(src.node).second,
+                         "node ", src.node, " appears twice in plan");
+        CHAMELEON_ASSERT(src.fraction > 0 && src.fraction <= 1.0,
+                         "bad fraction ", src.fraction);
+        CHAMELEON_ASSERT(src.parent == kToDestination ||
+                         (src.parent >= 0 && src.parent < n &&
+                          src.parent != i),
+                         "bad parent index ", src.parent);
+        if (!combinable) {
+            CHAMELEON_ASSERT(src.parent == kToDestination,
+                             "non-combinable plan must be a star");
+        }
+    }
+    // Cycle check: walk each source to the root.
+    for (int i = 0; i < n; ++i) {
+        int cur = i;
+        int steps = 0;
+        while (sources[static_cast<std::size_t>(cur)].parent !=
+               kToDestination) {
+            cur = sources[static_cast<std::size_t>(cur)].parent;
+            CHAMELEON_ASSERT(++steps <= n, "cycle in repair plan");
+        }
+    }
+}
+
+ChunkRepairPlan
+buildStarPlan(StripeId stripe, ChunkIndex failed, NodeId destination,
+              std::vector<PlanSource> sources, bool combinable)
+{
+    ChunkRepairPlan plan;
+    plan.stripe = stripe;
+    plan.failedChunk = failed;
+    plan.destination = destination;
+    plan.sources = std::move(sources);
+    plan.combinable = combinable;
+    for (auto &src : plan.sources)
+        src.parent = kToDestination;
+    plan.validate();
+    return plan;
+}
+
+ChunkRepairPlan
+buildPprPlan(StripeId stripe, ChunkIndex failed, NodeId destination,
+             std::vector<PlanSource> sources)
+{
+    ChunkRepairPlan plan;
+    plan.stripe = stripe;
+    plan.failedChunk = failed;
+    plan.destination = destination;
+    plan.sources = std::move(sources);
+    plan.combinable = true;
+
+    // Binomial pairing rounds: in each round the remaining
+    // aggregators pair (a, b) with a -> b; b stays active. The last
+    // active source uploads to the destination (Figure 3(b)).
+    std::vector<int> active;
+    for (int i = 0; i < static_cast<int>(plan.sources.size()); ++i)
+        active.push_back(i);
+    while (active.size() > 1) {
+        std::vector<int> next;
+        for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
+            plan.sources[static_cast<std::size_t>(active[i])].parent =
+                active[i + 1];
+            next.push_back(active[i + 1]);
+        }
+        if (active.size() % 2 == 1)
+            next.push_back(active.back());
+        active = std::move(next);
+    }
+    plan.sources[static_cast<std::size_t>(active[0])].parent =
+        kToDestination;
+    plan.validate();
+    return plan;
+}
+
+ChunkRepairPlan
+buildChainPlan(StripeId stripe, ChunkIndex failed, NodeId destination,
+               std::vector<PlanSource> sources)
+{
+    ChunkRepairPlan plan;
+    plan.stripe = stripe;
+    plan.failedChunk = failed;
+    plan.destination = destination;
+    plan.sources = std::move(sources);
+    plan.combinable = true;
+    const int n = static_cast<int>(plan.sources.size());
+    for (int i = 0; i < n; ++i) {
+        plan.sources[static_cast<std::size_t>(i)].parent =
+            (i + 1 < n) ? i + 1 : kToDestination;
+    }
+    plan.validate();
+    return plan;
+}
+
+ec::Buffer
+evaluatePlan(const ChunkRepairPlan &plan,
+             const std::vector<ec::Buffer> &stripe_data)
+{
+    CHAMELEON_ASSERT(plan.combinable,
+                     "evaluatePlan handles combinable plans only");
+    plan.validate();
+    const std::size_t size =
+        stripe_data[static_cast<std::size_t>(
+            plan.sources[0].chunk)].size();
+
+    // contribution(i) = coeff_i * chunk_i + sum contributions of
+    // children — exactly what a relay computes before uploading.
+    std::vector<ec::Buffer> contribution(plan.sources.size());
+    // Process sources in topological order (leaves first): repeat
+    // passes until all are computed (k is small).
+    std::vector<bool> ready(plan.sources.size(), false);
+    std::size_t computed = 0;
+    while (computed < plan.sources.size()) {
+        bool progress = false;
+        for (std::size_t i = 0; i < plan.sources.size(); ++i) {
+            if (ready[i])
+                continue;
+            auto children = plan.childrenOf(static_cast<int>(i));
+            bool deps_ready = std::all_of(
+                children.begin(), children.end(),
+                [&](int c) { return ready[static_cast<std::size_t>(c)]; });
+            if (!deps_ready)
+                continue;
+            ec::Buffer buf(size, 0);
+            const auto &src = plan.sources[i];
+            gf::mulAddRegion(
+                std::span<uint8_t>(buf),
+                std::span<const uint8_t>(
+                    stripe_data[static_cast<std::size_t>(src.chunk)]),
+                src.coeff);
+            for (int c : children) {
+                gf::addRegion(std::span<uint8_t>(buf),
+                              std::span<const uint8_t>(
+                                  contribution[static_cast<std::size_t>(
+                                      c)]));
+            }
+            contribution[i] = std::move(buf);
+            ready[i] = true;
+            ++computed;
+            progress = true;
+        }
+        CHAMELEON_ASSERT(progress, "plan evaluation stuck (cycle?)");
+    }
+
+    ec::Buffer result(size, 0);
+    for (int i : plan.childrenOf(kToDestination)) {
+        gf::addRegion(std::span<uint8_t>(result),
+                      std::span<const uint8_t>(
+                          contribution[static_cast<std::size_t>(i)]));
+    }
+    return result;
+}
+
+} // namespace repair
+} // namespace chameleon

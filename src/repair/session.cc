@@ -1,0 +1,93 @@
+#include "repair/session.hh"
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace repair {
+
+RepairSession::RepairSession(cluster::StripeManager &stripes,
+                             RepairExecutor &executor, PlanFn plan_fn,
+                             SessionConfig config)
+    : stripes_(stripes), executor_(executor),
+      planFn_(std::move(plan_fn)), config_(config)
+{
+    CHAMELEON_ASSERT(config_.maxInFlight >= 1,
+                     "window must be at least 1");
+    CHAMELEON_ASSERT(planFn_ != nullptr, "null plan factory");
+}
+
+void
+RepairSession::start(std::vector<cluster::FailedChunk> pending)
+{
+    CHAMELEON_ASSERT(!started_, "session already started");
+    started_ = true;
+    pending_.assign(pending.begin(), pending.end());
+    totalChunks_ = static_cast<int>(pending_.size());
+    startTime_ = executor_.cluster().simulator().now();
+    if (pending_.empty()) {
+        finishTime_ = startTime_;
+        return;
+    }
+    pump();
+}
+
+bool
+RepairSession::finished() const
+{
+    return started_ && chunksRepaired_ == totalChunks_;
+}
+
+Rate
+RepairSession::throughput() const
+{
+    CHAMELEON_ASSERT(finished(), "session not finished");
+    if (totalChunks_ == 0)
+        return 0.0;
+    SimTime span = finishTime_ - startTime_;
+    CHAMELEON_ASSERT(span > 0, "zero-length session");
+    return static_cast<double>(totalChunks_) *
+           executor_.config().chunkSize / span;
+}
+
+void
+RepairSession::pump()
+{
+    while (inFlight_ < config_.maxInFlight && !pending_.empty()) {
+        cluster::FailedChunk fc = pending_.front();
+        pending_.pop_front();
+
+        auto &res = reserved_[fc.stripe];
+        std::vector<NodeId> reserved(res.begin(), res.end());
+        ChunkRepairPlan plan = planFn_(fc, reserved);
+        res.insert(plan.destination);
+
+        ++inFlight_;
+        executor_.launch(plan,
+                         [this](const ChunkRepairPlan &p, SimTime t) {
+                             onChunkDone(p, t);
+                         });
+    }
+}
+
+void
+RepairSession::onChunkDone(const ChunkRepairPlan &plan, SimTime when)
+{
+    --inFlight_;
+    ++chunksRepaired_;
+    stripes_.markRepaired(plan.stripe, plan.failedChunk);
+    stripes_.relocate(plan.stripe, plan.failedChunk, plan.destination);
+    auto it = reserved_.find(plan.stripe);
+    if (it != reserved_.end()) {
+        it->second.erase(plan.destination);
+        if (it->second.empty())
+            reserved_.erase(it);
+    }
+    if (chunksRepaired_ == totalChunks_) {
+        finishTime_ = when;
+        return;
+    }
+    pump();
+}
+
+} // namespace repair
+} // namespace chameleon

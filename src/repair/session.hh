@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Full-node repair session for the baseline algorithms: keeps a
+ * bounded window of chunk repairs in flight (as HDFS reconstruction
+ * work queues do), builds each chunk's plan through a pluggable plan
+ * factory (random baseline or RepairBoost selection), updates stripe
+ * metadata as chunks complete, and reports repair throughput.
+ */
+
+#ifndef CHAMELEON_REPAIR_SESSION_HH_
+#define CHAMELEON_REPAIR_SESSION_HH_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "cluster/stripe_manager.hh"
+#include "repair/executor.hh"
+
+namespace chameleon {
+namespace repair {
+
+/** Baseline session tuning. */
+struct SessionConfig
+{
+    /**
+     * Concurrent chunk repairs. Full-node repair in production
+     * systems keeps the cluster saturated with reconstruction work
+     * (HDFS runs multiple streams per DataNode); the executor's
+     * per-node task slots then bound the actual parallelism, so a
+     * generous window here models "repair as fast as the nodes
+     * allow".
+     */
+    int maxInFlight = 64;
+};
+
+/** Windowed baseline repair runner; see file comment. */
+class RepairSession
+{
+  public:
+    /**
+     * Produces a plan for one failed chunk.
+     * @param reserved destinations concurrent repairs of the same
+     *                 stripe already claimed.
+     */
+    using PlanFn = std::function<ChunkRepairPlan(
+        const cluster::FailedChunk &,
+        const std::vector<NodeId> &reserved)>;
+
+    RepairSession(cluster::StripeManager &stripes,
+                  RepairExecutor &executor, PlanFn plan_fn,
+                  SessionConfig config = {});
+
+    /** Begins repairing `pending` (FIFO order). */
+    void start(std::vector<cluster::FailedChunk> pending);
+
+    bool finished() const;
+
+    SimTime startTime() const { return startTime_; }
+    SimTime finishTime() const { return finishTime_; }
+
+    int chunksRepaired() const { return chunksRepaired_; }
+
+    /** Repaired bytes per second over the whole session. */
+    Rate throughput() const;
+
+  private:
+    void pump();
+    void onChunkDone(const ChunkRepairPlan &plan, SimTime when);
+
+    cluster::StripeManager &stripes_;
+    RepairExecutor &executor_;
+    PlanFn planFn_;
+    SessionConfig config_;
+    std::deque<cluster::FailedChunk> pending_;
+    int inFlight_ = 0;
+    int chunksRepaired_ = 0;
+    int totalChunks_ = 0;
+    SimTime startTime_ = 0.0;
+    SimTime finishTime_ = kTimeNever;
+    /** Destinations claimed by in-flight repairs, per stripe. */
+    std::map<StripeId, std::set<NodeId>> reserved_;
+    bool started_ = false;
+};
+
+} // namespace repair
+} // namespace chameleon
+
+#endif // CHAMELEON_REPAIR_SESSION_HH_

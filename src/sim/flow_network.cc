@@ -1,0 +1,339 @@
+#include "sim/flow_network.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace sim {
+
+namespace {
+
+/** Bytes below which a flow counts as finished (guards FP error). */
+constexpr Bytes kByteEps = 1e-3;
+
+} // namespace
+
+FlowNetwork::FlowNetwork(Simulator &sim, SimTime usage_window)
+    : sim_(sim), usageWindow_(usage_window)
+{
+}
+
+ResourceId
+FlowNetwork::addResource(std::string name, Rate capacity)
+{
+    CHAMELEON_ASSERT(capacity >= 0, "negative capacity");
+    resources_.emplace_back(std::move(name), capacity, usageWindow_);
+    return static_cast<ResourceId>(resources_.size() - 1);
+}
+
+const std::string &
+FlowNetwork::resourceName(ResourceId id) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    return resources_[static_cast<std::size_t>(id)].name;
+}
+
+Rate
+FlowNetwork::capacity(ResourceId id) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    return resources_[static_cast<std::size_t>(id)].capacity;
+}
+
+void
+FlowNetwork::setCapacity(ResourceId id, Rate capacity)
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    CHAMELEON_ASSERT(capacity >= 0, "negative capacity");
+    advanceProgress();
+    resources_[static_cast<std::size_t>(id)].capacity = capacity;
+    resolve();
+}
+
+FlowId
+FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
+                       FlowTag tag, std::function<void()> on_complete)
+{
+    CHAMELEON_ASSERT(size >= 0, "negative flow size");
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        CHAMELEON_ASSERT(path[i] >= 0 &&
+                         static_cast<std::size_t>(path[i]) <
+                             resources_.size(),
+                         "bad resource in path");
+        for (std::size_t j = i + 1; j < path.size(); ++j)
+            CHAMELEON_ASSERT(path[i] != path[j],
+                             "duplicate resource in flow path");
+    }
+
+    advanceProgress();
+    FlowId id = nextFlowId_++;
+    if (size <= kByteEps || path.empty()) {
+        // Degenerate flow: completes immediately.
+        if (on_complete)
+            pendingCallbacks_.push_back(std::move(on_complete));
+        resolve();
+        return id;
+    }
+
+    Flow flow;
+    flow.id = id;
+    flow.path = std::move(path);
+    flow.remaining = size;
+    flow.tag = tag;
+    flow.onComplete = std::move(on_complete);
+    for (ResourceId r : flow.path)
+        resources_[static_cast<std::size_t>(r)].active.push_back(id);
+    flows_.emplace(id, std::move(flow));
+    resolve();
+    return id;
+}
+
+Bytes
+FlowNetwork::cancelFlow(FlowId id)
+{
+    advanceProgress();
+    auto it = flows_.find(id);
+    if (it == flows_.end()) {
+        resolve();
+        return 0.0;
+    }
+    Bytes remaining = it->second.remaining;
+    detachFlow(it->second);
+    flows_.erase(it);
+    resolve();
+    return remaining;
+}
+
+bool
+FlowNetwork::flowActive(FlowId id) const
+{
+    return flows_.count(id) > 0;
+}
+
+Bytes
+FlowNetwork::flowRemaining(FlowId id) const
+{
+    auto it = flows_.find(id);
+    CHAMELEON_ASSERT(it != flows_.end(), "flow ", id, " not active");
+    // Note: progress since the last event is not yet integrated; the
+    // caller sees the state as of the last resolve, which is exact at
+    // event boundaries (where all scheduling decisions happen).
+    return it->second.remaining;
+}
+
+Rate
+FlowNetwork::flowRate(FlowId id) const
+{
+    auto it = flows_.find(id);
+    CHAMELEON_ASSERT(it != flows_.end(), "flow ", id, " not active");
+    return it->second.rate;
+}
+
+void
+FlowNetwork::sync()
+{
+    advanceProgress();
+    // Progress integration may have completed flows exactly at this
+    // instant; resolve to fire their callbacks and refresh rates.
+    if (!pendingCallbacks_.empty())
+        resolve();
+    else
+        scheduleNextCompletion();
+}
+
+Bytes
+FlowNetwork::taggedBytes(ResourceId id, FlowTag tag) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    return resources_[static_cast<std::size_t>(id)]
+        .taggedBytes[static_cast<int>(tag)];
+}
+
+const WindowedUsage &
+FlowNetwork::usage(ResourceId id, FlowTag tag) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    return resources_[static_cast<std::size_t>(id)]
+        .usage[static_cast<int>(tag)];
+}
+
+Rate
+FlowNetwork::currentTagRate(ResourceId id, FlowTag tag) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    Rate acc = 0.0;
+    for (FlowId f : resources_[static_cast<std::size_t>(id)].active) {
+        auto it = flows_.find(f);
+        CHAMELEON_ASSERT(it != flows_.end(), "stale flow on resource");
+        if (it->second.tag == tag)
+            acc += it->second.rate;
+    }
+    return acc;
+}
+
+std::size_t
+FlowNetwork::activeFlowsOn(ResourceId id) const
+{
+    CHAMELEON_ASSERT(id >= 0 &&
+                     static_cast<std::size_t>(id) < resources_.size(),
+                     "bad resource id ", id);
+    return resources_[static_cast<std::size_t>(id)].active.size();
+}
+
+void
+FlowNetwork::advanceProgress()
+{
+    const SimTime now = sim_.now();
+    CHAMELEON_ASSERT(now >= lastUpdate_, "time went backwards");
+    const SimTime dt = now - lastUpdate_;
+    if (dt > 0) {
+        std::vector<FlowId> finished;
+        for (auto &[id, flow] : flows_) {
+            if (flow.rate <= 0)
+                continue;
+            Bytes delivered = std::min(flow.rate * dt, flow.remaining);
+            SimTime end = lastUpdate_ + delivered / flow.rate;
+            flow.remaining -= delivered;
+            for (ResourceId r : flow.path) {
+                auto &res = resources_[static_cast<std::size_t>(r)];
+                res.taggedBytes[static_cast<int>(flow.tag)] += delivered;
+                res.usage[static_cast<int>(flow.tag)].addTransfer(
+                    lastUpdate_, end, delivered);
+            }
+            if (flow.remaining <= kByteEps)
+                finished.push_back(id);
+        }
+        for (FlowId id : finished) {
+            auto it = flows_.find(id);
+            if (it->second.onComplete)
+                pendingCallbacks_.push_back(
+                    std::move(it->second.onComplete));
+            detachFlow(it->second);
+            flows_.erase(it);
+        }
+    }
+    lastUpdate_ = now;
+}
+
+void
+FlowNetwork::detachFlow(const Flow &flow)
+{
+    for (ResourceId r : flow.path) {
+        auto &vec = resources_[static_cast<std::size_t>(r)].active;
+        auto it = std::find(vec.begin(), vec.end(), flow.id);
+        CHAMELEON_ASSERT(it != vec.end(), "flow missing from resource");
+        *it = vec.back();
+        vec.pop_back();
+    }
+}
+
+void
+FlowNetwork::computeRates()
+{
+    // Progressive filling (Bertsekas & Gallager): repeatedly saturate
+    // the resource with the smallest fair share among its unfrozen
+    // flows; those flows are frozen at that share.
+    const std::size_t nres = resources_.size();
+    std::vector<Rate> residual(nres);
+    std::vector<std::size_t> unfrozen(nres, 0);
+    for (std::size_t r = 0; r < nres; ++r) {
+        residual[r] = resources_[r].capacity;
+        unfrozen[r] = resources_[r].active.size();
+    }
+    for (auto &[id, flow] : flows_)
+        flow.rate = -1.0; // marks unfrozen
+
+    std::size_t remaining_flows = flows_.size();
+    while (remaining_flows > 0) {
+        // Find the bottleneck resource.
+        Rate best_fair = std::numeric_limits<Rate>::infinity();
+        std::size_t best_r = nres;
+        for (std::size_t r = 0; r < nres; ++r) {
+            if (unfrozen[r] == 0)
+                continue;
+            Rate fair = std::max(residual[r], 0.0) /
+                        static_cast<Rate>(unfrozen[r]);
+            if (fair < best_fair) {
+                best_fair = fair;
+                best_r = r;
+            }
+        }
+        CHAMELEON_ASSERT(best_r < nres,
+                         "unfrozen flows but no active resource");
+        // Freeze every unfrozen flow crossing the bottleneck.
+        // Iterate over a copy: freezing mutates the bookkeeping only,
+        // not the active lists, so this is safe but explicit.
+        for (FlowId fid : resources_[best_r].active) {
+            auto &flow = flows_.at(fid);
+            if (flow.rate >= 0)
+                continue; // already frozen
+            flow.rate = best_fair;
+            for (ResourceId pr : flow.path) {
+                auto p = static_cast<std::size_t>(pr);
+                residual[p] -= best_fair;
+                CHAMELEON_ASSERT(unfrozen[p] > 0, "bookkeeping error");
+                unfrozen[p] -= 1;
+            }
+            --remaining_flows;
+        }
+    }
+}
+
+void
+FlowNetwork::scheduleNextCompletion()
+{
+    completionEvent_.cancel();
+    SimTime horizon = kTimeNever;
+    for (const auto &[id, flow] : flows_) {
+        if (flow.rate > 0)
+            horizon = std::min(horizon, flow.remaining / flow.rate);
+    }
+    if (horizon == kTimeNever)
+        return;
+    completionEvent_ =
+        sim_.scheduleAfter(horizon, [this] { onCompletionEvent(); });
+}
+
+void
+FlowNetwork::onCompletionEvent()
+{
+    advanceProgress();
+    resolve();
+}
+
+void
+FlowNetwork::resolve()
+{
+    computeRates();
+    scheduleNextCompletion();
+    // Dispatch staged completion callbacks; they may start new flows,
+    // which re-enters resolve() — the dispatching_ flag prevents a
+    // recursive drain.
+    if (dispatching_)
+        return;
+    dispatching_ = true;
+    while (!pendingCallbacks_.empty()) {
+        auto batch = std::move(pendingCallbacks_);
+        pendingCallbacks_.clear();
+        for (auto &cb : batch)
+            cb();
+    }
+    dispatching_ = false;
+}
+
+} // namespace sim
+} // namespace chameleon

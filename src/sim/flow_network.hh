@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fluid-flow network model with max-min fair bandwidth sharing.
+ *
+ * This is the stand-in for the paper's EC2 testbed. Every node link
+ * (uplink, downlink) and disk is a Resource with a capacity in
+ * bytes/second; every transfer (a foreground request, a repair slice,
+ * a chunk hop) is a Flow traversing an ordered set of resources. At
+ * any instant, flow rates are the max-min fair allocation (progressive
+ * filling), the standard fluid abstraction of TCP sharing on
+ * datacenter links. Rates are piecewise constant between events; the
+ * network integrates progress exactly and re-solves the allocation on
+ * every flow arrival, completion, cancellation, or capacity change
+ * (capacity changes model stragglers and wondershaper-style
+ * throttling).
+ *
+ * Per-resource, per-tag byte accounting feeds the paper's
+ * measurements: foreground-bandwidth fluctuation (Fig. 5), most/least
+ * loaded links (Fig. 6), and the residual-bandwidth estimates
+ * ChameleonEC's dispatcher consumes.
+ */
+
+#ifndef CHAMELEON_SIM_FLOW_NETWORK_HH_
+#define CHAMELEON_SIM_FLOW_NETWORK_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace sim {
+
+/** Identifier of a capacity-constrained resource. */
+using ResourceId = int32_t;
+
+/** Identifier of an active or completed flow. */
+using FlowId = int64_t;
+
+inline constexpr ResourceId kInvalidResource = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/** Classification used for accounting and monitoring. */
+enum class FlowTag : int {
+    kForeground = 0,
+    kRepair = 1,
+};
+
+inline constexpr int kNumFlowTags = 2;
+
+/** Max-min fair fluid network; see file comment. */
+class FlowNetwork
+{
+  public:
+    /**
+     * @param sim           the owning event loop.
+     * @param usage_window  window for per-resource bandwidth
+     *                      accounting (the paper uses 15 s windows).
+     */
+    explicit FlowNetwork(Simulator &sim, SimTime usage_window = 15.0);
+
+    /** Registers a resource; capacity in bytes/second. */
+    ResourceId addResource(std::string name, Rate capacity);
+
+    std::size_t resourceCount() const { return resources_.size(); }
+    const std::string &resourceName(ResourceId id) const;
+    Rate capacity(ResourceId id) const;
+
+    /** Changes capacity (straggler/throttle injection); re-solves. */
+    void setCapacity(ResourceId id, Rate capacity);
+
+    /**
+     * Starts a flow of `size` bytes across `path` (resources are
+     * traversed conceptually in order but share rate simultaneously,
+     * as in a cut-through fluid model).
+     *
+     * @param on_complete  invoked (once) when the last byte arrives.
+     * @return the flow id (valid until completion/cancellation).
+     */
+    FlowId startFlow(std::vector<ResourceId> path, Bytes size,
+                     FlowTag tag, std::function<void()> on_complete);
+
+    /**
+     * Cancels an active flow.
+     * @return bytes that had not yet been transferred.
+     */
+    Bytes cancelFlow(FlowId id);
+
+    bool flowActive(FlowId id) const;
+
+    /** Remaining bytes of an active flow. */
+    Bytes flowRemaining(FlowId id) const;
+
+    /** Current allocated rate of an active flow (bytes/s). */
+    Rate flowRate(FlowId id) const;
+
+    /** Number of currently active flows. */
+    std::size_t activeFlowCount() const { return flows_.size(); }
+
+    /**
+     * Integrates flow progress up to the current simulator time.
+     *
+     * Rates only change at flow events, so queries made from an
+     * unrelated event (e.g. a monitor tick) should call sync() first
+     * to observe exact byte counts.
+     */
+    void sync();
+
+    /** Cumulative bytes moved through `id` by flows tagged `tag`. */
+    Bytes taggedBytes(ResourceId id, FlowTag tag) const;
+
+    /** Windowed usage recorder for (resource, tag). */
+    const WindowedUsage &usage(ResourceId id, FlowTag tag) const;
+
+    /** Instantaneous aggregate rate of `tag` flows through `id`. */
+    Rate currentTagRate(ResourceId id, FlowTag tag) const;
+
+    /** Count of active flows through `id`. */
+    std::size_t activeFlowsOn(ResourceId id) const;
+
+  private:
+    struct Flow
+    {
+        FlowId id;
+        std::vector<ResourceId> path;
+        Bytes remaining;
+        Rate rate = 0.0;
+        FlowTag tag;
+        std::function<void()> onComplete;
+    };
+
+    struct Resource
+    {
+        std::string name;
+        Rate capacity;
+        std::vector<FlowId> active;
+        Bytes taggedBytes[kNumFlowTags] = {0.0, 0.0};
+        WindowedUsage usage[kNumFlowTags];
+
+        Resource(std::string n, Rate c, SimTime window)
+            : name(std::move(n)), capacity(c),
+              usage{WindowedUsage(window), WindowedUsage(window)}
+        {
+        }
+    };
+
+    /** Integrates all flow progress from lastUpdate_ to now. */
+    void advanceProgress();
+
+    /** Re-solves rates and reschedules the next completion event. */
+    void resolve();
+
+    /** Progressive-filling max-min fair allocation. */
+    void computeRates();
+
+    void scheduleNextCompletion();
+    void onCompletionEvent();
+
+    void detachFlow(const Flow &flow);
+
+    Simulator &sim_;
+    SimTime usageWindow_;
+    std::vector<Resource> resources_;
+    std::unordered_map<FlowId, Flow> flows_;
+    FlowId nextFlowId_ = 0;
+    SimTime lastUpdate_ = 0.0;
+    EventHandle completionEvent_;
+    /** Completion callbacks staged during advanceProgress(). */
+    std::vector<std::function<void()>> pendingCallbacks_;
+    bool dispatching_ = false;
+};
+
+} // namespace sim
+} // namespace chameleon
+
+#endif // CHAMELEON_SIM_FLOW_NETWORK_HH_

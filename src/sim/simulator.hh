@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single Simulator owns virtual time. Components schedule callbacks
+ * at absolute times; the kernel pops them in (time, insertion) order,
+ * so same-time events run deterministically in scheduling order.
+ * Events can be cancelled (used by the fluid-flow network to
+ * invalidate stale completion predictions when rates change).
+ */
+
+#ifndef CHAMELEON_SIM_SIMULATOR_HH_
+#define CHAMELEON_SIM_SIMULATOR_HH_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chameleon {
+namespace sim {
+
+/** Handle used to cancel a scheduled event. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True if the event is still pending (not run, not cancelled). */
+    bool pending() const;
+
+    /** Cancels the event if still pending; idempotent. */
+    void cancel();
+
+  private:
+    friend class Simulator;
+    struct State
+    {
+        std::function<void()> fn;
+        bool cancelled = false;
+        bool fired = false;
+    };
+    std::shared_ptr<State> state_;
+};
+
+/** The event loop; see file comment. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time in seconds. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedules fn at absolute time `when` (>= now()).
+     * @return a handle that can cancel the event.
+     */
+    EventHandle schedule(SimTime when, std::function<void()> fn);
+
+    /** Schedules fn after a relative delay (>= 0). */
+    EventHandle scheduleAfter(SimTime delay, std::function<void()> fn);
+
+    /**
+     * Runs events until the queue is empty or `until` is reached.
+     * Advances now() to `until` if the queue drains earlier and
+     * `until` is finite.
+     * @return number of events executed.
+     */
+    std::size_t run(SimTime until = kTimeNever);
+
+    /** Executes exactly one event if any is pending. */
+    bool step();
+
+    /** True if no events are pending. */
+    bool idle() const;
+
+  private:
+    struct QueueEntry
+    {
+        SimTime when;
+        uint64_t seq;
+        std::shared_ptr<EventHandle::State> state;
+
+        bool operator>(const QueueEntry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    SimTime now_ = 0.0;
+    uint64_t seq_ = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<>> queue_;
+};
+
+} // namespace sim
+} // namespace chameleon
+
+#endif // CHAMELEON_SIM_SIMULATOR_HH_

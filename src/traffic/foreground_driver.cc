@@ -1,0 +1,166 @@
+#include "traffic/foreground_driver.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace traffic {
+
+ForegroundDriver::ForegroundDriver(cluster::Cluster &cluster,
+                                   TraceProfile profile, Rng rng,
+                                   uint64_t requests_per_client)
+    : cluster_(cluster), profile_(std::move(profile)), rng_(rng),
+      budgetPerClient_(requests_per_client)
+{
+    CHAMELEON_ASSERT(profile_.valueSize != nullptr,
+                     "profile lacks a value-size sampler");
+    CHAMELEON_ASSERT(cluster_.numClients() > 0,
+                     "foreground driver needs client nodes");
+    keys_ = std::make_unique<ZipfianSampler>(
+        profile_.keyCount, profile_.zipfAlpha > 0 ? profile_.zipfAlpha
+                                                  : 0.01,
+        /*scramble=*/true);
+    for (NodeId n = 0; n < cluster_.numNodes(); ++n)
+        aliveNodes_.push_back(n);
+    issuedPerClient_.assign(
+        static_cast<std::size_t>(cluster_.numClients()), 0);
+    for (int c = 0; c < cluster_.numClients(); ++c) {
+        for (int w = 0; w < profile_.workersPerClient; ++w) {
+            Worker wk;
+            wk.client = c;
+            wk.rng = rng_.split();
+            workers_.push_back(std::move(wk));
+        }
+    }
+}
+
+void
+ForegroundDriver::excludeNode(NodeId node)
+{
+    auto it = std::find(aliveNodes_.begin(), aliveNodes_.end(), node);
+    if (it != aliveNodes_.end())
+        aliveNodes_.erase(it);
+    CHAMELEON_ASSERT(!aliveNodes_.empty(),
+                     "all nodes excluded from foreground traffic");
+}
+
+void
+ForegroundDriver::start()
+{
+    CHAMELEON_ASSERT(!running_, "driver already started");
+    running_ = true;
+    auto &sim = cluster_.simulator();
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+        // Stagger worker start within the first second and begin the
+        // first burst immediately.
+        workers_[w].burstEnd =
+            sim.now() + workers_[w].rng.exponential(profile_.burstMean);
+        SimTime jitter = workers_[w].rng.uniform(0.0, 1.0);
+        sim.scheduleAfter(jitter, [this, w] { workerLoop(w); });
+    }
+}
+
+void
+ForegroundDriver::stop()
+{
+    running_ = false;
+}
+
+void
+ForegroundDriver::switchProfile(TraceProfile profile)
+{
+    profile_ = std::move(profile);
+    CHAMELEON_ASSERT(profile_.valueSize != nullptr,
+                     "profile lacks a value-size sampler");
+    keys_ = std::make_unique<ZipfianSampler>(
+        profile_.keyCount, profile_.zipfAlpha > 0 ? profile_.zipfAlpha
+                                                  : 0.01,
+        /*scramble=*/true);
+    // Worker count stays as constructed; mix, sizes, and skew of all
+    // subsequent requests follow the new profile.
+}
+
+bool
+ForegroundDriver::finished() const
+{
+    if (budgetPerClient_ == 0)
+        return false;
+    return completed_ >= budgetPerClient_ *
+                             static_cast<uint64_t>(
+                                 cluster_.numClients());
+}
+
+void
+ForegroundDriver::workerLoop(std::size_t worker_index)
+{
+    if (!running_)
+        return;
+    Worker &wk = workers_[worker_index];
+    auto client = static_cast<std::size_t>(wk.client);
+    if (budgetPerClient_ != 0 &&
+        issuedPerClient_[client] >= budgetPerClient_)
+        return;
+
+    auto &sim = cluster_.simulator();
+    if (profile_.idleMean > 0 && sim.now() >= wk.burstEnd) {
+        // Burst over: idle, then start the next burst.
+        SimTime idle = wk.rng.exponential(profile_.idleMean);
+        wk.burstEnd = sim.now() + idle +
+                      wk.rng.exponential(profile_.burstMean);
+        sim.scheduleAfter(idle,
+                          [this, worker_index] {
+                              workerLoop(worker_index);
+                          });
+        return;
+    }
+    issueRequest(worker_index);
+}
+
+void
+ForegroundDriver::issueRequest(std::size_t worker_index)
+{
+    Worker &wk = workers_[worker_index];
+    auto client = static_cast<std::size_t>(wk.client);
+    ++issuedPerClient_[client];
+
+    uint64_t key = keys_->sample(wk.rng);
+    NodeId node = aliveNodes_[key % aliveNodes_.size()];
+    bool is_read = wk.rng.chance(profile_.readFraction);
+    Bytes bytes = profile_.valueSize(wk.rng) *
+                  static_cast<double>(profile_.batchFactor);
+
+    auto path = is_read
+                    ? cluster_.clientReadPath(node, wk.client)
+                    : cluster_.clientWritePath(wk.client, node);
+    // Cache-served requests skip the disk (see diskFraction).
+    if (!wk.rng.chance(profile_.diskFraction)) {
+        auto disk = cluster_.disk(node);
+        path.erase(std::remove(path.begin(), path.end(), disk),
+                   path.end());
+    }
+
+    auto &sim = cluster_.simulator();
+    SimTime start = sim.now();
+    cluster_.network().startFlow(
+        std::move(path), bytes, sim::FlowTag::kForeground,
+        [this, worker_index, start, bytes] {
+            auto &lsim = cluster_.simulator();
+            latencies_.record(lsim.now() - start);
+            ++completed_;
+            completedBytes_ += bytes;
+            if (budgetPerClient_ != 0 && finished())
+                completionTime_ = lsim.now();
+            Worker &lwk = workers_[worker_index];
+            SimTime think =
+                profile_.thinkTimeMean > 0
+                    ? lwk.rng.exponential(profile_.thinkTimeMean)
+                    : 0.0;
+            lsim.scheduleAfter(think, [this, worker_index] {
+                workerLoop(worker_index);
+            });
+        });
+}
+
+} // namespace traffic
+} // namespace chameleon

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Closed-loop foreground workload driver.
+ *
+ * Each client instance runs `workersPerClient` workers. A worker
+ * loops: draw a key (Zipfian over the profile's key space), map it to
+ * an alive storage node, draw the operation type and value size,
+ * issue the request as a network flow, record its latency on
+ * completion, optionally think, and repeat — interleaved with on-off
+ * burst/idle cycles. This matches YCSB's closed-loop client model and
+ * produces the fluctuating, skewed per-link foreground bandwidth the
+ * paper measures (R1 and R2 of Section II-D).
+ *
+ * The driver supports a fixed per-client request budget (for trace
+ * execution time, Exp#2), open-ended operation until stop() (for
+ * repair-centric experiments), and live profile switching (Exp#4).
+ */
+
+#ifndef CHAMELEON_TRAFFIC_FOREGROUND_DRIVER_HH_
+#define CHAMELEON_TRAFFIC_FOREGROUND_DRIVER_HH_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cluster/cluster.hh"
+#include "traffic/trace_profile.hh"
+#include "util/distributions.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace chameleon {
+namespace traffic {
+
+/** Closed-loop trace replayer; see file comment. */
+class ForegroundDriver
+{
+  public:
+    /**
+     * @param cluster             the cluster serving requests.
+     * @param profile             the trace to replay.
+     * @param rng                 seed stream (split per worker).
+     * @param requests_per_client simulated requests each client
+     *                            executes; 0 means unbounded (run
+     *                            until stop()).
+     */
+    ForegroundDriver(cluster::Cluster &cluster, TraceProfile profile,
+                     Rng rng, uint64_t requests_per_client = 0);
+
+    /**
+     * Removes a (failed) node from the request target set; requests
+     * that would hash there go to the remaining nodes instead.
+     */
+    void excludeNode(NodeId node);
+
+    /** Begins issuing requests at the current simulation time. */
+    void start();
+
+    /** Stops issuing new requests (in-flight ones complete). */
+    void stop();
+
+    /** Swaps the trace profile for all subsequent requests (Exp#4). */
+    void switchProfile(TraceProfile profile);
+
+    /** True once every client consumed its budget (bounded mode). */
+    bool finished() const;
+
+    /** Time the last budgeted request completed (bounded mode). */
+    SimTime completionTime() const { return completionTime_; }
+
+    /** Latency of every completed simulated request (seconds). */
+    const LatencyRecorder &latencies() const { return latencies_; }
+
+    /** Total simulated requests completed. */
+    uint64_t completedRequests() const { return completed_; }
+
+    /** Total foreground bytes transferred by completed requests. */
+    Bytes completedBytes() const { return completedBytes_; }
+
+  private:
+    struct Worker
+    {
+        int client = 0;
+        Rng rng{0};
+        /** End time of the current burst (on-off traffic model). */
+        SimTime burstEnd = 0.0;
+    };
+
+    void workerLoop(std::size_t worker_index);
+    void issueRequest(std::size_t worker_index);
+
+    cluster::Cluster &cluster_;
+    TraceProfile profile_;
+    std::unique_ptr<ZipfianSampler> keys_;
+    Rng rng_;
+    uint64_t budgetPerClient_;
+    std::vector<NodeId> aliveNodes_;
+    std::vector<Worker> workers_;
+    std::vector<uint64_t> issuedPerClient_;
+    uint64_t completed_ = 0;
+    uint64_t inFlight_ = 0;
+    Bytes completedBytes_ = 0.0;
+    LatencyRecorder latencies_;
+    SimTime completionTime_ = kTimeNever;
+    bool running_ = false;
+};
+
+} // namespace traffic
+} // namespace chameleon
+
+#endif // CHAMELEON_TRAFFIC_FOREGROUND_DRIVER_HH_

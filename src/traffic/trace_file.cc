@@ -1,0 +1,140 @@
+#include "traffic/trace_file.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace traffic {
+
+namespace {
+
+uint64_t
+hashToken(const std::string &token)
+{
+    // FNV-1a: stable key hashing for non-numeric key tokens.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : token) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+bool
+parseOp(std::string op, bool &is_read, int line_no)
+{
+    std::transform(op.begin(), op.end(), op.begin(), [](char c) {
+        return static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+    });
+    if (op == "R" || op == "READ" || op == "GET") {
+        is_read = true;
+        return true;
+    }
+    if (op == "W" || op == "WRITE" || op == "SET" || op == "PUT" ||
+        op == "UPDATE") {
+        is_read = false;
+        return true;
+    }
+    CHAMELEON_FATAL("trace line ", line_no, ": unknown op '", op,
+                    "' (expected R/W/GET/SET/PUT/UPDATE/READ/WRITE)");
+    return false;
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string op, key_token;
+        double bytes = 0;
+        if (!(fields >> op))
+            continue; // blank/comment line
+        if (!(fields >> key_token >> bytes)) {
+            CHAMELEON_FATAL("trace line ", line_no,
+                            ": expected '<op> <key> <bytes>', got '",
+                            line, "'");
+        }
+        if (bytes <= 0) {
+            CHAMELEON_FATAL("trace line ", line_no,
+                            ": non-positive size ", bytes);
+        }
+        TraceRecord rec;
+        parseOp(op, rec.isRead, line_no);
+        // Numeric keys are taken literally; anything else is hashed.
+        try {
+            std::size_t pos = 0;
+            rec.key = std::stoull(key_token, &pos);
+            if (pos != key_token.size())
+                rec.key = hashToken(key_token);
+        } catch (...) {
+            rec.key = hashToken(key_token);
+        }
+        rec.bytes = bytes;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        CHAMELEON_FATAL("cannot open trace file '", path, "'");
+    auto records = parseTrace(in);
+    if (records.empty())
+        CHAMELEON_FATAL("trace file '", path, "' has no requests");
+    return records;
+}
+
+TraceProfile
+profileFromRecords(std::string name, std::vector<TraceRecord> records)
+{
+    CHAMELEON_ASSERT(!records.empty(), "empty record set");
+    // Start from the YCSB profile's pacing parameters.
+    TraceProfile profile = ycsbA();
+    profile.name = std::move(name);
+
+    std::size_t reads = 0;
+    uint64_t max_key = 0;
+    for (const auto &rec : records) {
+        reads += rec.isRead ? 1 : 0;
+        max_key = std::max(max_key, rec.key);
+    }
+    profile.readFraction =
+        static_cast<double>(reads) /
+        static_cast<double>(records.size());
+    profile.keyCount = max_key + 1;
+    // Empirical popularity is carried by joint resampling below, so
+    // the driver's Zipfian key draw is replaced entirely.
+    profile.zipfAlpha = 0.01;
+
+    // Joint (op, size) bootstrap: the sampler returns the record's
+    // size and the driver's independent op draw follows the measured
+    // mix. Records are shared so copying the profile stays cheap.
+    auto shared =
+        std::make_shared<std::vector<TraceRecord>>(std::move(records));
+    profile.valueSize = [shared](Rng &rng) -> Bytes {
+        const auto &recs = *shared;
+        return recs[rng.below(recs.size())].bytes;
+    };
+    return profile;
+}
+
+} // namespace traffic
+} // namespace chameleon

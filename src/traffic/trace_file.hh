@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Loading foreground traces from files, so users can replay real
+ * workloads (the paper replays YCSB/IBM/Twitter/Facebook traces)
+ * instead of the built-in synthetic profiles.
+ *
+ * Format: text, one request per line,
+ *
+ *     <op> <key> <bytes>
+ *
+ * where <op> is R|W (case-insensitive; GET/READ and SET/PUT/UPDATE
+ * also accepted), <key> is an unsigned integer (or any token, which
+ * is hashed), and <bytes> is the value size. '#' starts a comment;
+ * blank lines are ignored. The loader produces an empirical
+ * TraceProfile: operation mix and value sizes are bootstrap-resampled
+ * from the records, and key popularity follows the records' empirical
+ * key frequencies.
+ */
+
+#ifndef CHAMELEON_TRAFFIC_TRACE_FILE_HH_
+#define CHAMELEON_TRAFFIC_TRACE_FILE_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "traffic/trace_profile.hh"
+
+namespace chameleon {
+namespace traffic {
+
+/** One parsed trace request. */
+struct TraceRecord
+{
+    bool isRead = true;
+    uint64_t key = 0;
+    Bytes bytes = 0;
+};
+
+/**
+ * Parses records from a stream.
+ * Calls CHAMELEON_FATAL on malformed lines (user input error).
+ */
+std::vector<TraceRecord> parseTrace(std::istream &in);
+
+/** Loads records from a file path (fatal if unreadable). */
+std::vector<TraceRecord> loadTraceFile(const std::string &path);
+
+/**
+ * Builds an empirical TraceProfile from parsed records: each
+ * simulated request resamples (op, key, size) jointly from a random
+ * record, preserving the trace's op mix, size distribution, and key
+ * skew. Concurrency and burst parameters default to the YCSB
+ * profile's and can be adjusted on the result.
+ */
+TraceProfile profileFromRecords(std::string name,
+                                std::vector<TraceRecord> records);
+
+} // namespace traffic
+} // namespace chameleon
+
+#endif // CHAMELEON_TRAFFIC_TRACE_FILE_HH_

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic stand-ins for the paper's four foreground traces.
+ *
+ * We cannot redistribute the real traces (YCSB runs against HBase;
+ * the IBM/Twitter/Facebook traces are external datasets), so each
+ * profile reproduces the published shape of its trace — operation
+ * mix, value-size distribution, and popularity skew — which is all
+ * the repair scheduler can observe (foreground traffic is opaque
+ * bandwidth to it). Small-value traces carry a batch factor so one
+ * simulated request stands for a batch of real requests of equal
+ * total bytes, keeping event counts tractable; relative latency
+ * comparisons across algorithms are unaffected because the same
+ * batching applies to every algorithm.
+ *
+ * Workers follow an on-off (burst/idle) pattern, which is what makes
+ * per-link foreground bandwidth fluctuate across 15 s windows the way
+ * Fig. 5 reports (~1.1 Gb/s average swing, up to ~3.6 Gb/s).
+ */
+
+#ifndef CHAMELEON_TRAFFIC_TRACE_PROFILE_HH_
+#define CHAMELEON_TRAFFIC_TRACE_PROFILE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace traffic {
+
+/** Parameters describing one foreground trace; see file comment. */
+struct TraceProfile
+{
+    std::string name;
+    /** Fraction of operations that are reads (vs updates). */
+    double readFraction = 0.5;
+    /** Samples one request's value size in bytes. */
+    std::function<Bytes(Rng &)> valueSize;
+    /** Distinct keys (node placement is hash(key) % nodes). */
+    uint64_t keyCount = 1'000'000;
+    /** Zipfian skew; 0 selects uniform popularity. */
+    double zipfAlpha = 0.99;
+    /** Concurrent workers per client instance. */
+    int workersPerClient = 16;
+    /** Mean think time between a worker's requests (s; 0 = none). */
+    double thinkTimeMean = 0.0;
+    /** Mean burst duration of a worker's on-off cycle (s). */
+    double burstMean = 20.0;
+    /** Mean idle duration of a worker's on-off cycle (s). */
+    double idleMean = 8.0;
+    /** Real requests represented by one simulated request. */
+    int batchFactor = 1;
+    /**
+     * Probability that a request actually touches the node's disk.
+     * Cache-backed stores (HBase block cache, memcached) serve most
+     * reads from memory; only the cache-miss / write-back fraction
+     * competes with repair for disk bandwidth.
+     */
+    double diskFraction = 0.3;
+};
+
+/**
+ * YCSB-A on HBase: 50% reads / 50% updates, 512 KB values, Zipfian
+ * 0.99 — the paper's default foreground workload.
+ */
+TraceProfile ycsbA();
+
+/**
+ * IBM Object Store trace 000: object sizes spanning 16 B to 2.4 GB
+ * (heavy-tailed; modeled log-normal), read-dominated.
+ */
+TraceProfile ibmObjectStore();
+
+/**
+ * Twitter Memcached cluster 37: 63% GET / 37% SET, ~20 KB values.
+ */
+TraceProfile memcachedCluster37();
+
+/**
+ * Facebook ETC: GET:UPDATE = 30:1, Pareto value sizes, GEV key sizes
+ * (keys are negligible traffic; the value tail dominates).
+ */
+TraceProfile facebookEtc();
+
+/** All four profiles in the order the paper's figures list them. */
+std::vector<TraceProfile> allProfiles();
+
+} // namespace traffic
+} // namespace chameleon
+
+#endif // CHAMELEON_TRAFFIC_TRACE_PROFILE_HH_

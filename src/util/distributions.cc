@@ -1,0 +1,184 @@
+#include "util/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+
+namespace {
+
+/** Generalized harmonic number H_{n,theta} approximated in O(1).
+ *
+ * For the n used by trace generators (up to tens of millions) the
+ * Euler-Maclaurin approximation is accurate to ~1e-8, which is far
+ * below the sampling noise of the experiments. */
+double
+zetaApprox(uint64_t n, double theta)
+{
+    // Sum the first terms exactly, integrate the tail.
+    constexpr uint64_t kExact = 1000;
+    double z = 0.0;
+    uint64_t head = std::min(n, kExact);
+    for (uint64_t i = 1; i <= head; ++i)
+        z += std::pow(static_cast<double>(i), -theta);
+    if (n > kExact) {
+        // Integral of x^-theta from kExact+0.5 to n+0.5.
+        double a = static_cast<double>(kExact) + 0.5;
+        double b = static_cast<double>(n) + 0.5;
+        if (theta == 1.0) {
+            z += std::log(b / a);
+        } else {
+            z += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+                 (1.0 - theta);
+        }
+    }
+    return z;
+}
+
+/** Fibonacci hash used to scramble Zipfian ranks across the key space. */
+uint64_t
+scrambleHash(uint64_t x)
+{
+    // Offset so rank 0 (the hottest item) does not map to key 0 (the
+    // murmur finalizer fixes zero).
+    x += 0x9E3779B97F4A7C15ull;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+ZipfianSampler::ZipfianSampler(uint64_t n, double alpha, bool scramble)
+    : n_(n), alpha_(alpha), scramble_(scramble)
+{
+    CHAMELEON_ASSERT(n >= 1, "Zipfian needs at least one item");
+    CHAMELEON_ASSERT(alpha > 0 && alpha < 2, "alpha out of range: ", alpha);
+    theta_ = alpha_;
+    zetan_ = zetaApprox(n_, theta_);
+    zeta2_ = zetaApprox(2, theta_);
+    alphaPar_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t
+ZipfianSampler::rawRank(Rng &rng) const
+{
+    // YCSB's ZipfianGenerator::nextLong.
+    double u = rng.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    double v = eta_ * u - eta_ + 1.0;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(v, alphaPar_));
+    return std::min(rank, n_ - 1);
+}
+
+uint64_t
+ZipfianSampler::sample(Rng &rng) const
+{
+    uint64_t rank = rawRank(rng);
+    if (!scramble_)
+        return rank;
+    return scrambleHash(rank) % n_;
+}
+
+ParetoSampler::ParetoSampler(double shape, double lo, double hi)
+    : shape_(shape), lo_(lo), hi_(hi)
+{
+    CHAMELEON_ASSERT(shape > 0, "Pareto shape must be positive");
+    CHAMELEON_ASSERT(lo > 0 && hi > lo, "Pareto bounds invalid");
+}
+
+double
+ParetoSampler::sample(Rng &rng) const
+{
+    // Inverse-transform of the bounded Pareto CDF.
+    double u = rng.uniform();
+    double la = std::pow(lo_, shape_);
+    double ha = std::pow(hi_, shape_);
+    double x = std::pow(-(u * ha - u * la - ha) / (ha * la),
+                        -1.0 / shape_);
+    return std::clamp(x, lo_, hi_);
+}
+
+GevSampler::GevSampler(double mu, double sigma, double xi, double max_value)
+    : mu_(mu), sigma_(sigma), xi_(xi), maxValue_(max_value)
+{
+    CHAMELEON_ASSERT(sigma > 0, "GEV sigma must be positive");
+}
+
+double
+GevSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double x;
+    if (std::abs(xi_) < 1e-12) {
+        x = mu_ - sigma_ * std::log(-std::log(u));
+    } else {
+        x = mu_ + sigma_ * (std::pow(-std::log(u), -xi_) - 1.0) / xi_;
+    }
+    return std::clamp(x, 1.0, maxValue_);
+}
+
+BoundedLogNormalSampler::BoundedLogNormalSampler(double mu_log,
+                                                 double sigma_log,
+                                                 double lo, double hi)
+    : muLog_(mu_log), sigmaLog_(sigma_log), lo_(lo), hi_(hi)
+{
+    CHAMELEON_ASSERT(sigma_log > 0, "sigma_log must be positive");
+    CHAMELEON_ASSERT(lo > 0 && hi > lo, "log-normal bounds invalid");
+}
+
+double
+BoundedLogNormalSampler::sample(Rng &rng) const
+{
+    // Box-Muller; one normal draw per sample is plenty here.
+    double u1 = rng.uniform();
+    double u2 = rng.uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    double x = std::exp(muLog_ + sigmaLog_ * z);
+    return std::clamp(x, lo_, hi_);
+}
+
+DiscreteSampler::DiscreteSampler(std::vector<double> weights)
+{
+    CHAMELEON_ASSERT(!weights.empty(), "DiscreteSampler needs weights");
+    cdf_.resize(weights.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        CHAMELEON_ASSERT(weights[i] >= 0, "negative weight");
+        acc += weights[i];
+        cdf_[i] = acc;
+    }
+    CHAMELEON_ASSERT(acc > 0, "weights sum to zero");
+    for (auto &c : cdf_)
+        c /= acc;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+DiscreteSampler::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace chameleon

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Samplers for the distributions the paper's trace profiles rely on.
+ *
+ * - Zipfian key popularity (YCSB's scrambled-Zipfian, alpha = 0.99).
+ * - Pareto value sizes (Facebook ETC values, Atikoglu et al. 2012).
+ * - Generalized extreme value key sizes (Facebook ETC keys).
+ * - Log-normal heavy-tailed value sizes (IBM Object Store's 16 B-2.4 GB
+ *   spread is matched with a bounded log-normal).
+ */
+
+#ifndef CHAMELEON_UTIL_DISTRIBUTIONS_HH_
+#define CHAMELEON_UTIL_DISTRIBUTIONS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace chameleon {
+
+/**
+ * Zipfian sampler over {0, ..., n-1} using Gray's rejection-inversion.
+ *
+ * Matches YCSB's generator: rank r is drawn with probability
+ * proportional to 1 / (r+1)^alpha. Sampling is O(1) after O(1) setup,
+ * so million-request traces are cheap. An optional scramble hashes the
+ * rank so that popular keys are spread across the key space (and hence
+ * across storage nodes), as YCSB's ScrambledZipfian does.
+ */
+class ZipfianSampler
+{
+  public:
+    ZipfianSampler(uint64_t n, double alpha = 0.99, bool scramble = true);
+
+    /** Draws a key in [0, n). */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t n() const { return n_; }
+    double alpha() const { return alpha_; }
+
+  private:
+    uint64_t rawRank(Rng &rng) const;
+
+    uint64_t n_;
+    double alpha_;
+    bool scramble_;
+    double zetan_;
+    double theta_;
+    double zeta2_;
+    double alphaPar_;
+    double eta_;
+};
+
+/**
+ * Bounded Pareto sampler (type I), inclusive bounds [lo, hi].
+ *
+ * Used for ETC value sizes; shape ~0.35 plus the bound reproduces the
+ * mix of tiny values with a long tail reported by Atikoglu et al.
+ */
+class ParetoSampler
+{
+  public:
+    ParetoSampler(double shape, double lo, double hi);
+
+    double sample(Rng &rng) const;
+
+  private:
+    double shape_;
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Generalized extreme value sampler via inverse transform.
+ *
+ * Facebook's ETC key sizes follow GEV(mu = 30.7, sigma = 8.2,
+ * xi = 0.078); results are clamped to [1, maxValue].
+ */
+class GevSampler
+{
+  public:
+    GevSampler(double mu, double sigma, double xi, double max_value);
+
+    double sample(Rng &rng) const;
+
+  private:
+    double mu_;
+    double sigma_;
+    double xi_;
+    double maxValue_;
+};
+
+/**
+ * Log-normal sampler with hard bounds, for heavy-tailed object sizes.
+ */
+class BoundedLogNormalSampler
+{
+  public:
+    BoundedLogNormalSampler(double mu_log, double sigma_log,
+                            double lo, double hi);
+
+    double sample(Rng &rng) const;
+
+  private:
+    double muLog_;
+    double sigmaLog_;
+    double lo_;
+    double hi_;
+};
+
+/**
+ * Discrete sampler over explicit weights (linear setup, O(1) memory
+ * beyond the CDF, O(log n) sampling).
+ */
+class DiscreteSampler
+{
+  public:
+    explicit DiscreteSampler(std::vector<double> weights);
+
+    std::size_t sample(Rng &rng) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_UTIL_DISTRIBUTIONS_HH_

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump captures the state.
+ * fatal()  — the caller supplied an impossible configuration; exits(1).
+ * warn()   — something suspicious but survivable happened.
+ * inform() — status output for long-running drivers.
+ */
+
+#ifndef CHAMELEON_UTIL_LOGGING_HH_
+#define CHAMELEON_UTIL_LOGGING_HH_
+
+#include <sstream>
+#include <string>
+
+namespace chameleon {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Builds a message from stream-style arguments. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace chameleon
+
+#define CHAMELEON_PANIC(...)                                              \
+    ::chameleon::detail::panicImpl(__FILE__, __LINE__,                    \
+        ::chameleon::detail::format(__VA_ARGS__))
+
+#define CHAMELEON_FATAL(...)                                              \
+    ::chameleon::detail::fatalImpl(__FILE__, __LINE__,                    \
+        ::chameleon::detail::format(__VA_ARGS__))
+
+#define CHAMELEON_WARN(...)                                               \
+    ::chameleon::detail::warnImpl(__FILE__, __LINE__,                     \
+        ::chameleon::detail::format(__VA_ARGS__))
+
+#define CHAMELEON_INFORM(...)                                             \
+    ::chameleon::detail::informImpl(::chameleon::detail::format(__VA_ARGS__))
+
+/** Checked invariant: active in all build types (simulation correctness
+ * depends on these and the cost is negligible next to flow math). */
+#define CHAMELEON_ASSERT(cond, ...)                                       \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            CHAMELEON_PANIC("assertion failed: " #cond " ",              \
+                            ::chameleon::detail::format(__VA_ARGS__));    \
+        }                                                                 \
+    } while (0)
+
+#endif // CHAMELEON_UTIL_LOGGING_HH_

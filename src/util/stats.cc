@@ -1,0 +1,225 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+
+void
+LatencyRecorder::record(double value)
+{
+    samples_.push_back(value);
+    cacheValid_ = false;
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double s : samples_)
+        acc += s;
+    return acc / static_cast<double>(samples_.size());
+}
+
+double
+LatencyRecorder::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+namespace {
+
+/** Nearest-rank percentile of a sorted vector. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    auto n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+double
+LatencyRecorder::percentile(double p) const
+{
+    CHAMELEON_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p);
+    if (samples_.empty())
+        return 0.0;
+    if (!cacheValid_) {
+        sortedCache_ = samples_;
+        std::sort(sortedCache_.begin(), sortedCache_.end());
+        cacheValid_ = true;
+    }
+    return sortedPercentile(sortedCache_, p);
+}
+
+double
+LatencyRecorder::percentileFrom(std::size_t from, double p) const
+{
+    CHAMELEON_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p);
+    if (from >= samples_.size())
+        return 0.0;
+    std::vector<double> tail(samples_.begin() +
+                                 static_cast<std::ptrdiff_t>(from),
+                             samples_.end());
+    std::sort(tail.begin(), tail.end());
+    return sortedPercentile(tail, p);
+}
+
+double
+LatencyRecorder::meanFrom(std::size_t from) const
+{
+    if (from >= samples_.size())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = from; i < samples_.size(); ++i)
+        acc += samples_[i];
+    return acc / static_cast<double>(samples_.size() - from);
+}
+
+WindowedUsage::WindowedUsage(SimTime window)
+    : window_(window)
+{
+    CHAMELEON_ASSERT(window > 0, "window must be positive");
+}
+
+void
+WindowedUsage::addTransfer(SimTime start, SimTime end, Bytes bytes)
+{
+    CHAMELEON_ASSERT(end >= start, "transfer interval inverted");
+    CHAMELEON_ASSERT(start >= 0, "negative start time");
+    if (bytes <= 0)
+        return;
+    if (end == start) {
+        // Instantaneous transfer: attribute to the containing window.
+        auto w = static_cast<std::size_t>(start / window_);
+        if (buckets_.size() <= w)
+            buckets_.resize(w + 1, 0.0);
+        buckets_[w] += bytes;
+        return;
+    }
+    const Rate rate = bytes / (end - start);
+    auto first = static_cast<std::size_t>(start / window_);
+    auto last = static_cast<std::size_t>(end / window_);
+    // A transfer ending exactly on a window boundary does not touch
+    // the next window.
+    if (last > first &&
+        end <= static_cast<SimTime>(last) * window_)
+        --last;
+    if (buckets_.size() <= last)
+        buckets_.resize(last + 1, 0.0);
+    for (std::size_t w = first; w <= last; ++w) {
+        SimTime wlo = static_cast<SimTime>(w) * window_;
+        SimTime whi = wlo + window_;
+        SimTime overlap = std::min(end, whi) - std::max(start, wlo);
+        if (overlap > 0)
+            buckets_[w] += rate * overlap;
+    }
+}
+
+Rate
+WindowedUsage::windowRate(std::size_t w) const
+{
+    CHAMELEON_ASSERT(w < buckets_.size(), "window ", w, " out of range");
+    return buckets_[w] / window_;
+}
+
+Bytes
+WindowedUsage::totalBytes() const
+{
+    Bytes acc = 0.0;
+    for (Bytes b : buckets_)
+        acc += b;
+    return acc;
+}
+
+Rate
+WindowedUsage::fluctuation() const
+{
+    if (buckets_.empty())
+        return 0.0;
+    Rate lo = windowRate(0), hi = windowRate(0);
+    for (std::size_t w = 1; w < buckets_.size(); ++w) {
+        Rate r = windowRate(w);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+    }
+    return hi - lo;
+}
+
+Rate
+WindowedUsage::meanRate() const
+{
+    if (buckets_.empty())
+        return 0.0;
+    Rate acc = 0.0;
+    for (std::size_t w = 0; w < buckets_.size(); ++w)
+        acc += windowRate(w);
+    return acc / static_cast<double>(buckets_.size());
+}
+
+Rate
+WindowedUsage::fluctuationBetween(SimTime a, SimTime b) const
+{
+    CHAMELEON_ASSERT(b >= a && a >= 0, "bad range");
+    auto first = static_cast<std::size_t>(a / window_);
+    auto last = static_cast<std::size_t>(b / window_);
+    if (last > first && b <= static_cast<SimTime>(last) * window_)
+        --last;
+    Rate lo = 0.0, hi = 0.0;
+    bool seen = false;
+    for (std::size_t w = first; w <= last; ++w) {
+        Rate r = (w < buckets_.size()) ? buckets_[w] / window_ : 0.0;
+        if (!seen) {
+            lo = hi = r;
+            seen = true;
+        } else {
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+        }
+    }
+    return seen ? hi - lo : 0.0;
+}
+
+Rate
+WindowedUsage::meanRateBetween(SimTime a, SimTime b) const
+{
+    CHAMELEON_ASSERT(b >= a && a >= 0, "bad range");
+    auto first = static_cast<std::size_t>(a / window_);
+    auto last = static_cast<std::size_t>(b / window_);
+    if (last > first && b <= static_cast<SimTime>(last) * window_)
+        --last;
+    Rate acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t w = first; w <= last; ++w) {
+        acc += (w < buckets_.size()) ? buckets_[w] / window_ : 0.0;
+        ++count;
+    }
+    return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+void
+Summary::add(double v)
+{
+    if (count == 0) {
+        min = max = v;
+        mean = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+        mean += (v - mean) / static_cast<double>(count + 1);
+    }
+    ++count;
+}
+
+} // namespace chameleon

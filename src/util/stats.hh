@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Measurement helpers for the experiment harness.
+ *
+ * LatencyRecorder accumulates request latencies and reports the
+ * percentiles the paper quotes (P50/P99). WindowedUsage integrates
+ * per-link byte counts into fixed time windows so the Fig. 5/6 style
+ * fluctuation and most/least-loaded analyses can be reproduced.
+ */
+
+#ifndef CHAMELEON_UTIL_STATS_HH_
+#define CHAMELEON_UTIL_STATS_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chameleon {
+
+/** Accumulates scalar samples and answers percentile queries. */
+class LatencyRecorder
+{
+  public:
+    void record(double value);
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double max() const;
+
+    /**
+     * Percentile via nearest-rank on the sorted samples.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Convenience for the paper's headline metric. */
+    double p99() const { return percentile(99.0); }
+
+    /**
+     * Percentile over the suffix of samples starting at index
+     * `from` (in recording order) — used to scope latency metrics to
+     * the repair window.
+     */
+    double percentileFrom(std::size_t from, double p) const;
+
+    /** Mean over the suffix starting at `from`. */
+    double meanFrom(std::size_t from) const;
+
+    /** Samples in recording order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    mutable std::vector<double> sortedCache_;
+    mutable bool cacheValid_ = false;
+};
+
+/**
+ * Integrates a piecewise-constant rate signal into fixed windows.
+ *
+ * Callers report byte transfers as (start, end, bytes) intervals with
+ * an implied constant rate; the recorder spreads the bytes across the
+ * windows the interval overlaps. Querying yields per-window average
+ * bandwidth, from which fluctuation (max-min within a wider span) and
+ * loaded-link rankings are derived.
+ */
+class WindowedUsage
+{
+  public:
+    explicit WindowedUsage(SimTime window = 15.0);
+
+    /** Accounts bytes transferred at constant rate over [start, end). */
+    void addTransfer(SimTime start, SimTime end, Bytes bytes);
+
+    /** Average bandwidth (bytes/s) within window index w. */
+    Rate windowRate(std::size_t w) const;
+
+    /** Number of windows touched so far. */
+    std::size_t windowCount() const { return buckets_.size(); }
+
+    SimTime window() const { return window_; }
+
+    /** Total bytes accounted. */
+    Bytes totalBytes() const;
+
+    /** max(windowRate) - min(windowRate) over all touched windows. */
+    Rate fluctuation() const;
+
+    /** Mean of windowRate over all touched windows. */
+    Rate meanRate() const;
+
+    /** Fluctuation over windows intersecting [a, b); windows beyond
+     * the recorded range count as zero traffic. */
+    Rate fluctuationBetween(SimTime a, SimTime b) const;
+
+    /** Mean rate over windows intersecting [a, b). */
+    Rate meanRateBetween(SimTime a, SimTime b) const;
+
+  private:
+    SimTime window_;
+    std::vector<Bytes> buckets_;
+};
+
+/** Simple running mean/min/max aggregate. */
+struct Summary
+{
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+
+    void add(double v);
+};
+
+} // namespace chameleon
+
+#endif // CHAMELEON_UTIL_STATS_HH_

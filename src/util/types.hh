@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every module.
+ *
+ * The simulator works in SI base units throughout: seconds for time and
+ * bytes (or bytes/second) for data. Helper literals convert the units
+ * that the paper quotes (MB chunks, Gb/s links) into base units at the
+ * call site, so magic numbers never appear in module code.
+ */
+
+#ifndef CHAMELEON_UTIL_TYPES_HH_
+#define CHAMELEON_UTIL_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace chameleon {
+
+/** Simulated wall-clock time in seconds. */
+using SimTime = double;
+
+/** Data volume in bytes (fractional values arise from fluid flows). */
+using Bytes = double;
+
+/** Transfer or processing rate in bytes per second. */
+using Rate = double;
+
+/** Identifier of a storage node within a cluster (0-based). */
+using NodeId = int32_t;
+
+/** Identifier of a stripe within the stripe manager (0-based). */
+using StripeId = int32_t;
+
+/** Index of a chunk within its stripe (0 .. k+m-1 for RS codes). */
+using ChunkIndex = int32_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel time meaning "never" / "not scheduled". */
+inline constexpr SimTime kTimeNever =
+    std::numeric_limits<SimTime>::infinity();
+
+namespace units {
+
+/** Kibibyte-free decimal units; storage papers quote MB = 2^20 here
+ * because HDFS chunk sizes are power-of-two (64 MB = 67108864 B). */
+inline constexpr Bytes KiB = 1024.0;
+inline constexpr Bytes MiB = 1024.0 * KiB;
+inline constexpr Bytes GiB = 1024.0 * MiB;
+
+/** Network bandwidth units (decimal, as NIC specs are quoted). */
+inline constexpr Rate bitsPerSec(double bits) { return bits / 8.0; }
+inline constexpr Rate Gbps = 1e9 / 8.0;
+inline constexpr Rate Mbps = 1e6 / 8.0;
+
+/** Disk bandwidth is typically quoted in decimal MB/s. */
+inline constexpr Rate MBps = 1e6;
+
+} // namespace units
+
+} // namespace chameleon
+
+#endif // CHAMELEON_UTIL_TYPES_HH_

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit and property tests for GF(2^8) arithmetic and matrices: field
+ * axioms, region kernels, inversion, and the MDS property of Cauchy
+ * constructions.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.hh"
+#include "gf/matrix.hh"
+#include "util/rng.hh"
+
+namespace chameleon {
+namespace gf {
+namespace {
+
+TEST(Gf256, AddIsXor)
+{
+    EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+    EXPECT_EQ(add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256, MulIdentityAndZero)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(mul(static_cast<Elem>(a), 1), a);
+        EXPECT_EQ(mul(1, static_cast<Elem>(a)), a);
+        EXPECT_EQ(mul(static_cast<Elem>(a), 0), 0);
+    }
+}
+
+TEST(Gf256, MulCommutativeExhaustiveSample)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        Elem a = static_cast<Elem>(rng.below(256));
+        Elem b = static_cast<Elem>(rng.below(256));
+        EXPECT_EQ(mul(a, b), mul(b, a));
+    }
+}
+
+TEST(Gf256, MulAssociativeSample)
+{
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        Elem a = static_cast<Elem>(rng.below(256));
+        Elem b = static_cast<Elem>(rng.below(256));
+        Elem c = static_cast<Elem>(rng.below(256));
+        EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+}
+
+TEST(Gf256, DistributiveSample)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        Elem a = static_cast<Elem>(rng.below(256));
+        Elem b = static_cast<Elem>(rng.below(256));
+        Elem c = static_cast<Elem>(rng.below(256));
+        EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseRoundTripExhaustive)
+{
+    for (int a = 1; a < 256; ++a) {
+        Elem ia = inv(static_cast<Elem>(a));
+        EXPECT_EQ(mul(static_cast<Elem>(a), ia), 1)
+            << "a=" << a << " inv=" << int(ia);
+    }
+}
+
+TEST(Gf256, DivisionMatchesMulByInverse)
+{
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i) {
+        Elem a = static_cast<Elem>(rng.below(256));
+        Elem b = static_cast<Elem>(1 + rng.below(255));
+        EXPECT_EQ(div(a, b), mul(a, inv(b)));
+    }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul)
+{
+    for (int a = 0; a < 256; ++a) {
+        Elem acc = 1;
+        for (unsigned e = 0; e < 10; ++e) {
+            EXPECT_EQ(pow(static_cast<Elem>(a), e), acc);
+            acc = mul(acc, static_cast<Elem>(a));
+        }
+    }
+}
+
+TEST(Gf256, GeneratorHasFullOrder)
+{
+    // x=2 generates the multiplicative group under 0x11D.
+    Elem x = 2;
+    Elem acc = 1;
+    int order = 0;
+    do {
+        acc = mul(acc, x);
+        ++order;
+    } while (acc != 1);
+    EXPECT_EQ(order, 255);
+}
+
+TEST(Gf256, MulAddRegionMatchesScalar)
+{
+    Rng rng(5);
+    std::vector<Elem> dst(257), src(257), expect(257);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        dst[i] = static_cast<Elem>(rng.below(256));
+        src[i] = static_cast<Elem>(rng.below(256));
+    }
+    Elem c = 0xA7;
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        expect[i] = add(dst[i], mul(c, src[i]));
+    mulAddRegion(dst, src, c);
+    EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, MulAddRegionCoeffZeroIsNoop)
+{
+    std::vector<Elem> dst = {1, 2, 3}, src = {9, 9, 9};
+    auto before = dst;
+    mulAddRegion(dst, src, 0);
+    EXPECT_EQ(dst, before);
+}
+
+TEST(Gf256, MulAddRegionCoeffOneIsXor)
+{
+    std::vector<Elem> dst = {1, 2, 3}, src = {4, 5, 6};
+    mulAddRegion(dst, src, 1);
+    EXPECT_EQ(dst, (std::vector<Elem>{1 ^ 4, 2 ^ 5, 3 ^ 6}));
+}
+
+TEST(Gf256, MulRegionMatchesScalar)
+{
+    Rng rng(6);
+    std::vector<Elem> src(100), dst(100);
+    for (auto &v : src)
+        v = static_cast<Elem>(rng.below(256));
+    mulRegion(dst, src, 0x3C);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        EXPECT_EQ(dst[i], mul(0x3C, src[i]));
+}
+
+TEST(Matrix, IdentityMultiplication)
+{
+    Matrix a = Matrix::cauchy(4, 4);
+    Matrix i = Matrix::identity(4);
+    EXPECT_EQ(a.multiply(i), a);
+    EXPECT_EQ(i.multiply(a), a);
+}
+
+TEST(Matrix, InverseRoundTrip)
+{
+    Matrix a = Matrix::cauchy(6, 6);
+    Matrix ainv;
+    ASSERT_TRUE(a.invert(ainv));
+    EXPECT_EQ(a.multiply(ainv), Matrix::identity(6));
+    EXPECT_EQ(ainv.multiply(a), Matrix::identity(6));
+}
+
+TEST(Matrix, SingularDetected)
+{
+    Matrix a(2, 2);
+    a.set(0, 0, 3);
+    a.set(0, 1, 5);
+    a.set(1, 0, 3);
+    a.set(1, 1, 5); // duplicate row
+    Matrix out;
+    EXPECT_FALSE(a.invert(out));
+}
+
+TEST(Matrix, CauchySquareSubmatricesInvertible)
+{
+    // The MDS-enabling property: every square submatrix of a Cauchy
+    // matrix is nonsingular. Sample random submatrices.
+    Matrix c = Matrix::cauchy(4, 10);
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::size_t sz = 1 + rng.below(4);
+        // pick sz distinct rows and columns
+        std::vector<std::size_t> rsel, csel;
+        while (rsel.size() < sz) {
+            std::size_t r = rng.below(4);
+            if (std::find(rsel.begin(), rsel.end(), r) == rsel.end())
+                rsel.push_back(r);
+        }
+        while (csel.size() < sz) {
+            std::size_t col = rng.below(10);
+            if (std::find(csel.begin(), csel.end(), col) == csel.end())
+                csel.push_back(col);
+        }
+        Matrix sub(sz, sz);
+        for (std::size_t i = 0; i < sz; ++i)
+            for (std::size_t j = 0; j < sz; ++j)
+                sub.set(i, j, c.at(rsel[i], csel[j]));
+        Matrix out;
+        EXPECT_TRUE(sub.invert(out)) << "trial " << trial;
+    }
+}
+
+TEST(Matrix, VandermondeShape)
+{
+    Matrix v = Matrix::vandermonde(3, 4);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(v.at(i, 0), 1);
+        EXPECT_EQ(v.at(i, 1), static_cast<Elem>(i + 1));
+    }
+}
+
+TEST(Matrix, SelectRows)
+{
+    Matrix c = Matrix::cauchy(4, 3);
+    Matrix sel = c.selectRows({2, 0});
+    EXPECT_EQ(sel.rows(), 2u);
+    for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(sel.at(0, j), c.at(2, j));
+        EXPECT_EQ(sel.at(1, j), c.at(0, j));
+    }
+}
+
+TEST(Matrix, MultiplyKnownValues)
+{
+    // (A*B)*x == A*(B*x) sanity on random data.
+    Rng rng(8);
+    Matrix a(3, 3), b(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j) {
+            a.set(i, j, static_cast<Elem>(rng.below(256)));
+            b.set(i, j, static_cast<Elem>(rng.below(256)));
+        }
+    Matrix x(3, 1);
+    for (std::size_t i = 0; i < 3; ++i)
+        x.set(i, 0, static_cast<Elem>(rng.below(256)));
+    EXPECT_EQ(a.multiply(b).multiply(x), a.multiply(b.multiply(x)));
+}
+
+} // namespace
+} // namespace gf
+} // namespace chameleon

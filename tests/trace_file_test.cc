@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the trace-file loader: parsing (ops, keys, comments,
+ * errors), empirical profile construction, and end-to-end replay
+ * through the foreground driver.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "traffic/foreground_driver.hh"
+#include "traffic/trace_file.hh"
+
+namespace chameleon {
+namespace traffic {
+namespace {
+
+TEST(TraceParse, BasicRecords)
+{
+    std::istringstream in(
+        "R 17 4096\n"
+        "W 42 1048576\n"
+        "GET 17 512\n"
+        "put 9 100\n");
+    auto records = parseTrace(in);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_TRUE(records[0].isRead);
+    EXPECT_EQ(records[0].key, 17u);
+    EXPECT_DOUBLE_EQ(records[0].bytes, 4096.0);
+    EXPECT_FALSE(records[1].isRead);
+    EXPECT_TRUE(records[2].isRead);
+    EXPECT_FALSE(records[3].isRead);
+    EXPECT_EQ(records[3].key, 9u);
+}
+
+TEST(TraceParse, CommentsAndBlanksIgnored)
+{
+    std::istringstream in(
+        "# a trace\n"
+        "\n"
+        "R 1 100  # trailing comment\n"
+        "   \n"
+        "W 2 200\n");
+    auto records = parseTrace(in);
+    EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(TraceParse, NonNumericKeysAreHashedStably)
+{
+    std::istringstream in1("R user:alpha 100\nR user:alpha 100\n"
+                           "R user:beta 100\n");
+    auto records = parseTrace(in1);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].key, records[1].key);
+    EXPECT_NE(records[0].key, records[2].key);
+}
+
+TEST(TraceParse, BadOpIsFatal)
+{
+    std::istringstream in("X 1 100\n");
+    EXPECT_DEATH(parseTrace(in), "unknown op");
+}
+
+TEST(TraceParse, MissingFieldsFatal)
+{
+    std::istringstream in("R 1\n");
+    EXPECT_DEATH(parseTrace(in), "expected");
+}
+
+TEST(TraceParse, NonPositiveSizeFatal)
+{
+    std::istringstream in("R 1 0\n");
+    EXPECT_DEATH(parseTrace(in), "non-positive");
+}
+
+TEST(LoadTraceFile, MissingFileFatal)
+{
+    EXPECT_DEATH(loadTraceFile("/nonexistent/definitely.trace"),
+                 "cannot open");
+}
+
+TEST(ProfileFromRecords, MatchesEmpiricalMix)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 90; ++i)
+        records.push_back({true, static_cast<uint64_t>(i), 1000.0});
+    for (int i = 0; i < 10; ++i)
+        records.push_back({false, static_cast<uint64_t>(i), 9000.0});
+    auto profile = profileFromRecords("mytrace", records);
+    EXPECT_EQ(profile.name, "mytrace");
+    EXPECT_NEAR(profile.readFraction, 0.9, 1e-9);
+    // Sampled sizes come from the empirical set only.
+    Rng rng(5);
+    double small = 0, large = 0;
+    for (int i = 0; i < 10000; ++i) {
+        Bytes b = profile.valueSize(rng);
+        ASSERT_TRUE(b == 1000.0 || b == 9000.0);
+        (b == 1000.0 ? small : large) += 1;
+    }
+    EXPECT_NEAR(small / 10000.0, 0.9, 0.02);
+    (void)large;
+}
+
+TEST(ProfileFromRecords, ReplaysThroughDriver)
+{
+    std::vector<TraceRecord> records = {
+        {true, 1, 64.0 * units::KiB},
+        {false, 2, 128.0 * units::KiB},
+        {true, 3, 32.0 * units::KiB},
+    };
+    auto profile = profileFromRecords("replay", records);
+    profile.workersPerClient = 2;
+    profile.idleMean = 0.0;
+
+    sim::Simulator sim;
+    cluster::ClusterConfig cfg;
+    cfg.numNodes = 6;
+    cfg.numClients = 1;
+    cluster::Cluster cluster(sim, cfg);
+    ForegroundDriver driver(cluster, profile, Rng(7), 50);
+    driver.start();
+    sim.run();
+    EXPECT_TRUE(driver.finished());
+    EXPECT_EQ(driver.completedRequests(), 50u);
+    EXPECT_GT(driver.completedBytes(), 0.0);
+}
+
+} // namespace
+} // namespace traffic
+} // namespace chameleon

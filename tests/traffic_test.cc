@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the foreground traffic layer: profile shapes, closed-loop
+ * execution, budgets and completion time, latency accounting, node
+ * exclusion, profile switching, and the bandwidth fluctuation /
+ * imbalance characteristics the paper's root-cause analysis depends
+ * on.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "traffic/foreground_driver.hh"
+#include "traffic/trace_profile.hh"
+#include "util/rng.hh"
+
+namespace chameleon {
+namespace traffic {
+namespace {
+
+cluster::ClusterConfig
+smallConfig()
+{
+    cluster::ClusterConfig cfg;
+    cfg.numNodes = 8;
+    cfg.numClients = 2;
+    cfg.usageWindow = 5.0;
+    return cfg;
+}
+
+TEST(TraceProfiles, AllProfilesWellFormed)
+{
+    Rng rng(1);
+    for (auto &p : allProfiles()) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GE(p.readFraction, 0.0);
+        EXPECT_LE(p.readFraction, 1.0);
+        EXPECT_GE(p.workersPerClient, 1);
+        EXPECT_GE(p.batchFactor, 1);
+        ASSERT_TRUE(p.valueSize);
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_GT(p.valueSize(rng), 0.0);
+    }
+}
+
+TEST(TraceProfiles, YcsbAValuesAreFixed512K)
+{
+    auto p = ycsbA();
+    Rng rng(2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(p.valueSize(rng), 512.0 * units::KiB);
+    EXPECT_DOUBLE_EQ(p.readFraction, 0.5);
+}
+
+TEST(TraceProfiles, IbmHasExtremeSizeSpread)
+{
+    auto p = ibmObjectStore();
+    Rng rng(3);
+    Bytes lo = 1e18, hi = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Bytes v = p.valueSize(rng);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    // The paper stresses 16 B .. 2.4 GB; expect >= 5 orders of
+    // magnitude of spread in a modest sample.
+    EXPECT_LT(lo, 1e3);
+    EXPECT_GT(hi, 1e8);
+}
+
+TEST(TraceProfiles, EtcIsReadDominated)
+{
+    auto p = facebookEtc();
+    EXPECT_NEAR(p.readFraction, 30.0 / 31.0, 1e-9);
+}
+
+TEST(ForegroundDriver, BoundedRunCompletesBudget)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto profile = ycsbA();
+    profile.workersPerClient = 4;
+    profile.idleMean = 0.0; // no idle gaps: deterministic finish
+    ForegroundDriver driver(c, profile, Rng(42),
+                            /*requests_per_client=*/50);
+    driver.start();
+    sim.run();
+    EXPECT_TRUE(driver.finished());
+    EXPECT_EQ(driver.completedRequests(), 100u);
+    EXPECT_GT(driver.completionTime(), 0.0);
+    EXPECT_LT(driver.completionTime(), kTimeNever);
+    EXPECT_EQ(driver.latencies().count(), 100u);
+}
+
+TEST(ForegroundDriver, LatenciesArePositiveAndBounded)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto profile = ycsbA();
+    profile.workersPerClient = 2;
+    profile.idleMean = 0.0;
+    ForegroundDriver driver(c, profile, Rng(43), 30);
+    driver.start();
+    sim.run();
+    for (double l : driver.latencies().samples()) {
+        EXPECT_GT(l, 0.0);
+        EXPECT_LT(l, 10.0);
+    }
+    EXPECT_GE(driver.latencies().p99(),
+              driver.latencies().percentile(50));
+}
+
+TEST(ForegroundDriver, StopHaltsNewRequests)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto profile = ycsbA();
+    profile.workersPerClient = 2;
+    profile.idleMean = 0.0;
+    ForegroundDriver driver(c, profile, Rng(44), 0); // unbounded
+    driver.start();
+    sim.schedule(5.0, [&] { driver.stop(); });
+    sim.run();
+    EXPECT_FALSE(driver.finished()); // unbounded never "finishes"
+    uint64_t done = driver.completedRequests();
+    EXPECT_GT(done, 0u);
+    // No further progress is possible once drained.
+    sim.run();
+    EXPECT_EQ(driver.completedRequests(), done);
+}
+
+TEST(ForegroundDriver, ExcludedNodeReceivesNoTraffic)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto profile = ycsbA();
+    profile.workersPerClient = 4;
+    profile.idleMean = 0.0;
+    ForegroundDriver driver(c, profile, Rng(45), 100);
+    driver.excludeNode(3);
+    driver.start();
+    sim.run();
+    auto &net = c.network();
+    EXPECT_DOUBLE_EQ(
+        net.taggedBytes(c.uplink(3), sim::FlowTag::kForeground), 0.0);
+    EXPECT_DOUBLE_EQ(
+        net.taggedBytes(c.downlink(3), sim::FlowTag::kForeground), 0.0);
+    // Others did receive traffic.
+    Bytes total = 0;
+    for (NodeId n = 0; n < c.numNodes(); ++n)
+        total += net.taggedBytes(c.uplink(n), sim::FlowTag::kForeground);
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(ForegroundDriver, BytesMatchAccounting)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto profile = ycsbA();
+    profile.workersPerClient = 2;
+    profile.idleMean = 0.0;
+    ForegroundDriver driver(c, profile, Rng(46), 40);
+    driver.start();
+    sim.run();
+    // Completed bytes = 80 requests x 512 KiB.
+    EXPECT_NEAR(driver.completedBytes(), 80 * 512.0 * units::KiB, 1.0);
+    // Every byte crossed exactly one node uplink (reads) or downlink
+    // (writes).
+    Bytes up = 0, down = 0;
+    for (NodeId n = 0; n < c.numNodes(); ++n) {
+        up += c.network().taggedBytes(c.uplink(n),
+                                      sim::FlowTag::kForeground);
+        down += c.network().taggedBytes(c.downlink(n),
+                                        sim::FlowTag::kForeground);
+    }
+    EXPECT_NEAR(up + down, driver.completedBytes(), 1e3);
+}
+
+TEST(ForegroundDriver, SwitchProfileChangesWorkloadShape)
+{
+    sim::Simulator sim;
+    cluster::Cluster c(sim, smallConfig());
+    auto p1 = ycsbA();
+    p1.workersPerClient = 2;
+    p1.idleMean = 0.0;
+    ForegroundDriver driver(c, p1, Rng(47), 0);
+    driver.start();
+    sim.run(10.0);
+    uint64_t before = driver.completedRequests();
+    EXPECT_GT(before, 0u);
+    auto p2 = facebookEtc();
+    p2.idleMean = 0.0;
+    driver.switchProfile(p2);
+    sim.run(20.0);
+    EXPECT_GT(driver.completedRequests(), before);
+    driver.stop();
+    sim.run();
+}
+
+TEST(ForegroundDriver, ZipfSkewCreatesLinkImbalance)
+{
+    // R2: bandwidth utilization is unbalanced across nodes.
+    sim::Simulator sim;
+    auto cfg = smallConfig();
+    cfg.numClients = 4;
+    cluster::Cluster c(sim, cfg);
+    auto profile = ycsbA();
+    profile.idleMean = 0.0;
+    ForegroundDriver driver(c, profile, Rng(48), 400);
+    driver.start();
+    sim.run();
+    Bytes lo = 1e18, hi = 0;
+    for (NodeId n = 0; n < c.numNodes(); ++n) {
+        Bytes b = c.network().taggedBytes(c.uplink(n),
+                                          sim::FlowTag::kForeground) +
+                  c.network().taggedBytes(c.downlink(n),
+                                          sim::FlowTag::kForeground);
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+    }
+    EXPECT_GT(hi, lo * 1.3) << "expected skewed per-node load";
+}
+
+TEST(ForegroundDriver, OnOffTrafficFluctuatesAcrossWindows)
+{
+    // R1: the occupied bandwidth fluctuates over time windows.
+    sim::Simulator sim;
+    auto cfg = smallConfig();
+    cfg.usageWindow = 15.0;
+    cluster::Cluster c(sim, cfg);
+    auto profile = ycsbA();
+    profile.burstMean = 10.0;
+    profile.idleMean = 6.0;
+    ForegroundDriver driver(c, profile, Rng(49), 0);
+    driver.start();
+    sim.run(120.0);
+    driver.stop();
+    sim.run();
+    // At least one node uplink shows meaningful window-to-window
+    // fluctuation relative to its mean.
+    bool fluctuates = false;
+    for (NodeId n = 0; n < c.numNodes(); ++n) {
+        const auto &u = c.network().usage(c.uplink(n),
+                                          sim::FlowTag::kForeground);
+        if (u.windowCount() >= 4 && u.meanRate() > 0 &&
+            u.fluctuation() > 0.5 * u.meanRate())
+            fluctuates = true;
+    }
+    EXPECT_TRUE(fluctuates);
+}
+
+} // namespace
+} // namespace traffic
+} // namespace chameleon

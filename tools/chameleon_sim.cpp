@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Command-line experiment runner: configure a cluster, a code, a
+ * foreground trace (built-in profile or a trace file), pick repair
+ * algorithms, and get the paper's metrics — without writing C++.
+ *
+ *   chameleon_sim --algo cr,chameleon --trace ycsb-a --chunks 60
+ *   chameleon_sim --code lrc:10,2,2 --link-gbps 5 --disk-mbps 250
+ *   chameleon_sim --trace-file my.trace --straggler 5:0.05:15
+ *   chameleon_sim --help
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "ec/factory.hh"
+#include "traffic/trace_file.hh"
+
+using namespace chameleon;
+using namespace chameleon::analysis;
+
+namespace {
+
+[[noreturn]] void
+usage(int exit_code)
+{
+    std::printf(R"(chameleon_sim — run a ChameleonEC repair experiment
+
+Options (defaults in brackets):
+  --algo LIST        comma list of cr,ppr,ecpipe,rb-cr,rb-ppr,
+                     rb-ecpipe,etrp,chameleon,chameleon-io
+                     [cr,ppr,ecpipe,chameleon]
+  --code SPEC        rs:K,M | lrc:K,L,M | butterfly  [rs:10,4]
+  --trace NAME       ycsb-a|ibm|memcached|etc|none  [ycsb-a]
+  --trace-file PATH  replay a '<op> <key> <bytes>' trace file
+  --chunks N         chunks to repair  [60]
+  --nodes N          storage nodes  [20]
+  --clients N        foreground client instances  [4]
+  --failed N         failed nodes  [1]
+  --link-gbps X      sustained link bandwidth  [2.5]
+  --racks N          racks (0 = flat topology)  [0]
+  --oversub X        rack aggregation oversubscription  [1]
+  --disk-mbps X      disk bandwidth  [500]
+  --chunk-mib X      chunk size  [64]
+  --slice-mib X      slice size  [2]
+  --tphase X         ChameleonEC phase length (s)  [20]
+  --straggler T:F:D  throttle a participating node to fraction F
+                     for D seconds, T seconds after repair starts
+                     (repeatable)
+  --seed N           RNG seed  [42]
+  --help             this text
+)");
+    std::exit(exit_code);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : arg) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+Algorithm
+parseAlgorithm(const std::string &name)
+{
+    if (name == "cr")
+        return Algorithm::kCr;
+    if (name == "ppr")
+        return Algorithm::kPpr;
+    if (name == "ecpipe")
+        return Algorithm::kEcpipe;
+    if (name == "rb-cr")
+        return Algorithm::kRbCr;
+    if (name == "rb-ppr")
+        return Algorithm::kRbPpr;
+    if (name == "rb-ecpipe")
+        return Algorithm::kRbEcpipe;
+    if (name == "etrp")
+        return Algorithm::kEtrp;
+    if (name == "chameleon")
+        return Algorithm::kChameleon;
+    if (name == "chameleon-io")
+        return Algorithm::kChameleonIo;
+    std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+    usage(2);
+}
+
+std::shared_ptr<const ec::ErasureCode>
+parseCode(const std::string &spec)
+{
+    if (spec == "butterfly")
+        return ec::makeButterfly();
+    auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr, "bad code spec '%s'\n", spec.c_str());
+        usage(2);
+    }
+    auto family = spec.substr(0, colon);
+    auto params = splitList(spec.substr(colon + 1), ',');
+    if (family == "rs" && params.size() == 2)
+        return ec::makeRs(std::stoi(params[0]), std::stoi(params[1]));
+    if (family == "lrc" && params.size() == 3)
+        return ec::makeLrc(std::stoi(params[0]), std::stoi(params[1]),
+                           std::stoi(params[2]));
+    std::fprintf(stderr, "bad code spec '%s'\n", spec.c_str());
+    usage(2);
+}
+
+std::optional<traffic::TraceProfile>
+parseTraceName(const std::string &name)
+{
+    if (name == "none")
+        return std::nullopt;
+    if (name == "ycsb-a")
+        return traffic::ycsbA();
+    if (name == "ibm")
+        return traffic::ibmObjectStore();
+    if (name == "memcached")
+        return traffic::memcachedCluster37();
+    if (name == "etc")
+        return traffic::facebookEtc();
+    std::fprintf(stderr, "unknown trace '%s'\n", name.c_str());
+    usage(2);
+}
+
+StragglerEvent
+parseStraggler(const std::string &spec)
+{
+    auto parts = splitList(spec, ':');
+    if (parts.size() != 3) {
+        std::fprintf(stderr,
+                     "bad --straggler '%s' (want T:FRACTION:DURATION)\n",
+                     spec.c_str());
+        usage(2);
+    }
+    StragglerEvent ev;
+    ev.at = std::stod(parts[0]);
+    ev.node = kInvalidNode; // auto-pick a participating node
+    ev.factor = std::stod(parts[1]);
+    ev.duration = std::stod(parts[2]);
+    return ev;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentConfig cfg;
+    cfg.chunksToRepair = 60;
+    cfg.exec.sliceSize = 2 * units::MiB;
+    cfg.trace = traffic::ycsbA();
+    cfg.seed = 42;
+    std::vector<Algorithm> algos = {Algorithm::kCr, Algorithm::kPpr,
+                                    Algorithm::kEcpipe,
+                                    Algorithm::kChameleon};
+
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            usage(2);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            usage(0);
+        } else if (flag == "--algo") {
+            algos.clear();
+            for (const auto &name : splitList(need_value(i), ','))
+                algos.push_back(parseAlgorithm(name));
+            ++i;
+        } else if (flag == "--code") {
+            cfg.code = parseCode(need_value(i));
+            ++i;
+        } else if (flag == "--trace") {
+            cfg.trace = parseTraceName(need_value(i));
+            ++i;
+        } else if (flag == "--trace-file") {
+            cfg.trace = traffic::profileFromRecords(
+                need_value(i),
+                traffic::loadTraceFile(need_value(i)));
+            ++i;
+        } else if (flag == "--chunks") {
+            cfg.chunksToRepair = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--nodes") {
+            cfg.cluster.numNodes = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--clients") {
+            cfg.cluster.numClients = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--failed") {
+            cfg.failedNodes = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--racks") {
+            cfg.cluster.racks = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--oversub") {
+            cfg.cluster.rackOversubscription =
+                std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--link-gbps") {
+            cfg.cluster.uplinkBw = std::stod(need_value(i)) *
+                                   units::Gbps;
+            cfg.cluster.downlinkBw = cfg.cluster.uplinkBw;
+            ++i;
+        } else if (flag == "--disk-mbps") {
+            cfg.cluster.diskBw = std::stod(need_value(i)) *
+                                 units::MBps;
+            ++i;
+        } else if (flag == "--chunk-mib") {
+            cfg.exec.chunkSize = std::stod(need_value(i)) *
+                                 units::MiB;
+            ++i;
+        } else if (flag == "--slice-mib") {
+            cfg.exec.sliceSize = std::stod(need_value(i)) *
+                                 units::MiB;
+            ++i;
+        } else if (flag == "--tphase") {
+            cfg.chameleon.tPhase = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--straggler") {
+            cfg.stragglers.push_back(parseStraggler(need_value(i)));
+            ++i;
+        } else if (flag == "--seed") {
+            cfg.seed = std::stoull(need_value(i));
+            ++i;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            usage(2);
+        }
+    }
+
+    std::printf("cluster: %d nodes, %d clients, %.2f Gb/s links, "
+                "%.0f MB/s disks; code %s; %d chunks x %.0f MiB; "
+                "trace %s; seed %llu\n\n",
+                cfg.cluster.numNodes, cfg.cluster.numClients,
+                cfg.cluster.uplinkBw * 8 / 1e9,
+                cfg.cluster.diskBw / 1e6, cfg.code->name().c_str(),
+                cfg.chunksToRepair, cfg.exec.chunkSize / units::MiB,
+                cfg.trace ? cfg.trace->name.c_str() : "none",
+                static_cast<unsigned long long>(cfg.seed));
+
+    for (auto algo : algos) {
+        auto r = runExperiment(algo, cfg);
+        std::printf("%-14s repair %7.1f MB/s in %7.1f s",
+                    algorithmName(algo).c_str(),
+                    r.repairThroughput / 1e6, r.repairTime);
+        if (cfg.trace)
+            std::printf("   P99 %8.1f ms", r.p99LatencyMs);
+        if (r.phases)
+            std::printf("   phases %d retunes %d reorders %d",
+                        r.phases, r.retunes, r.reorders);
+        std::printf("\n");
+    }
+    return 0;
+}
