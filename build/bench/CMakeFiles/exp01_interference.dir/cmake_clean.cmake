@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_interference.dir/exp01_interference.cc.o"
+  "CMakeFiles/exp01_interference.dir/exp01_interference.cc.o.d"
+  "exp01_interference"
+  "exp01_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_interference_degree.dir/exp02_interference_degree.cc.o"
+  "CMakeFiles/exp02_interference_degree.dir/exp02_interference_degree.cc.o.d"
+  "exp02_interference_degree"
+  "exp02_interference_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_interference_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp02_interference_degree.
+# This may be replaced when dependencies are built.

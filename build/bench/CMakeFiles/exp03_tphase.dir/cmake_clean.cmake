@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_tphase.dir/exp03_tphase.cc.o"
+  "CMakeFiles/exp03_tphase.dir/exp03_tphase.cc.o.d"
+  "exp03_tphase"
+  "exp03_tphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_tphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp03_tphase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_adaptivity.dir/exp04_adaptivity.cc.o"
+  "CMakeFiles/exp04_adaptivity.dir/exp04_adaptivity.cc.o.d"
+  "exp04_adaptivity"
+  "exp04_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_computation.dir/exp05_computation.cc.o"
+  "CMakeFiles/exp05_computation.dir/exp05_computation.cc.o.d"
+  "exp05_computation"
+  "exp05_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

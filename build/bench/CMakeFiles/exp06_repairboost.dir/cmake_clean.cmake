@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_repairboost.dir/exp06_repairboost.cc.o"
+  "CMakeFiles/exp06_repairboost.dir/exp06_repairboost.cc.o.d"
+  "exp06_repairboost"
+  "exp06_repairboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_repairboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

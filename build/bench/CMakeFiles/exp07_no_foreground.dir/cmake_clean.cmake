@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_no_foreground.dir/exp07_no_foreground.cc.o"
+  "CMakeFiles/exp07_no_foreground.dir/exp07_no_foreground.cc.o.d"
+  "exp07_no_foreground"
+  "exp07_no_foreground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_no_foreground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

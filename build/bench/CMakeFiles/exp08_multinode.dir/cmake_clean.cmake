@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_multinode.dir/exp08_multinode.cc.o"
+  "CMakeFiles/exp08_multinode.dir/exp08_multinode.cc.o.d"
+  "exp08_multinode"
+  "exp08_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

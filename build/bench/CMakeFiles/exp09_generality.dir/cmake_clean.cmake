@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_generality.dir/exp09_generality.cc.o"
+  "CMakeFiles/exp09_generality.dir/exp09_generality.cc.o.d"
+  "exp09_generality"
+  "exp09_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

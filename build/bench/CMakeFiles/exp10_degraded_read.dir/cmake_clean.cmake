@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_degraded_read.dir/exp10_degraded_read.cc.o"
+  "CMakeFiles/exp10_degraded_read.dir/exp10_degraded_read.cc.o.d"
+  "exp10_degraded_read"
+  "exp10_degraded_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_degraded_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_breakdown.dir/exp11_breakdown.cc.o"
+  "CMakeFiles/exp11_breakdown.dir/exp11_breakdown.cc.o.d"
+  "exp11_breakdown"
+  "exp11_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

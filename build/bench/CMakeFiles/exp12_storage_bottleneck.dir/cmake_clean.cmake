@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_storage_bottleneck.dir/exp12_storage_bottleneck.cc.o"
+  "CMakeFiles/exp12_storage_bottleneck.dir/exp12_storage_bottleneck.cc.o.d"
+  "exp12_storage_bottleneck"
+  "exp12_storage_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_storage_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

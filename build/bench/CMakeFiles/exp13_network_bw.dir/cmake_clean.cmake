@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_network_bw.dir/exp13_network_bw.cc.o"
+  "CMakeFiles/exp13_network_bw.dir/exp13_network_bw.cc.o.d"
+  "exp13_network_bw"
+  "exp13_network_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_network_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_reliability.dir/fig02_reliability.cc.o"
+  "CMakeFiles/fig02_reliability.dir/fig02_reliability.cc.o.d"
+  "fig02_reliability"
+  "fig02_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fluctuation.dir/fig05_fluctuation.cc.o"
+  "CMakeFiles/fig05_fluctuation.dir/fig05_fluctuation.cc.o.d"
+  "fig05_fluctuation"
+  "fig05_fluctuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fluctuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

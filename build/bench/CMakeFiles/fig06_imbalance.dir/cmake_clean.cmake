@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_imbalance.dir/fig06_imbalance.cc.o"
+  "CMakeFiles/fig06_imbalance.dir/fig06_imbalance.cc.o.d"
+  "fig06_imbalance"
+  "fig06_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_comparison.dir/code_comparison.cpp.o"
+  "CMakeFiles/code_comparison.dir/code_comparison.cpp.o.d"
+  "code_comparison"
+  "code_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_read.dir/degraded_read.cpp.o"
+  "CMakeFiles/degraded_read.dir/degraded_read.cpp.o.d"
+  "degraded_read"
+  "degraded_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

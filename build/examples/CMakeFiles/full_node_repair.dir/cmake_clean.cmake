@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_node_repair.dir/full_node_repair.cpp.o"
+  "CMakeFiles/full_node_repair.dir/full_node_repair.cpp.o.d"
+  "full_node_repair"
+  "full_node_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_node_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_analysis.dir/experiment.cc.o"
+  "CMakeFiles/chameleon_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/chameleon_analysis.dir/reliability.cc.o"
+  "CMakeFiles/chameleon_analysis.dir/reliability.cc.o.d"
+  "libchameleon_analysis.a"
+  "libchameleon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_cluster.dir/cluster.cc.o"
+  "CMakeFiles/chameleon_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/chameleon_cluster.dir/stripe_manager.cc.o"
+  "CMakeFiles/chameleon_cluster.dir/stripe_manager.cc.o.d"
+  "libchameleon_cluster.a"
+  "libchameleon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/butterfly_code.cc" "src/ec/CMakeFiles/chameleon_ec.dir/butterfly_code.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/butterfly_code.cc.o.d"
+  "/root/repo/src/ec/factory.cc" "src/ec/CMakeFiles/chameleon_ec.dir/factory.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/factory.cc.o.d"
+  "/root/repo/src/ec/linear_code.cc" "src/ec/CMakeFiles/chameleon_ec.dir/linear_code.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/linear_code.cc.o.d"
+  "/root/repo/src/ec/lrc_code.cc" "src/ec/CMakeFiles/chameleon_ec.dir/lrc_code.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/lrc_code.cc.o.d"
+  "/root/repo/src/ec/replicated_code.cc" "src/ec/CMakeFiles/chameleon_ec.dir/replicated_code.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/replicated_code.cc.o.d"
+  "/root/repo/src/ec/rs_code.cc" "src/ec/CMakeFiles/chameleon_ec.dir/rs_code.cc.o" "gcc" "src/ec/CMakeFiles/chameleon_ec.dir/rs_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/chameleon_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chameleon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_ec.dir/butterfly_code.cc.o"
+  "CMakeFiles/chameleon_ec.dir/butterfly_code.cc.o.d"
+  "CMakeFiles/chameleon_ec.dir/factory.cc.o"
+  "CMakeFiles/chameleon_ec.dir/factory.cc.o.d"
+  "CMakeFiles/chameleon_ec.dir/linear_code.cc.o"
+  "CMakeFiles/chameleon_ec.dir/linear_code.cc.o.d"
+  "CMakeFiles/chameleon_ec.dir/lrc_code.cc.o"
+  "CMakeFiles/chameleon_ec.dir/lrc_code.cc.o.d"
+  "CMakeFiles/chameleon_ec.dir/replicated_code.cc.o"
+  "CMakeFiles/chameleon_ec.dir/replicated_code.cc.o.d"
+  "CMakeFiles/chameleon_ec.dir/rs_code.cc.o"
+  "CMakeFiles/chameleon_ec.dir/rs_code.cc.o.d"
+  "libchameleon_ec.a"
+  "libchameleon_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

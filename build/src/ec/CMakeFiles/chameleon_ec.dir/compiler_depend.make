@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chameleon_ec.
+# This may be replaced when dependencies are built.

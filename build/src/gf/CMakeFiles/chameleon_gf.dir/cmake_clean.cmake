@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_gf.dir/gf256.cc.o"
+  "CMakeFiles/chameleon_gf.dir/gf256.cc.o.d"
+  "CMakeFiles/chameleon_gf.dir/matrix.cc.o"
+  "CMakeFiles/chameleon_gf.dir/matrix.cc.o.d"
+  "libchameleon_gf.a"
+  "libchameleon_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

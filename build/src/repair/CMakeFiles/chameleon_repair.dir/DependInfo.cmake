@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repair/chameleon_planner.cc" "src/repair/CMakeFiles/chameleon_repair.dir/chameleon_planner.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/chameleon_planner.cc.o.d"
+  "/root/repo/src/repair/chameleon_scheduler.cc" "src/repair/CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o.d"
+  "/root/repo/src/repair/executor.cc" "src/repair/CMakeFiles/chameleon_repair.dir/executor.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/executor.cc.o.d"
+  "/root/repo/src/repair/monitor.cc" "src/repair/CMakeFiles/chameleon_repair.dir/monitor.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/monitor.cc.o.d"
+  "/root/repo/src/repair/plan.cc" "src/repair/CMakeFiles/chameleon_repair.dir/plan.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/plan.cc.o.d"
+  "/root/repo/src/repair/session.cc" "src/repair/CMakeFiles/chameleon_repair.dir/session.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/session.cc.o.d"
+  "/root/repo/src/repair/strategies.cc" "src/repair/CMakeFiles/chameleon_repair.dir/strategies.cc.o" "gcc" "src/repair/CMakeFiles/chameleon_repair.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/chameleon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/chameleon_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chameleon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/chameleon_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_repair.dir/chameleon_planner.cc.o"
+  "CMakeFiles/chameleon_repair.dir/chameleon_planner.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o"
+  "CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/executor.cc.o"
+  "CMakeFiles/chameleon_repair.dir/executor.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/monitor.cc.o"
+  "CMakeFiles/chameleon_repair.dir/monitor.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/plan.cc.o"
+  "CMakeFiles/chameleon_repair.dir/plan.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/session.cc.o"
+  "CMakeFiles/chameleon_repair.dir/session.cc.o.d"
+  "CMakeFiles/chameleon_repair.dir/strategies.cc.o"
+  "CMakeFiles/chameleon_repair.dir/strategies.cc.o.d"
+  "libchameleon_repair.a"
+  "libchameleon_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

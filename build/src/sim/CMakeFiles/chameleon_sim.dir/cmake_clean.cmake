@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_sim.dir/flow_network.cc.o"
+  "CMakeFiles/chameleon_sim.dir/flow_network.cc.o.d"
+  "CMakeFiles/chameleon_sim.dir/simulator.cc.o"
+  "CMakeFiles/chameleon_sim.dir/simulator.cc.o.d"
+  "libchameleon_sim.a"
+  "libchameleon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/foreground_driver.cc" "src/traffic/CMakeFiles/chameleon_traffic.dir/foreground_driver.cc.o" "gcc" "src/traffic/CMakeFiles/chameleon_traffic.dir/foreground_driver.cc.o.d"
+  "/root/repo/src/traffic/trace_file.cc" "src/traffic/CMakeFiles/chameleon_traffic.dir/trace_file.cc.o" "gcc" "src/traffic/CMakeFiles/chameleon_traffic.dir/trace_file.cc.o.d"
+  "/root/repo/src/traffic/trace_profile.cc" "src/traffic/CMakeFiles/chameleon_traffic.dir/trace_profile.cc.o" "gcc" "src/traffic/CMakeFiles/chameleon_traffic.dir/trace_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/chameleon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chameleon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/chameleon_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/chameleon_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_traffic.dir/foreground_driver.cc.o"
+  "CMakeFiles/chameleon_traffic.dir/foreground_driver.cc.o.d"
+  "CMakeFiles/chameleon_traffic.dir/trace_file.cc.o"
+  "CMakeFiles/chameleon_traffic.dir/trace_file.cc.o.d"
+  "CMakeFiles/chameleon_traffic.dir/trace_profile.cc.o"
+  "CMakeFiles/chameleon_traffic.dir/trace_profile.cc.o.d"
+  "libchameleon_traffic.a"
+  "libchameleon_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_util.dir/distributions.cc.o"
+  "CMakeFiles/chameleon_util.dir/distributions.cc.o.d"
+  "CMakeFiles/chameleon_util.dir/logging.cc.o"
+  "CMakeFiles/chameleon_util.dir/logging.cc.o.d"
+  "CMakeFiles/chameleon_util.dir/rng.cc.o"
+  "CMakeFiles/chameleon_util.dir/rng.cc.o.d"
+  "CMakeFiles/chameleon_util.dir/stats.cc.o"
+  "CMakeFiles/chameleon_util.dir/stats.cc.o.d"
+  "libchameleon_util.a"
+  "libchameleon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

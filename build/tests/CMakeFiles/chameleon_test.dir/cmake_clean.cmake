@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_test.dir/chameleon_test.cc.o"
+  "CMakeFiles/chameleon_test.dir/chameleon_test.cc.o.d"
+  "chameleon_test"
+  "chameleon_test.pdb"
+  "chameleon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

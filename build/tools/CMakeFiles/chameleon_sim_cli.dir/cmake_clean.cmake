@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_sim_cli.dir/chameleon_sim.cpp.o"
+  "CMakeFiles/chameleon_sim_cli.dir/chameleon_sim.cpp.o.d"
+  "chameleon-sim"
+  "chameleon-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
