@@ -75,6 +75,17 @@ printRow(const std::string &label, double tput_mbs, double p99_ms)
                 label.c_str(), tput_mbs, p99_ms);
 }
 
+/** Latency detail line beneath a printRow() (one sorted pass; see
+ * LatencyRecorder::summary()). Summary values are in seconds. */
+inline void
+printLatencyDetail(const LatencySummary &s)
+{
+    std::printf("      latency mean %6.1f ms  P50 %6.1f ms  "
+                "P99 %6.1f ms  max %6.1f ms  (%zu requests)\n",
+                s.mean * 1e3, s.p50 * 1e3, s.p99 * 1e3, s.max * 1e3,
+                s.count);
+}
+
 } // namespace bench
 } // namespace chameleon
 

@@ -37,8 +37,10 @@ main()
             printRow(analysis::algorithmName(algo),
                      r.repairThroughput / 1e6, r.p99LatencyMs);
             tput_summary[algo].add(r.repairThroughput / 1e6);
-            if (algo == Algorithm::kChameleon)
+            if (algo == Algorithm::kChameleon) {
                 chameleon_tput = r.repairThroughput;
+                printLatencyDetail(r.latency);
+            }
         }
         (void)chameleon_tput;
     }

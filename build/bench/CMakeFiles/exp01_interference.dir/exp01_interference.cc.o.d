@@ -218,9 +218,9 @@ bench/CMakeFiles/exp01_interference.dir/exp01_interference.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/types.hh /usr/include/c++/12/limits \
- /root/repo/src/util/stats.hh /usr/include/c++/12/cstddef \
- /root/repo/src/repair/chameleon_scheduler.hh /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/telemetry/metrics.hh /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/repair/chameleon_scheduler.hh \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/cluster/stripe_manager.hh /root/repo/src/ec/code.hh \
  /usr/include/c++/12/span /root/repo/src/gf/gf256.hh \

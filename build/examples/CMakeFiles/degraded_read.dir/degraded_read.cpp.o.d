@@ -213,11 +213,11 @@ examples/CMakeFiles/degraded_read.dir/degraded_read.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/types.hh /usr/include/c++/12/limits \
- /root/repo/src/util/stats.hh /usr/include/c++/12/cstddef \
- /root/repo/src/repair/chameleon_scheduler.hh /usr/include/c++/12/map \
+ /root/repo/src/telemetry/metrics.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/repair/chameleon_scheduler.hh \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/cluster/stripe_manager.hh /root/repo/src/ec/code.hh \
  /usr/include/c++/12/span /root/repo/src/gf/gf256.hh \

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sim/CMakeFiles/chameleon_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/ec/CMakeFiles/chameleon_ec.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/chameleon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/chameleon_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/gf/CMakeFiles/chameleon_gf.dir/DependInfo.cmake"
   )
 

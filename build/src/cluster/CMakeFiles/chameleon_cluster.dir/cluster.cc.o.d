@@ -215,7 +215,10 @@ src/cluster/CMakeFiles/chameleon_cluster.dir/cluster.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/types.hh /usr/include/c++/12/limits \
- /root/repo/src/util/stats.hh /usr/include/c++/12/cstddef \
- /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/telemetry/metrics.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/util/logging.hh \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -225,9 +225,9 @@ src/repair/CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/cluster/cluster.hh /root/repo/src/sim/flow_network.hh \
  /root/repo/src/sim/simulator.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.hh \
- /root/repo/src/repair/monitor.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/telemetry/metrics.hh \
+ /root/repo/src/util/stats.hh /root/repo/src/repair/monitor.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -250,7 +250,8 @@ src/repair/CMakeFiles/chameleon_repair.dir/chameleon_scheduler.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/telemetry/telemetry.hh /root/repo/src/telemetry/trace.hh \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

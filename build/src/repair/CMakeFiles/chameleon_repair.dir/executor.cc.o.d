@@ -213,11 +213,14 @@ src/repair/CMakeFiles/chameleon_repair.dir/executor.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/types.hh /usr/include/c++/12/limits \
- /root/repo/src/util/stats.hh /usr/include/c++/12/cstddef \
- /root/repo/src/repair/plan.hh /root/repo/src/ec/code.hh \
- /usr/include/c++/12/optional /usr/include/c++/12/span \
- /root/repo/src/gf/gf256.hh /root/repo/src/util/rng.hh \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/telemetry/metrics.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/repair/plan.hh \
+ /root/repo/src/ec/code.hh /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /root/repo/src/gf/gf256.hh \
+ /root/repo/src/util/rng.hh /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -240,7 +243,8 @@ src/repair/CMakeFiles/chameleon_repair.dir/executor.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/telemetry/telemetry.hh /root/repo/src/telemetry/trace.hh \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

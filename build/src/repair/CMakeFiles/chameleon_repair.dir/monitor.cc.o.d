@@ -215,10 +215,14 @@ src/repair/CMakeFiles/chameleon_repair.dir/monitor.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/types.hh /usr/include/c++/12/limits \
- /root/repo/src/util/stats.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/telemetry/metrics.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.hh \
+ /usr/include/c++/12/cstddef /root/repo/src/util/rng.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/telemetry/telemetry.hh /root/repo/src/telemetry/trace.hh \
  /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

@@ -223,8 +223,8 @@ src/repair/CMakeFiles/chameleon_repair.dir/session.cc.o: \
  /usr/include/c++/12/limits /root/repo/src/repair/executor.hh \
  /root/repo/src/cluster/cluster.hh /root/repo/src/sim/flow_network.hh \
  /root/repo/src/sim/simulator.hh /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/stats.hh \
- /root/repo/src/repair/plan.hh /root/repo/src/util/logging.hh \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/telemetry/metrics.hh \
+ /root/repo/src/util/stats.hh /root/repo/src/repair/plan.hh \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

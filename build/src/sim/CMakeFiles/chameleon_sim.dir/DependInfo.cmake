@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/chameleon_telemetry.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/chameleon_util.dir/DependInfo.cmake"
   )
 

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chameleon_telemetry.dir/json.cc.o"
+  "CMakeFiles/chameleon_telemetry.dir/json.cc.o.d"
+  "CMakeFiles/chameleon_telemetry.dir/metrics.cc.o"
+  "CMakeFiles/chameleon_telemetry.dir/metrics.cc.o.d"
+  "CMakeFiles/chameleon_telemetry.dir/telemetry.cc.o"
+  "CMakeFiles/chameleon_telemetry.dir/telemetry.cc.o.d"
+  "CMakeFiles/chameleon_telemetry.dir/trace.cc.o"
+  "CMakeFiles/chameleon_telemetry.dir/trace.cc.o.d"
+  "libchameleon_telemetry.a"
+  "libchameleon_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chameleon_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -321,7 +321,7 @@ tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/types.hh \
- /root/repo/src/util/stats.hh \
+ /root/repo/src/telemetry/metrics.hh /root/repo/src/util/stats.hh \
  /root/repo/src/repair/chameleon_scheduler.hh \
  /root/repo/src/cluster/stripe_manager.hh /root/repo/src/ec/code.hh \
  /usr/include/c++/12/span /root/repo/src/gf/gf256.hh \

@@ -298,11 +298,12 @@ tests/CMakeFiles/property_test.dir/property_test.cc.o: \
  /root/repo/src/sim/simulator.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/types.hh /root/repo/src/util/stats.hh \
- /root/repo/src/cluster/stripe_manager.hh /root/repo/src/ec/code.hh \
- /usr/include/c++/12/span /root/repo/src/gf/gf256.hh \
- /root/repo/src/util/rng.hh /root/repo/src/ec/factory.hh \
- /root/repo/src/ec/lrc_code.hh /root/repo/src/ec/linear_code.hh \
- /root/repo/src/gf/matrix.hh /root/repo/src/ec/rs_code.hh \
- /root/repo/src/repair/chameleon_planner.hh /root/repo/src/repair/plan.hh \
- /root/repo/src/repair/executor.hh /root/repo/src/repair/strategies.hh
+ /root/repo/src/util/types.hh /root/repo/src/telemetry/metrics.hh \
+ /root/repo/src/util/stats.hh /root/repo/src/cluster/stripe_manager.hh \
+ /root/repo/src/ec/code.hh /usr/include/c++/12/span \
+ /root/repo/src/gf/gf256.hh /root/repo/src/util/rng.hh \
+ /root/repo/src/ec/factory.hh /root/repo/src/ec/lrc_code.hh \
+ /root/repo/src/ec/linear_code.hh /root/repo/src/gf/matrix.hh \
+ /root/repo/src/ec/rs_code.hh /root/repo/src/repair/chameleon_planner.hh \
+ /root/repo/src/repair/plan.hh /root/repo/src/repair/executor.hh \
+ /root/repo/src/repair/strategies.hh

@@ -296,4 +296,4 @@ tests/CMakeFiles/sim_test.dir/sim_test.cc.o: /root/repo/tests/sim_test.cc \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/types.hh \
- /root/repo/src/util/stats.hh
+ /root/repo/src/telemetry/metrics.hh /root/repo/src/util/stats.hh

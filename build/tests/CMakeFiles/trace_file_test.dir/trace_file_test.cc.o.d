@@ -297,8 +297,8 @@ tests/CMakeFiles/trace_file_test.dir/trace_file_test.cc.o: \
  /root/repo/src/sim/simulator.hh /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/types.hh /root/repo/src/util/stats.hh \
- /root/repo/src/traffic/foreground_driver.hh \
+ /root/repo/src/util/types.hh /root/repo/src/telemetry/metrics.hh \
+ /root/repo/src/util/stats.hh /root/repo/src/traffic/foreground_driver.hh \
  /root/repo/src/traffic/trace_profile.hh /root/repo/src/util/rng.hh \
  /root/repo/src/util/distributions.hh \
  /root/repo/src/traffic/trace_file.hh

@@ -17,3 +17,5 @@ include("/root/repo/build/tests/analysis_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/trace_file_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")

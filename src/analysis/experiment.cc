@@ -5,6 +5,7 @@
 #include "ec/factory.hh"
 #include "repair/monitor.hh"
 #include "repair/strategies.hh"
+#include "telemetry/telemetry.hh"
 #include "traffic/foreground_driver.hh"
 #include "util/logging.hh"
 
@@ -96,6 +97,11 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
     CHAMELEON_ASSERT(config.failedNodes >= 1 &&
                      config.failedNodes <= config.cluster.numNodes,
                      "bad failed node count");
+
+    // Each experiment is its own process row in the exported trace;
+    // sim time restarts at 0 per run, so runs must not share a pid.
+    CHAMELEON_TELEM(
+        telemetry::tracer().beginRun(algorithmName(algorithm)));
 
     Rng rng(config.seed);
     sim::Simulator sim;
@@ -337,8 +343,9 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
         if (algorithm == Algorithm::kNone)
             from = 0;
         (void)lat_end;
-        result.p99LatencyMs = lat.percentileFrom(from, 99.0) * 1e3;
-        result.meanLatencyMs = lat.meanFrom(from) * 1e3;
+        result.latency = lat.summaryFrom(from);
+        result.p99LatencyMs = result.latency.p99 * 1e3;
+        result.meanLatencyMs = result.latency.mean * 1e3;
         if (config.requestsPerClient != 0 && driver->finished())
             result.traceTime = driver->completionTime();
     }

@@ -22,6 +22,7 @@
 #include "repair/session.hh"
 #include "traffic/foreground_driver.hh"
 #include "traffic/trace_profile.hh"
+#include "util/stats.hh"
 
 namespace chameleon {
 namespace analysis {
@@ -108,6 +109,8 @@ struct ExperimentResult
     /** Foreground request latency during the repair window (ms). */
     double p99LatencyMs = 0.0;
     double meanLatencyMs = 0.0;
+    /** Full latency statistics of the same window (seconds). */
+    LatencySummary latency;
     /** Bounded-trace execution time (Exp#2); 0 if unbounded. */
     SimTime traceTime = 0.0;
     /** Chameleon-only counters. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -13,7 +14,19 @@ ChameleonScheduler::ChameleonScheduler(cluster::StripeManager &stripes,
                                        BandwidthMonitor &monitor,
                                        ChameleonConfig config, Rng rng)
     : stripes_(stripes), executor_(executor), monitor_(monitor),
-      config_(config), rng_(rng)
+      config_(config), rng_(rng),
+      metPhases_(
+          telemetry::metrics().counter("repair.chameleon.phases")),
+      metDispatches_(
+          telemetry::metrics().counter("repair.chameleon.dispatches")),
+      metChecks_(
+          telemetry::metrics().counter("repair.chameleon.checks")),
+      metStragglers_(telemetry::metrics().counter(
+          "repair.chameleon.stragglers")),
+      metRetunes_(
+          telemetry::metrics().counter("repair.chameleon.retunes")),
+      metReorders_(
+          telemetry::metrics().counter("repair.chameleon.reorders"))
 {
     CHAMELEON_ASSERT(config_.tPhase > 0, "tPhase must be positive");
     CHAMELEON_ASSERT(config_.checkPeriod > 0,
@@ -211,6 +224,15 @@ ChameleonScheduler::admitChunk(PlannerState &state,
                       config_.expectationFactor +
                 config_.stragglerSlack);
     }
+    metDispatches_.add();
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        now, telemetry::kTrackScheduler, "repair", "dispatch",
+        {{"stripe", plan.stripe},
+         {"chunk", plan.failedChunk},
+         {"dest", plan.destination},
+         {"sources", plan.sources.size()},
+         {"est_s", planned->estimatedTime},
+         {"forced", force ? 1 : 0}}));
     return Admission::kAdmitted;
 }
 
@@ -220,7 +242,18 @@ ChameleonScheduler::runPhase()
     if (finished())
         return;
     ++phasesRun_;
+    metPhases_.add();
     auto &sim = executor_.cluster().simulator();
+    if (phaseSpanOpen_) {
+        CHAMELEON_TELEM(telemetry::tracer().end(
+            sim.now(), telemetry::kTrackScheduler));
+    }
+    CHAMELEON_TELEM(telemetry::tracer().begin(
+        sim.now(), telemetry::kTrackScheduler, "repair", "phase",
+        {{"index", phasesRun_},
+         {"pending", pending_.size()},
+         {"active", activeIds_.size()}}));
+    phaseSpanOpen_ = true;
 
     // Postponed tasks restart opportunistically in the next phase.
     for (const auto &[id, resume_at] : pausedIds_) {
@@ -310,6 +343,7 @@ ChameleonScheduler::progressCheck()
         return;
     auto &sim = executor_.cluster().simulator();
     const SimTime now = sim.now();
+    metChecks_.add();
 
     // First pass: per-edge progress deltas since the last check, and
     // the cluster-wide median delta of actively transmitting edges.
@@ -374,6 +408,17 @@ ChameleonScheduler::progressCheck()
             // few slow edges is not a straggler situation).
             if (median_delta < 1 || delta * 8 >= median_delta)
                 continue;
+            metStragglers_.add();
+            CHAMELEON_TELEM(telemetry::tracer().instant(
+                now, telemetry::kTrackScheduler, "repair",
+                "straggler",
+                {{"source",
+                  executor_.plan(id).sources[static_cast<std::size_t>(
+                                       st.source)]
+                      .node},
+                 {"stripe", executor_.plan(id).stripe},
+                 {"delta", delta},
+                 {"median", median_delta}}));
             // A delayed download at a relay source can be re-tuned
             // to the destination (Section III-C, Figure 10(b)).
             if (config_.enableRetuning &&
@@ -382,6 +427,15 @@ ChameleonScheduler::progressCheck()
                 executor_.setEdgeExpectation(
                     id, st.source, now + config_.stragglerSlack);
                 ++retunes_;
+                metRetunes_.add();
+                CHAMELEON_TELEM(telemetry::tracer().instant(
+                    now, telemetry::kTrackScheduler, "repair",
+                    "retune",
+                    {{"source",
+                      executor_.plan(id).sources[static_cast<std::size_t>(
+                                           st.source)]
+                          .node},
+                     {"stripe", executor_.plan(id).stripe}}));
                 continue;
             }
             // Otherwise postpone the chunk's remaining tasks so other
@@ -391,6 +445,12 @@ ChameleonScheduler::progressCheck()
                 executor_.pauseChunk(id);
                 pausedIds_[id] = now + config_.reorderBackoff;
                 ++reorders_;
+                metReorders_.add();
+                CHAMELEON_TELEM(telemetry::tracer().instant(
+                    now, telemetry::kTrackScheduler, "repair",
+                    "reorder",
+                    {{"stripe", executor_.plan(id).stripe},
+                     {"backoff_s", config_.reorderBackoff}}));
                 break;
             }
         }
@@ -475,6 +535,15 @@ ChameleonScheduler::onChunkDone(RepairId, const ChunkRepairPlan &plan,
     }
     if (chunksRepaired_ == totalChunks_) {
         finishTime_ = when;
+        if (phaseSpanOpen_) {
+            CHAMELEON_TELEM(telemetry::tracer().end(
+                when, telemetry::kTrackScheduler));
+            phaseSpanOpen_ = false;
+        }
+        CHAMELEON_TELEM(telemetry::tracer().instant(
+            when, telemetry::kTrackScheduler, "repair", "finished",
+            {{"chunks", chunksRepaired_},
+             {"phases", phasesRun_}}));
         return;
     }
     admitPending();

@@ -25,6 +25,7 @@
 #include "repair/chameleon_planner.hh"
 #include "repair/executor.hh"
 #include "repair/monitor.hh"
+#include "telemetry/metrics.hh"
 #include "util/rng.hh"
 
 namespace chameleon {
@@ -122,6 +123,16 @@ class ChameleonScheduler
      * used to detect zero-progress (crawling) transmissions. */
     std::map<RepairId, std::vector<int>> lastDelivered_;
     std::map<StripeId, std::set<NodeId>> reserved_;
+
+    /** Metric handles (see telemetry/metrics.hh). */
+    telemetry::Counter &metPhases_;
+    telemetry::Counter &metDispatches_;
+    telemetry::Counter &metChecks_;
+    telemetry::Counter &metStragglers_;
+    telemetry::Counter &metRetunes_;
+    telemetry::Counter &metReorders_;
+    /** True while a phase span is open on the scheduler track. */
+    bool phaseSpanOpen_ = false;
 
     bool started_ = false;
     SimTime startTime_ = 0.0;

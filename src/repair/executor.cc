@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -24,7 +25,9 @@ sliceCount(Bytes total, Bytes slice)
 
 RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
                                ExecutorConfig config)
-    : cluster_(cluster), config_(config)
+    : cluster_(cluster), config_(config),
+      metChunks_(telemetry::metrics().counter("repair.exec.chunks")),
+      metSlices_(telemetry::metrics().counter("repair.exec.slices"))
 {
     CHAMELEON_ASSERT(config_.chunkSize > 0 && config_.sliceSize > 0,
                      "sizes must be positive");
@@ -62,6 +65,7 @@ RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done)
     chunk.id = id;
     chunk.plan = plan;
     chunk.onDone = std::move(on_done);
+    chunk.launchTime = cluster_.simulator().now();
     chunk.chunkSlices = sliceCount(config_.chunkSize, config_.sliceSize);
 
     const int nsrc = static_cast<int>(plan.sources.size());
@@ -479,6 +483,7 @@ RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
     edge.activeFlow = sim::kInvalidFlow;
     edge.delivered = s + 1;
     edge.nextSlice = s + 1;
+    metSlices_.add();
     // Task-queue semantics: the edge keeps its slots while it has
     // immediately sendable slices (a node works through an upload
     // task to completion, as the paper's per-node task model and the
@@ -579,11 +584,20 @@ RepairExecutor::checkChunkDone(RepairId id)
         }
     }
     ++completedChunks_;
+    metChunks_.add();
+    const SimTime now = cluster_.simulator().now();
+    CHAMELEON_TELEM(telemetry::tracer().complete(
+        chunk.launchTime, now - chunk.launchTime,
+        telemetry::kTrackExecutor, "repair", "chunk",
+        {{"stripe", chunk.plan.stripe},
+         {"chunk", chunk.plan.failedChunk},
+         {"dest", chunk.plan.destination},
+         {"sources", chunk.plan.sources.size()}}));
     auto plan_copy = chunk.plan;
     auto done = std::move(chunk.onDone);
     active_.erase(it);
     if (done)
-        done(plan_copy, cluster_.simulator().now());
+        done(plan_copy, now);
 }
 
 } // namespace repair

@@ -42,6 +42,7 @@
 
 #include "cluster/cluster.hh"
 #include "repair/plan.hh"
+#include "telemetry/metrics.hh"
 #include "util/types.hh"
 
 namespace chameleon {
@@ -207,6 +208,8 @@ class RepairExecutor
         int writesDone = 0;
         bool paused = false;
         ChunkDone onDone;
+        /** Telemetry: launch instant for the chunk's repair span. */
+        SimTime launchTime = 0.0;
     };
 
     void tryLaunchEdge(ChunkExec &chunk, int edge_index);
@@ -239,6 +242,9 @@ class RepairExecutor
 
     cluster::Cluster &cluster_;
     ExecutorConfig config_;
+    /** Metric handles (see telemetry/metrics.hh). */
+    telemetry::Counter &metChunks_;
+    telemetry::Counter &metSlices_;
     std::unordered_map<RepairId, ChunkExec> active_;
     std::vector<NodeSlots> slots_;
     RepairId nextId_ = 0;

@@ -1,7 +1,9 @@
 #include "repair/monitor.hh"
 
 #include <algorithm>
+#include <string>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -63,6 +65,23 @@ BandwidthMonitor::stop()
 }
 
 void
+BandwidthMonitor::setMeasurementNoise(double fraction, uint64_t seed)
+{
+    CHAMELEON_ASSERT(fraction >= 0.0 && fraction < 1.0,
+                     "noise fraction out of range: ", fraction);
+    noise_ = fraction;
+    noiseRng_ = Rng(seed);
+}
+
+Rate
+BandwidthMonitor::noisy(Rate used)
+{
+    if (noise_ == 0.0)
+        return used;
+    return used * (1.0 + noiseRng_.uniform(-noise_, noise_));
+}
+
+void
 BandwidthMonitor::sample()
 {
     if (!running_)
@@ -81,19 +100,26 @@ BandwidthMonitor::sample()
         Rate down_cap = net.capacity(cluster_.downlink(node));
         Rate disk_cap = net.capacity(cluster_.disk(node));
         upResidual_[i] = std::max(
-            up_cap - (up - lastUpBytes_[i]) / period_,
+            up_cap - noisy((up - lastUpBytes_[i]) / period_),
             floorFraction_ * up_cap);
         downResidual_[i] = std::max(
-            down_cap - (down - lastDownBytes_[i]) / period_,
+            down_cap - noisy((down - lastDownBytes_[i]) / period_),
             floorFraction_ * down_cap);
         diskResidual_[i] = std::max(
-            disk_cap - (disk - lastDiskBytes_[i]) / period_,
+            disk_cap - noisy((disk - lastDiskBytes_[i]) / period_),
             floorFraction_ * disk_cap);
         lastUpBytes_[i] = up;
         lastDownBytes_[i] = down;
         lastDiskBytes_[i] = disk;
+        CHAMELEON_TELEM(telemetry::tracer().counter(
+            cluster_.simulator().now(), telemetry::kTrackMonitor,
+            "residual.n" + std::to_string(node),
+            {{"up", upResidual_[i]},
+             {"down", downResidual_[i]},
+             {"disk", diskResidual_[i]}}));
     }
     ++samples_;
+    telemetry::metrics().counter("monitor.samples").add();
     cluster_.simulator().scheduleAfter(period_, [this] { sample(); });
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "util/rng.hh"
 #include "util/types.hh"
 
 namespace chameleon {
@@ -49,6 +50,17 @@ class BandwidthMonitor
 
     /** Stops sampling (estimates freeze at their last values). */
     void stop();
+
+    /**
+     * Injects multiplicative measurement noise: every sampled usage
+     * is scaled by a uniform factor in [1-fraction, 1+fraction]
+     * (NetHogs-style samplers misattribute short bursts). With noise
+     * f the residual error is bounded by f * capacity on top of the
+     * staleness the re-scheduler already absorbs.
+     */
+    void setMeasurementNoise(double fraction, uint64_t seed);
+
+    double measurementNoise() const { return noise_; }
 
     Dimension dimension() const { return dimension_; }
 
@@ -87,10 +99,15 @@ class BandwidthMonitor
   private:
     void sample();
 
+    /** Applies the configured measurement noise to a usage rate. */
+    Rate noisy(Rate used);
+
     cluster::Cluster &cluster_;
     SimTime period_;
     Dimension dimension_;
     double floorFraction_;
+    double noise_ = 0.0;
+    Rng noiseRng_{0};
     bool running_ = false;
     int samples_ = 0;
     std::vector<Rate> upResidual_;

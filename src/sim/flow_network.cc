@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -16,8 +17,40 @@ constexpr Bytes kByteEps = 1e-3;
 } // namespace
 
 FlowNetwork::FlowNetwork(Simulator &sim, SimTime usage_window)
-    : sim_(sim), usageWindow_(usage_window)
+    : sim_(sim), usageWindow_(usage_window),
+      flowsStarted_(telemetry::metrics().counter("sim.flows.started")),
+      flowsCompleted_(
+          telemetry::metrics().counter("sim.flows.completed")),
+      flowsCancelled_(
+          telemetry::metrics().counter("sim.flows.cancelled")),
+      flowsActive_(telemetry::metrics().gauge("sim.flows.active")),
+      rateRecomputes_(
+          telemetry::metrics().counter("sim.rate_recomputes")),
+      rateRecomputeVisits_(telemetry::metrics().counter(
+          "sim.rate_recompute_flow_visits")),
+      capacityChanges_(
+          telemetry::metrics().counter("sim.capacity_changes"))
 {
+}
+
+void
+FlowNetwork::traceFlowSpan(const Flow &flow, SimTime end,
+                           bool cancelled)
+{
+    std::string path;
+    for (ResourceId r : flow.path) {
+        if (!path.empty())
+            path.push_back('|');
+        path += resources_[static_cast<std::size_t>(r)].name;
+    }
+    const auto track = flow.tag == FlowTag::kRepair
+                           ? telemetry::kTrackRepairFlow
+                           : telemetry::kTrackForeground;
+    telemetry::tracer().complete(
+        flow.start, end - flow.start, track, "sim.flow", "flow",
+        {{"bytes", flow.size},
+         {"path", std::move(path)},
+         {"cancelled", cancelled ? 1 : 0}});
 }
 
 ResourceId
@@ -55,6 +88,12 @@ FlowNetwork::setCapacity(ResourceId id, Rate capacity)
     CHAMELEON_ASSERT(capacity >= 0, "negative capacity");
     advanceProgress();
     resources_[static_cast<std::size_t>(id)].capacity = capacity;
+    capacityChanges_.add();
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        sim_.now(), telemetry::kTrackSim, "sim", "capacity-change",
+        {{"resource",
+          resources_[static_cast<std::size_t>(id)].name},
+         {"capacity", capacity}}));
     resolve();
 }
 
@@ -89,9 +128,13 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
     flow.remaining = size;
     flow.tag = tag;
     flow.onComplete = std::move(on_complete);
+    flow.start = sim_.now();
+    flow.size = size;
     for (ResourceId r : flow.path)
         resources_[static_cast<std::size_t>(r)].active.push_back(id);
     flows_.emplace(id, std::move(flow));
+    flowsStarted_.add();
+    flowsActive_.set(static_cast<double>(flows_.size()));
     resolve();
     return id;
 }
@@ -106,8 +149,12 @@ FlowNetwork::cancelFlow(FlowId id)
         return 0.0;
     }
     Bytes remaining = it->second.remaining;
+    flowsCancelled_.add();
+    CHAMELEON_TELEM(traceFlowSpan(it->second, sim_.now(),
+                                  /*cancelled=*/true));
     detachFlow(it->second);
     flows_.erase(it);
+    flowsActive_.set(static_cast<double>(flows_.size()));
     resolve();
     return remaining;
 }
@@ -214,17 +261,23 @@ FlowNetwork::advanceProgress()
                 res.usage[static_cast<int>(flow.tag)].addTransfer(
                     lastUpdate_, end, delivered);
             }
-            if (flow.remaining <= kByteEps)
+            if (flow.remaining <= kByteEps) {
                 finished.push_back(id);
+                // `end` is the exact completion instant.
+                CHAMELEON_TELEM(traceFlowSpan(flow, end,
+                                              /*cancelled=*/false));
+            }
         }
         for (FlowId id : finished) {
             auto it = flows_.find(id);
             if (it->second.onComplete)
                 pendingCallbacks_.push_back(
                     std::move(it->second.onComplete));
+            flowsCompleted_.add();
             detachFlow(it->second);
             flows_.erase(it);
         }
+        flowsActive_.set(static_cast<double>(flows_.size()));
     }
     lastUpdate_ = now;
 }
@@ -244,6 +297,8 @@ FlowNetwork::detachFlow(const Flow &flow)
 void
 FlowNetwork::computeRates()
 {
+    rateRecomputes_.add();
+    rateRecomputeVisits_.add(static_cast<int64_t>(flows_.size()));
     // Progressive filling (Bertsekas & Gallager): repeatedly saturate
     // the resource with the smallest fair share among its unfrozen
     // flows; those flows are frozen at that share.

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/simulator.hh"
+#include "telemetry/metrics.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -132,6 +133,9 @@ class FlowNetwork
         Rate rate = 0.0;
         FlowTag tag;
         std::function<void()> onComplete;
+        /** Telemetry: launch time and original size for flow spans. */
+        SimTime start = 0.0;
+        Bytes size = 0.0;
     };
 
     struct Resource
@@ -163,8 +167,19 @@ class FlowNetwork
 
     void detachFlow(const Flow &flow);
 
+    /** Emits the Chrome-trace span of a finished/cancelled flow. */
+    void traceFlowSpan(const Flow &flow, SimTime end, bool cancelled);
+
     Simulator &sim_;
     SimTime usageWindow_;
+    /** Metric handles (resolved once; updates are single adds). */
+    telemetry::Counter &flowsStarted_;
+    telemetry::Counter &flowsCompleted_;
+    telemetry::Counter &flowsCancelled_;
+    telemetry::Gauge &flowsActive_;
+    telemetry::Counter &rateRecomputes_;
+    telemetry::Counter &rateRecomputeVisits_;
+    telemetry::Counter &capacityChanges_;
     std::vector<Resource> resources_;
     std::unordered_map<FlowId, Flow> flows_;
     FlowId nextFlowId_ = 0;

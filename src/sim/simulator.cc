@@ -1,9 +1,15 @@
 #include "sim/simulator.hh"
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
 namespace sim {
+
+Simulator::~Simulator()
+{
+    telemetry::flush();
+}
 
 bool
 EventHandle::pending() const

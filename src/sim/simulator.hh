@@ -54,6 +54,10 @@ class Simulator
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
+    /** Flushes configured telemetry sinks so traces survive runs
+     * that end without an explicit export. */
+    ~Simulator();
+
     /** Current virtual time in seconds. */
     SimTime now() const { return now_; }
 

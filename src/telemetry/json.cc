@@ -1,0 +1,248 @@
+#include "telemetry/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace chameleon {
+namespace telemetry {
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::kObject)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : fallback;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::optional<JsonValue> run()
+    {
+        skipWs();
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.type = JsonValue::Type::kString;
+            return parseString(out.string);
+          case 't':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = JsonValue::Type::kNull;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::kObject;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return false;
+            skipWs();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.object.emplace(std::move(key), std::move(member));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::kArray;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            skipWs();
+            JsonValue element;
+            if (!parseValue(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(esc);
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                // Our writers only escape control characters, so a
+                // raw byte append covers everything we emit.
+                out.push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        out.type = JsonValue::Type::kNumber;
+        out.number = v;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace telemetry
+} // namespace chameleon

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal JSON reader for the telemetry tooling: trace_inspect loads
+ * Chrome-trace files back in, and the tests assert the sinks emit
+ * well-formed JSON. Covers the full JSON grammar this repo produces
+ * (objects, arrays, strings with basic escapes, numbers, booleans,
+ * null); it is a consumer for our own output, not a general-purpose
+ * parser.
+ */
+
+#ifndef CHAMELEON_TELEMETRY_JSON_HH_
+#define CHAMELEON_TELEMETRY_JSON_HH_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+namespace telemetry {
+
+/** A parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return type == Type::kNull; }
+    bool isNumber() const { return type == Type::kNumber; }
+    bool isString() const { return type == Type::kString; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isObject() const { return type == Type::kObject; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Convenience accessors with defaults. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+};
+
+/**
+ * Parses `text` as one JSON document.
+ * @return nullopt on any syntax error (including trailing garbage).
+ */
+std::optional<JsonValue> parseJson(const std::string &text);
+
+} // namespace telemetry
+} // namespace chameleon
+
+#endif // CHAMELEON_TELEMETRY_JSON_HH_

@@ -1,0 +1,270 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace telemetry {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    CHAMELEON_ASSERT(!bounds_.empty(), "histogram needs bucket bounds");
+    CHAMELEON_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must be ascending");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void
+Histogram::observe(double value)
+{
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    CHAMELEON_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p);
+    if (count_ == 0)
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    int64_t seen = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] == 0)
+            continue;
+        const int64_t prev = seen;
+        seen += counts_[b];
+        if (static_cast<double>(seen) < rank)
+            continue;
+        // Interpolate within [lo, hi] of the winning bucket; the
+        // overflow bucket reports the observed max.
+        const double lo = b == 0 ? std::min(min_, bounds_[0])
+                                 : bounds_[b - 1];
+        const double hi = b < bounds_.size() ? bounds_[b] : max_;
+        const double frac =
+            (rank - static_cast<double>(prev)) /
+            static_cast<double>(counts_[b]);
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+const MetricSample *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const auto &s : samples)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+namespace {
+
+/** Minimal JSON string escaping (metric names are plain, but a
+ * trace-file-derived name could carry anything). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v)) {
+        // Integral values print without a fraction so counters stay
+        // exact in downstream parsers.
+        if (v == std::floor(v) && std::abs(v) < 1e15) {
+            os << static_cast<long long>(v);
+            return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        os << buf;
+    } else {
+        os << "null";
+    }
+}
+
+} // namespace
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &s : samples) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  ";
+        writeJsonString(os, s.name);
+        os << ": ";
+        switch (s.kind) {
+          case MetricSample::Kind::kCounter:
+          case MetricSample::Kind::kGauge:
+            writeJsonNumber(os, s.value);
+            break;
+          case MetricSample::Kind::kHistogram:
+            os << "{\"count\": " << s.count << ", \"mean\": ";
+            writeJsonNumber(os, s.count ? s.sum /
+                                              static_cast<double>(s.count)
+                                        : 0.0);
+            os << ", \"min\": ";
+            writeJsonNumber(os, s.min);
+            os << ", \"max\": ";
+            writeJsonNumber(os, s.max);
+            os << ", \"p50\": ";
+            writeJsonNumber(os, s.p50);
+            os << ", \"p99\": ";
+            writeJsonNumber(os, s.p99);
+            os << "}";
+            break;
+        }
+    }
+    os << "\n}\n";
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        Instrument inst;
+        inst.kind = MetricSample::Kind::kCounter;
+        inst.counter = std::make_unique<Counter>();
+        it = instruments_.emplace(name, std::move(inst)).first;
+    }
+    CHAMELEON_ASSERT(it->second.kind == MetricSample::Kind::kCounter,
+                     "metric '", name, "' already registered with "
+                     "another kind");
+    return *it->second.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        Instrument inst;
+        inst.kind = MetricSample::Kind::kGauge;
+        inst.gauge = std::make_unique<Gauge>();
+        it = instruments_.emplace(name, std::move(inst)).first;
+    }
+    CHAMELEON_ASSERT(it->second.kind == MetricSample::Kind::kGauge,
+                     "metric '", name, "' already registered with "
+                     "another kind");
+    return *it->second.gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        Instrument inst;
+        inst.kind = MetricSample::Kind::kHistogram;
+        inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+        it = instruments_.emplace(name, std::move(inst)).first;
+    }
+    CHAMELEON_ASSERT(it->second.kind == MetricSample::Kind::kHistogram,
+                     "metric '", name, "' already registered with "
+                     "another kind");
+    return *it->second.histogram;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    snap.samples.reserve(instruments_.size());
+    for (const auto &[name, inst] : instruments_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = inst.kind;
+        switch (inst.kind) {
+          case MetricSample::Kind::kCounter:
+            s.value = static_cast<double>(inst.counter->value);
+            break;
+          case MetricSample::Kind::kGauge:
+            s.value = inst.gauge->value;
+            break;
+          case MetricSample::Kind::kHistogram:
+            s.count = inst.histogram->count();
+            s.sum = inst.histogram->sum();
+            s.min = inst.histogram->min();
+            s.max = inst.histogram->max();
+            s.p50 = inst.histogram->percentile(50.0);
+            s.p99 = inst.histogram->percentile(99.0);
+            break;
+        }
+        snap.samples.push_back(std::move(s));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &[name, inst] : instruments_) {
+        switch (inst.kind) {
+          case MetricSample::Kind::kCounter:
+            inst.counter->value = 0;
+            break;
+          case MetricSample::Kind::kGauge:
+            inst.gauge->value = 0.0;
+            break;
+          case MetricSample::Kind::kHistogram:
+            inst.histogram->reset();
+            break;
+        }
+    }
+}
+
+} // namespace telemetry
+} // namespace chameleon

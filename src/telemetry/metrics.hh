@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Low-overhead metrics registry: named counters, gauges, and
+ * fixed-bucket histograms with hierarchical dotted names
+ * (`repair.chameleon.retunes`, `sim.flows.active`).
+ *
+ * Callers resolve a name to a handle once (a stable reference into
+ * the registry) and then update through it; the hot-path cost of an
+ * update is a single arithmetic operation. snapshot() captures every
+ * instrument's current value for reporting; reset() zeroes them so
+ * one process can run several experiments with per-run metrics.
+ */
+
+#ifndef CHAMELEON_TELEMETRY_METRICS_HH_
+#define CHAMELEON_TELEMETRY_METRICS_HH_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chameleon {
+namespace telemetry {
+
+/** Monotonic event count. */
+struct Counter
+{
+    int64_t value = 0;
+
+    void add(int64_t delta = 1) { value += delta; }
+};
+
+/** Last-written scalar (levels: active flows, residual estimates). */
+struct Gauge
+{
+    double value = 0.0;
+
+    void set(double v) { value = v; }
+    void add(double delta) { value += delta; }
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * value <= bounds[i]; one extra overflow bucket counts the rest.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** bounds().size() + 1 entries; last is the overflow bucket. */
+    const std::vector<int64_t> &counts() const { return counts_; }
+    int64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+
+    /** Linear interpolation within the winning bucket. */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<int64_t> counts_;
+    int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** One instrument's captured state. */
+struct MetricSample
+{
+    enum class Kind { kCounter, kGauge, kHistogram };
+
+    std::string name;
+    Kind kind = Kind::kCounter;
+    /** Counter value or gauge level. */
+    double value = 0.0;
+    /** Histogram-only fields. */
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Point-in-time capture of a whole registry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<MetricSample> samples;
+
+    /** Looks a sample up by exact name; nullptr if absent. */
+    const MetricSample *find(const std::string &name) const;
+
+    /** Flat JSON object keyed by dotted metric name. */
+    void writeJson(std::ostream &os) const;
+};
+
+/** Named-instrument registry; see file comment. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Resolves (creating on first use) the instrument named `name`.
+     * References stay valid for the registry's lifetime. Resolving
+     * an existing name as a different kind panics.
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zeroes every instrument (names and handles survive). */
+    void reset();
+
+    std::size_t size() const { return instruments_.size(); }
+
+  private:
+    struct Instrument
+    {
+        MetricSample::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    /** Ordered so snapshots list hierarchical names grouped. */
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace telemetry
+} // namespace chameleon
+
+#endif // CHAMELEON_TELEMETRY_METRICS_HH_

@@ -1,0 +1,127 @@
+#include "telemetry/telemetry.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace telemetry {
+
+namespace detail {
+bool gEnabled = false;
+} // namespace detail
+
+namespace {
+
+struct Outputs
+{
+    std::string tracePath;
+    std::string jsonlPath;
+    std::string phaseCsvPath;
+    std::string metricsPath;
+    bool hookInstalled = false;
+    bool flushing = false;
+};
+
+Outputs &
+outputs()
+{
+    static Outputs out;
+    return out;
+}
+
+void
+installCrashFlush()
+{
+    auto &out = outputs();
+    if (out.hookInstalled)
+        return;
+    out.hookInstalled = true;
+    chameleon::detail::setPanicHook([] { flush(); });
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::gEnabled = on;
+}
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry r;
+    return r;
+}
+
+void
+setTraceOutput(std::string path)
+{
+    outputs().tracePath = std::move(path);
+    installCrashFlush();
+    setEnabled(true);
+}
+
+void
+setJsonlOutput(std::string path)
+{
+    outputs().jsonlPath = std::move(path);
+    installCrashFlush();
+    setEnabled(true);
+}
+
+void
+setPhaseCsvOutput(std::string path)
+{
+    outputs().phaseCsvPath = std::move(path);
+    installCrashFlush();
+    setEnabled(true);
+}
+
+void
+setMetricsOutput(std::string path)
+{
+    outputs().metricsPath = std::move(path);
+    installCrashFlush();
+}
+
+void
+flush()
+{
+    auto &out = outputs();
+    if (out.flushing)
+        return;
+    out.flushing = true;
+    if (!out.tracePath.empty()) {
+        std::ofstream os(out.tracePath);
+        if (os)
+            tracer().writeChromeTrace(os);
+    }
+    if (!out.jsonlPath.empty()) {
+        std::ofstream os(out.jsonlPath);
+        if (os)
+            tracer().writeJsonl(os);
+    }
+    if (!out.phaseCsvPath.empty()) {
+        std::ofstream os(out.phaseCsvPath);
+        if (os)
+            tracer().writePhaseCsv(os);
+    }
+    if (!out.metricsPath.empty()) {
+        std::ofstream os(out.metricsPath);
+        if (os)
+            metrics().snapshot().writeJson(os);
+    }
+    out.flushing = false;
+}
+
+} // namespace telemetry
+} // namespace chameleon

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Process-wide telemetry access and the guarded instrumentation
+ * macro.
+ *
+ * Instrumentation sites throughout the simulator use
+ * CHAMELEON_TELEM(...) to record events; the wrapped statements run
+ * only when telemetry is enabled at runtime, so a disabled build's
+ * hot paths pay a single predictable branch (and nothing at all when
+ * compiled out with -DCHAMELEON_TELEMETRY_DISABLED). Metric handles
+ * (Counter/Gauge/Histogram references) are live regardless — an
+ * increment is cheaper than the branch would be worth.
+ *
+ * Output sinks are registered once (setTraceOutput/setMetricsOutput)
+ * and flushed by flush(). flush() is also invoked from the
+ * util/logging panic path and from Simulator teardown, so partial
+ * traces survive a crashed or asserting run.
+ */
+
+#ifndef CHAMELEON_TELEMETRY_TELEMETRY_HH_
+#define CHAMELEON_TELEMETRY_TELEMETRY_HH_
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace chameleon {
+namespace telemetry {
+
+namespace detail {
+/** Runtime gate, read inline on every instrumented hot path. */
+extern bool gEnabled;
+} // namespace detail
+
+/** True when event tracing is on. */
+inline bool enabled() { return detail::gEnabled; }
+
+/** Turns event tracing on/off (metrics always accumulate). */
+void setEnabled(bool on);
+
+/** The process-wide tracer. */
+Tracer &tracer();
+
+/** The process-wide metrics registry. */
+MetricsRegistry &metrics();
+
+/**
+ * Registers `path` as the Chrome-trace output and installs the
+ * crash-flush hook. Implies setEnabled(true).
+ */
+void setTraceOutput(std::string path);
+
+/** JSONL event-stream output (same events as the Chrome sink). */
+void setJsonlOutput(std::string path);
+
+/** Per-phase CSV timeline output. */
+void setPhaseCsvOutput(std::string path);
+
+/** Metrics-snapshot JSON output. */
+void setMetricsOutput(std::string path);
+
+/**
+ * Writes every configured output from the current buffer state.
+ * Idempotent (rewrites whole files), cheap when nothing is
+ * configured, and re-entrancy guarded so a panic mid-flush cannot
+ * recurse.
+ */
+void flush();
+
+} // namespace telemetry
+} // namespace chameleon
+
+/**
+ * Runs the wrapped statement(s) only when tracing is enabled.
+ * Usage: CHAMELEON_TELEM(tracer().instant(now, kTrackScheduler,
+ *                                         "repair", "straggler"));
+ */
+#ifndef CHAMELEON_TELEMETRY_DISABLED
+#define CHAMELEON_TELEM(...)                                          \
+    do {                                                              \
+        if (::chameleon::telemetry::enabled()) {                      \
+            __VA_ARGS__;                                              \
+        }                                                             \
+    } while (0)
+#else
+#define CHAMELEON_TELEM(...)                                          \
+    do {                                                              \
+    } while (0)
+#endif
+
+#endif // CHAMELEON_TELEMETRY_TELEMETRY_HH_

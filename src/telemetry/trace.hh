@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Structured event tracer: a bounded ring buffer of trace events
+ * stamped with simulator time, exportable as Chrome-trace/Perfetto
+ * JSON, JSONL, or a per-phase CSV timeline.
+ *
+ * Event vocabulary follows the Chrome trace format: begin/end span
+ * pairs (nested on a track), complete events (span with a known
+ * duration, used for flows whose start time is recorded at launch),
+ * instants (dispatch decisions, straggler detections), and counter
+ * series (residual-bandwidth estimates). Events carry a `pid` that
+ * identifies the experiment run (one process often runs several
+ * algorithms back to back) and a `tid` naming the logical track.
+ *
+ * The buffer is a ring: when full, the oldest events are overwritten
+ * and counted as dropped, so a runaway trace can never exhaust
+ * memory. Timestamps are simulated seconds; sinks convert to the
+ * microseconds Chrome/Perfetto expect.
+ */
+
+#ifndef CHAMELEON_TELEMETRY_TRACE_HH_
+#define CHAMELEON_TELEMETRY_TRACE_HH_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chameleon {
+namespace telemetry {
+
+/** Logical tracks events are grouped under in trace viewers. */
+enum Track : int {
+    kTrackScheduler = 0, ///< phase spans, dispatch/straggler instants
+    kTrackExecutor = 1,  ///< per-chunk repair spans
+    kTrackRepairFlow = 2, ///< repair-tagged network flows
+    kTrackForeground = 3, ///< foreground-tagged network flows
+    kTrackMonitor = 4,   ///< residual-bandwidth counter series
+    kTrackSim = 5,       ///< kernel-level events (rate recomputes)
+};
+
+/** One numeric or string event annotation. */
+struct TraceArg
+{
+    TraceArg(const char *k, double v) : key(k), num(v) {}
+    TraceArg(const char *k, int v)
+        : key(k), num(static_cast<double>(v)) {}
+    TraceArg(const char *k, int64_t v)
+        : key(k), num(static_cast<double>(v)) {}
+    TraceArg(const char *k, std::size_t v)
+        : key(k), num(static_cast<double>(v)) {}
+    TraceArg(const char *k, std::string v)
+        : key(k), str(std::move(v)), isString(true) {}
+    TraceArg(const char *k, const char *v)
+        : key(k), str(v), isString(true) {}
+
+    std::string key;
+    double num = 0.0;
+    std::string str;
+    bool isString = false;
+};
+
+/** One recorded event (see file comment for the vocabulary). */
+struct TraceEvent
+{
+    enum class Phase : char {
+        kBegin = 'B',
+        kEnd = 'E',
+        kComplete = 'X',
+        kInstant = 'i',
+        kCounter = 'C',
+    };
+
+    Phase phase = Phase::kInstant;
+    SimTime ts = 0.0;
+    SimTime dur = 0.0; ///< kComplete only
+    int pid = 0;
+    int tid = 0;
+    std::string cat;
+    std::string name;
+    std::vector<TraceArg> args;
+};
+
+/** Ring-buffered tracer; see file comment. */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 1 << 18);
+
+    /**
+     * Marks the start of a new experiment run: subsequent events are
+     * stamped with a fresh pid whose process_name is `name`.
+     * @return the new pid.
+     */
+    int beginRun(std::string name);
+
+    int currentRun() const { return pid_; }
+
+    /** Opens a span on `track` (close with end() on the same track). */
+    void begin(SimTime ts, Track track, std::string cat,
+               std::string name,
+               std::initializer_list<TraceArg> args = {});
+
+    /** Closes the innermost open span on `track`. */
+    void end(SimTime ts, Track track);
+
+    /** Records a span whose duration is already known. */
+    void complete(SimTime ts, SimTime dur, Track track,
+                  std::string cat, std::string name,
+                  std::initializer_list<TraceArg> args = {});
+
+    /** Point event. */
+    void instant(SimTime ts, Track track, std::string cat,
+                 std::string name,
+                 std::initializer_list<TraceArg> args = {});
+
+    /** Counter series sample; each arg is one series value. */
+    void counter(SimTime ts, Track track, std::string name,
+                 std::initializer_list<TraceArg> series);
+
+    /** Events currently held (drops excluded). */
+    std::size_t size() const { return events_.size(); }
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const { return dropped_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events in record order (oldest first). */
+    std::vector<TraceEvent> events() const;
+
+    void clear();
+
+    /**
+     * Chrome trace format (the JSON object form, which Perfetto and
+     * chrome://tracing both load): {"traceEvents": [...]} including
+     * process/thread-name metadata for every (pid, track) seen.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** One JSON object per line, same fields as the Chrome sink. */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Per-phase CSV timeline: one row per scheduler phase span with
+     * the dispatch/straggler/retune/reorder activity inside it.
+     */
+    void writePhaseCsv(std::ostream &os) const;
+
+  private:
+    void push(TraceEvent ev);
+
+    std::size_t capacity_;
+    std::vector<TraceEvent> events_; ///< ring storage
+    std::size_t head_ = 0;           ///< next write slot once full
+    bool full_ = false;
+    uint64_t dropped_ = 0;
+    int pid_ = 0;
+    std::vector<std::string> runNames_; ///< runNames_[pid]
+};
+
+} // namespace telemetry
+} // namespace chameleon
+
+#endif // CHAMELEON_TELEMETRY_TRACE_HH_

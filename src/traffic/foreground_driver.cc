@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -11,7 +12,12 @@ ForegroundDriver::ForegroundDriver(cluster::Cluster &cluster,
                                    TraceProfile profile, Rng rng,
                                    uint64_t requests_per_client)
     : cluster_(cluster), profile_(std::move(profile)), rng_(rng),
-      budgetPerClient_(requests_per_client)
+      budgetPerClient_(requests_per_client),
+      metRequests_(telemetry::metrics().counter("traffic.requests")),
+      metBytes_(telemetry::metrics().counter("traffic.bytes")),
+      metLatencyMs_(telemetry::metrics().histogram(
+          "traffic.latency_ms",
+          {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}))
 {
     CHAMELEON_ASSERT(profile_.valueSize != nullptr,
                      "profile lacks a value-size sampler");
@@ -146,7 +152,11 @@ ForegroundDriver::issueRequest(std::size_t worker_index)
         std::move(path), bytes, sim::FlowTag::kForeground,
         [this, worker_index, start, bytes] {
             auto &lsim = cluster_.simulator();
-            latencies_.record(lsim.now() - start);
+            const SimTime latency = lsim.now() - start;
+            latencies_.record(latency);
+            metRequests_.add();
+            metBytes_.add(static_cast<int64_t>(bytes));
+            metLatencyMs_.observe(latency * 1e3);
             ++completed_;
             completedBytes_ += bytes;
             if (budgetPerClient_ != 0 && finished())

@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "cluster/cluster.hh"
+#include "telemetry/metrics.hh"
 #include "traffic/trace_profile.hh"
 #include "util/distributions.hh"
 #include "util/rng.hh"
@@ -103,6 +104,10 @@ class ForegroundDriver
     LatencyRecorder latencies_;
     SimTime completionTime_ = kTimeNever;
     bool running_ = false;
+    /** Metric handles (see telemetry/metrics.hh). */
+    telemetry::Counter &metRequests_;
+    telemetry::Counter &metBytes_;
+    telemetry::Histogram &metLatencyMs_;
 };
 
 } // namespace traffic

@@ -2,14 +2,46 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace chameleon {
 namespace detail {
+
+namespace {
+
+std::function<void()> &
+panicHook()
+{
+    static std::function<void()> hook;
+    return hook;
+}
+
+/** Runs the registered hook once; guards against re-entrant panics. */
+void
+runPanicHook()
+{
+    static bool running = false;
+    if (running)
+        return;
+    running = true;
+    if (panicHook())
+        panicHook()();
+    running = false;
+}
+
+} // namespace
+
+void
+setPanicHook(std::function<void()> hook)
+{
+    panicHook() = std::move(hook);
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    runPanicHook();
     std::abort();
 }
 
@@ -17,6 +49,7 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    runPanicHook();
     std::exit(1);
 }
 

@@ -12,6 +12,7 @@
 #ifndef CHAMELEON_UTIL_LOGGING_HH_
 #define CHAMELEON_UTIL_LOGGING_HH_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -23,6 +24,14 @@ namespace detail {
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
+
+/**
+ * Registers a hook that runs right before panic()/fatal() terminate
+ * the process — the telemetry layer uses it to flush partial traces
+ * so a crashed run still leaves evidence. The hook must not panic;
+ * a re-entrant panic skips it and aborts directly.
+ */
+void setPanicHook(std::function<void()> hook);
 void warnImpl(const char *file, int line, const std::string &msg);
 void informImpl(const std::string &msg);
 

@@ -76,6 +76,27 @@ LatencyRecorder::percentileFrom(std::size_t from, double p) const
     return sortedPercentile(tail, p);
 }
 
+LatencySummary
+LatencyRecorder::summaryFrom(std::size_t from) const
+{
+    LatencySummary s;
+    if (from >= samples_.size())
+        return s;
+    std::vector<double> tail(samples_.begin() +
+                                 static_cast<std::ptrdiff_t>(from),
+                             samples_.end());
+    std::sort(tail.begin(), tail.end());
+    s.count = tail.size();
+    double acc = 0.0;
+    for (double v : tail)
+        acc += v;
+    s.mean = acc / static_cast<double>(tail.size());
+    s.p50 = sortedPercentile(tail, 50.0);
+    s.p99 = sortedPercentile(tail, 99.0);
+    s.max = tail.back();
+    return s;
+}
+
 double
 LatencyRecorder::meanFrom(std::size_t from) const
 {

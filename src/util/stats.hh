@@ -18,6 +18,17 @@
 
 namespace chameleon {
 
+/** The headline statistics of one latency population, computed
+ * together from a single sort (see LatencyRecorder::summary()). */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
 /** Accumulates scalar samples and answers percentile queries. */
 class LatencyRecorder
 {
@@ -46,6 +57,15 @@ class LatencyRecorder
 
     /** Mean over the suffix starting at `from`. */
     double meanFrom(std::size_t from) const;
+
+    /**
+     * Mean/P50/P99/max in one pass: sorts the samples once instead
+     * of re-validating the sort cache per percentile query.
+     */
+    LatencySummary summary() const { return summaryFrom(0); }
+
+    /** summary() over the suffix starting at index `from`. */
+    LatencySummary summaryFrom(std::size_t from) const;
 
     /** Samples in recording order. */
     const std::vector<double> &samples() const { return samples_; }

@@ -18,6 +18,7 @@
 
 #include "analysis/experiment.hh"
 #include "ec/factory.hh"
+#include "telemetry/telemetry.hh"
 #include "traffic/trace_file.hh"
 
 using namespace chameleon;
@@ -52,6 +53,12 @@ Options (defaults in brackets):
                      for D seconds, T seconds after repair starts
                      (repeatable)
   --seed N           RNG seed  [42]
+  --trace-out PATH   write a Chrome/Perfetto trace (chrome://tracing,
+                     https://ui.perfetto.dev) of every run
+  --trace-jsonl PATH write the event stream as JSON lines
+  --phase-csv PATH   write per-phase scheduler stats as CSV
+  --metrics-out PATH write the final metrics snapshot as JSON
+  --quiet            suppress the human-readable result table
   --help             this text
 )");
     std::exit(exit_code);
@@ -137,6 +144,55 @@ parseTraceName(const std::string &name)
     usage(2);
 }
 
+/** Metric-name segment for one algorithm (CLI spelling). */
+std::string
+algoKey(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::kNone:
+        return "none";
+      case Algorithm::kCr:
+        return "cr";
+      case Algorithm::kPpr:
+        return "ppr";
+      case Algorithm::kEcpipe:
+        return "ecpipe";
+      case Algorithm::kRbCr:
+        return "rb-cr";
+      case Algorithm::kRbPpr:
+        return "rb-ppr";
+      case Algorithm::kRbEcpipe:
+        return "rb-ecpipe";
+      case Algorithm::kEtrp:
+        return "etrp";
+      case Algorithm::kChameleon:
+        return "chameleon";
+      case Algorithm::kChameleonIo:
+        return "chameleon-io";
+    }
+    return "unknown";
+}
+
+/**
+ * Publishes one experiment's results as `experiment.<algo>.*` gauges
+ * so --metrics-out emits a machine-readable results table alongside
+ * the internal instrumentation counters.
+ */
+void
+publishResult(Algorithm algo, const ExperimentResult &r)
+{
+    auto &reg = telemetry::metrics();
+    const std::string base = "experiment." + algoKey(algo) + ".";
+    reg.gauge(base + "repair_mbps").set(r.repairThroughput / 1e6);
+    reg.gauge(base + "repair_time_s").set(r.repairTime);
+    reg.gauge(base + "chunks").set(r.chunksRepaired);
+    reg.gauge(base + "p99_ms").set(r.p99LatencyMs);
+    reg.gauge(base + "mean_ms").set(r.meanLatencyMs);
+    reg.gauge(base + "phases").set(r.phases);
+    reg.gauge(base + "retunes").set(r.retunes);
+    reg.gauge(base + "reorders").set(r.reorders);
+}
+
 StragglerEvent
 parseStraggler(const std::string &spec)
 {
@@ -168,6 +224,7 @@ main(int argc, char **argv)
     std::vector<Algorithm> algos = {Algorithm::kCr, Algorithm::kPpr,
                                     Algorithm::kEcpipe,
                                     Algorithm::kChameleon};
+    bool quiet = false;
 
     auto need_value = [&](int i) -> const char * {
         if (i + 1 >= argc) {
@@ -242,33 +299,63 @@ main(int argc, char **argv)
         } else if (flag == "--seed") {
             cfg.seed = std::stoull(need_value(i));
             ++i;
+        } else if (flag == "--trace-out") {
+            telemetry::setTraceOutput(need_value(i));
+            ++i;
+        } else if (flag == "--trace-jsonl") {
+            telemetry::setJsonlOutput(need_value(i));
+            ++i;
+        } else if (flag == "--phase-csv") {
+            telemetry::setPhaseCsvOutput(need_value(i));
+            ++i;
+        } else if (flag == "--metrics-out") {
+            telemetry::setMetricsOutput(need_value(i));
+            ++i;
+        } else if (flag == "--quiet") {
+            quiet = true;
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             usage(2);
         }
     }
 
-    std::printf("cluster: %d nodes, %d clients, %.2f Gb/s links, "
-                "%.0f MB/s disks; code %s; %d chunks x %.0f MiB; "
-                "trace %s; seed %llu\n\n",
-                cfg.cluster.numNodes, cfg.cluster.numClients,
-                cfg.cluster.uplinkBw * 8 / 1e9,
-                cfg.cluster.diskBw / 1e6, cfg.code->name().c_str(),
-                cfg.chunksToRepair, cfg.exec.chunkSize / units::MiB,
-                cfg.trace ? cfg.trace->name.c_str() : "none",
-                static_cast<unsigned long long>(cfg.seed));
+    if (!quiet) {
+        std::printf("cluster: %d nodes, %d clients, %.2f Gb/s links, "
+                    "%.0f MB/s disks; code %s; %d chunks x %.0f MiB; "
+                    "trace %s; seed %llu\n\n",
+                    cfg.cluster.numNodes, cfg.cluster.numClients,
+                    cfg.cluster.uplinkBw * 8 / 1e9,
+                    cfg.cluster.diskBw / 1e6, cfg.code->name().c_str(),
+                    cfg.chunksToRepair,
+                    cfg.exec.chunkSize / units::MiB,
+                    cfg.trace ? cfg.trace->name.c_str() : "none",
+                    static_cast<unsigned long long>(cfg.seed));
+    }
 
     for (auto algo : algos) {
         auto r = runExperiment(algo, cfg);
+        publishResult(algo, r);
+        if (quiet)
+            continue;
+        // Print the row from the published snapshot so the table and
+        // --metrics-out can never disagree.
+        auto snap = telemetry::metrics().snapshot();
+        const std::string base = "experiment." + algoKey(algo) + ".";
+        auto value = [&](const char *leaf) {
+            const auto *s = snap.find(base + leaf);
+            return s ? s->value : 0.0;
+        };
         std::printf("%-14s repair %7.1f MB/s in %7.1f s",
-                    algorithmName(algo).c_str(),
-                    r.repairThroughput / 1e6, r.repairTime);
+                    algorithmName(algo).c_str(), value("repair_mbps"),
+                    value("repair_time_s"));
         if (cfg.trace)
-            std::printf("   P99 %8.1f ms", r.p99LatencyMs);
+            std::printf("   P99 %8.1f ms", value("p99_ms"));
         if (r.phases)
-            std::printf("   phases %d retunes %d reorders %d",
-                        r.phases, r.retunes, r.reorders);
+            std::printf("   phases %.0f retunes %.0f reorders %.0f",
+                        value("phases"), value("retunes"),
+                        value("reorders"));
         std::printf("\n");
     }
+    telemetry::flush();
     return 0;
 }

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Offline summarizer for traces written by `chameleon-sim
+ * --trace-out`. Reads the Chrome-trace JSON back in and prints, per
+ * run (trace process): phase spans and durations, scheduler decision
+ * counts (dispatches, stragglers, re-tunes, re-orders), flow counts
+ * per track, and the most-contended links by transferred repair
+ * bytes.
+ *
+ *   trace_inspect t.json
+ *   trace_inspect --top 10 t.json
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+using chameleon::telemetry::JsonValue;
+using chameleon::telemetry::parseJson;
+
+namespace {
+
+[[noreturn]] void
+usage(int exit_code)
+{
+    std::printf(R"(trace_inspect — summarize a chameleon-sim trace
+
+usage: trace_inspect [--top N] TRACE.json
+
+Prints, for every run in the trace: phase spans with durations,
+scheduler decisions (dispatches, stragglers, re-tunes, re-orders),
+flow counts per track, and the N most-contended links by repair
+bytes (default 5).
+)");
+    std::exit(exit_code);
+}
+
+/** One scheduler phase reconstructed from its begin/end span. */
+struct PhaseSpan
+{
+    double start = 0.0; // seconds
+    double end = -1.0;  // -1 while open
+    double pending = 0.0;
+    double active = 0.0;
+};
+
+/** Everything we aggregate for one trace process (= one run). */
+struct RunSummary
+{
+    std::string name;
+    std::vector<PhaseSpan> phases;
+    int64_t dispatches = 0;
+    int64_t stragglers = 0;
+    int64_t retunes = 0;
+    int64_t reorders = 0;
+    int64_t chunks = 0;
+    /** Flow count per thread (track) name. */
+    std::map<std::string, int64_t> flowsPerTrack;
+    /** Bytes attributed to each link the flows crossed. */
+    std::map<std::string, double> linkBytes;
+    /** Same, but repair-track flows only. */
+    std::map<std::string, double> linkRepairBytes;
+    double lastTs = 0.0; // seconds
+};
+
+void
+splitPath(const std::string &path, std::vector<std::string> &out)
+{
+    out.clear();
+    std::string cur;
+    for (char c : path) {
+        if (c == '|') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t top = 5;
+    std::string file;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(0);
+        } else if (std::strcmp(argv[i], "--top") == 0) {
+            if (i + 1 >= argc)
+                usage(2);
+            top = static_cast<std::size_t>(std::atoi(argv[++i]));
+        } else if (file.empty()) {
+            file = argv[i];
+        } else {
+            usage(2);
+        }
+    }
+    if (file.empty())
+        usage(2);
+
+    std::ifstream in(file);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto doc = parseJson(buf.str());
+    if (!doc || !doc->isObject()) {
+        std::fprintf(stderr, "'%s' is not a JSON object\n",
+                     file.c_str());
+        return 1;
+    }
+    const JsonValue *events = doc->find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "'%s' has no traceEvents array\n",
+                     file.c_str());
+        return 1;
+    }
+
+    std::map<double, RunSummary> runs; // keyed by pid
+    /** (pid, tid) -> track name, from thread_name metadata. */
+    std::map<std::pair<double, double>, std::string> trackNames;
+
+    std::vector<std::string> path_parts;
+    for (const JsonValue &ev : events->array) {
+        if (!ev.isObject())
+            continue;
+        const std::string ph = ev.stringOr("ph", "");
+        const std::string name = ev.stringOr("name", "");
+        const double pid = ev.numberOr("pid", 0.0);
+        const double tid = ev.numberOr("tid", 0.0);
+        const JsonValue *args = ev.find("args");
+
+        if (ph == "M") {
+            if (name == "process_name" && args) {
+                runs[pid].name = args->stringOr("name", "");
+            } else if (name == "thread_name" && args) {
+                trackNames[{pid, tid}] = args->stringOr("name", "");
+            }
+            continue;
+        }
+
+        RunSummary &run = runs[pid];
+        const double ts = ev.numberOr("ts", 0.0) / 1e6;
+        const double dur = ev.numberOr("dur", 0.0) / 1e6;
+        run.lastTs = std::max(run.lastTs, ts + dur);
+
+        if (ph == "B" && name == "phase") {
+            PhaseSpan span;
+            span.start = ts;
+            if (args) {
+                span.pending = args->numberOr("pending", 0.0);
+                span.active = args->numberOr("active", 0.0);
+            }
+            run.phases.push_back(span);
+        } else if (ph == "E") {
+            // The scheduler track only nests phase spans, so an end
+            // event closes the most recent open phase.
+            for (auto it = run.phases.rbegin();
+                 it != run.phases.rend(); ++it) {
+                if (it->end < 0.0) {
+                    it->end = ts;
+                    break;
+                }
+            }
+        } else if (ph == "i" || ph == "I") {
+            if (name == "dispatch")
+                ++run.dispatches;
+            else if (name == "straggler")
+                ++run.stragglers;
+            else if (name == "retune")
+                ++run.retunes;
+            else if (name == "reorder")
+                ++run.reorders;
+        } else if (ph == "X" && name == "flow") {
+            auto tn = trackNames.find({pid, tid});
+            const std::string track =
+                tn != trackNames.end()
+                    ? tn->second
+                    : "track-" +
+                          std::to_string(static_cast<int>(tid));
+            ++run.flowsPerTrack[track];
+            if (args) {
+                const double bytes = args->numberOr("bytes", 0.0);
+                splitPath(args->stringOr("path", ""), path_parts);
+                for (const auto &link : path_parts) {
+                    run.linkBytes[link] += bytes;
+                    if (track == "repair-flows")
+                        run.linkRepairBytes[link] += bytes;
+                }
+            }
+        } else if (ph == "X" && name == "chunk") {
+            ++run.chunks;
+        }
+    }
+
+    if (runs.empty()) {
+        std::printf("no runs found in %s\n", file.c_str());
+        return 0;
+    }
+
+    for (const auto &[pid, run] : runs) {
+        std::printf("== run %s (pid %.0f, %.1f s of activity)\n",
+                    run.name.empty() ? "?" : run.name.c_str(), pid,
+                    run.lastTs);
+
+        if (!run.phases.empty()) {
+            std::printf("  phases: %zu\n", run.phases.size());
+            for (std::size_t p = 0; p < run.phases.size(); ++p) {
+                const PhaseSpan &span = run.phases[p];
+                const double end =
+                    span.end < 0.0 ? run.lastTs : span.end;
+                std::printf("    #%-3zu %8.1f s -> %8.1f s  "
+                            "(%6.1f s)%s  pending %.0f active %.0f\n",
+                            p, span.start, end, end - span.start,
+                            span.end < 0.0 ? " (open)" : "",
+                            span.pending, span.active);
+            }
+        }
+        std::printf("  decisions: %lld dispatches, %lld stragglers, "
+                    "%lld retunes, %lld reorders\n",
+                    static_cast<long long>(run.dispatches),
+                    static_cast<long long>(run.stragglers),
+                    static_cast<long long>(run.retunes),
+                    static_cast<long long>(run.reorders));
+        if (run.chunks) {
+            std::printf("  chunks repaired: %lld\n",
+                        static_cast<long long>(run.chunks));
+        }
+        for (const auto &[track, count] : run.flowsPerTrack) {
+            std::printf("  flows on %-12s %lld\n", track.c_str(),
+                        static_cast<long long>(count));
+        }
+
+        auto print_top = [&](const char *title,
+                             const std::map<std::string, double> &m) {
+            if (m.empty())
+                return;
+            std::vector<std::pair<std::string, double>> links(
+                m.begin(), m.end());
+            std::sort(links.begin(), links.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.second > b.second;
+                      });
+            std::printf("  %s\n", title);
+            for (std::size_t i = 0;
+                 i < std::min(top, links.size()); ++i) {
+                std::printf("    %-16s %10.1f MB\n",
+                            links[i].first.c_str(),
+                            links[i].second / 1e6);
+            }
+        };
+        print_top("top links by traced bytes:", run.linkBytes);
+        print_top("top links by repair bytes:", run.linkRepairBytes);
+        std::printf("\n");
+    }
+    return 0;
+}
