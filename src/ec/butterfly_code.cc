@@ -91,9 +91,21 @@ ButterflyCode::encode(const std::vector<Buffer> &data) const
             auto dst = rowOf(parity[static_cast<std::size_t>(node - 2)],
                              row);
             RowMask mask = kRowMask[node][row];
-            for (int s = 0; s < 4; ++s)
-                if (mask & (1u << s))
-                    gf::addRegion(dst, sym[static_cast<std::size_t>(s)]);
+            // One fused XOR pass over all symbols in the mask.
+            std::array<const gf::Elem *, 4> srcs;
+            std::array<gf::Elem, 4> coeffs;
+            std::size_t cnt = 0;
+            for (int s = 0; s < 4; ++s) {
+                if (mask & (1u << s)) {
+                    srcs[cnt] =
+                        sym[static_cast<std::size_t>(s)].data();
+                    coeffs[cnt] = gf::kOne;
+                    ++cnt;
+                }
+            }
+            gf::mulAddRegionMulti(
+                dst, std::span<const gf::Elem *const>(srcs.data(), cnt),
+                std::span<const gf::Elem>(coeffs.data(), cnt));
         }
     }
     return parity;
@@ -192,11 +204,19 @@ ButterflyCode::repairCompute(const RepairSpec &spec,
     Buffer out(size, 0);
     for (int row = 0; row < 2; ++row) {
         auto dst = rowOf(out, row);
+        std::array<const gf::Elem *, 4> srcs;
+        std::array<gf::Elem, 4> coeffs;
+        std::size_t cnt = 0;
         for (int ri : recipe.outputs[static_cast<std::size_t>(row)]) {
             const RowRead &rr =
                 recipe.reads[static_cast<std::size_t>(ri)];
-            gf::addRegion(dst, rowOf(chunk_of(rr.helper), rr.row));
+            srcs[cnt] = rowOf(chunk_of(rr.helper), rr.row).data();
+            coeffs[cnt] = gf::kOne;
+            ++cnt;
         }
+        gf::mulAddRegionMulti(
+            dst, std::span<const gf::Elem *const>(srcs.data(), cnt),
+            std::span<const gf::Elem>(coeffs.data(), cnt));
     }
     return out;
 }
@@ -271,10 +291,20 @@ ButterflyCode::decode(std::vector<Buffer> &chunks) const
         for (int row = 0; row < 2; ++row) {
             auto dst = rowOf(c, row);
             RowMask mask = kRowMask[node][row];
-            for (int s = 0; s < 4; ++s)
-                if (mask & (1u << s))
-                    gf::addRegion(dst, std::span<const uint8_t>(
-                        sym[static_cast<std::size_t>(s)]));
+            std::array<const gf::Elem *, 4> srcs;
+            std::array<gf::Elem, 4> coeffs;
+            std::size_t cnt = 0;
+            for (int s = 0; s < 4; ++s) {
+                if (mask & (1u << s)) {
+                    srcs[cnt] =
+                        sym[static_cast<std::size_t>(s)].data();
+                    coeffs[cnt] = gf::kOne;
+                    ++cnt;
+                }
+            }
+            gf::mulAddRegionMulti(
+                dst, std::span<const gf::Elem *const>(srcs.data(), cnt),
+                std::span<const gf::Elem>(coeffs.data(), cnt));
         }
     }
     return true;

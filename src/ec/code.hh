@@ -25,15 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "ec/buffer.hh"
 #include "gf/gf256.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
 namespace chameleon {
 namespace ec {
-
-/** Raw chunk contents. */
-using Buffer = std::vector<uint8_t>;
 
 /** One helper read within a repair. */
 struct RepairRead

@@ -35,13 +35,19 @@ LinearCode::encode(const std::vector<Buffer> &data) const
     for (const auto &d : data)
         CHAMELEON_ASSERT(d.size() == size, "chunk sizes differ");
 
+    // One fused kernel call per parity chunk: the row of G applied to
+    // all k data chunks in a single cache-blocked pass.
+    std::vector<const gf::Elem *> srcs(static_cast<std::size_t>(k_));
+    for (int j = 0; j < k_; ++j)
+        srcs[static_cast<std::size_t>(j)] =
+            data[static_cast<std::size_t>(j)].data();
+    std::vector<gf::Elem> coeffs(static_cast<std::size_t>(k_));
     std::vector<Buffer> parity(m_, Buffer(size, 0));
     for (int p = 0; p < m_; ++p) {
-        for (int j = 0; j < k_; ++j) {
-            gf::mulAddRegion(std::span<uint8_t>(parity[p]),
-                             std::span<const uint8_t>(data[j]),
-                             gen_.at(k_ + p, j));
-        }
+        for (int j = 0; j < k_; ++j)
+            coeffs[static_cast<std::size_t>(j)] = gen_.at(k_ + p, j);
+        gf::mulAddRegionMulti(std::span<uint8_t>(parity[p]), srcs,
+                              coeffs);
     }
     return parity;
 }
@@ -156,14 +162,16 @@ LinearCode::repairCompute(const RepairSpec &spec,
                      "helper data count mismatch");
     CHAMELEON_ASSERT(!helper_data.empty(), "no helper data");
     const std::size_t size = helper_data[0].size();
-    Buffer out(size, 0);
+    std::vector<const gf::Elem *> srcs(helper_data.size());
+    std::vector<gf::Elem> coeffs(helper_data.size());
     for (std::size_t i = 0; i < helper_data.size(); ++i) {
         CHAMELEON_ASSERT(helper_data[i].size() == size,
                          "helper chunk sizes differ");
-        gf::mulAddRegion(std::span<uint8_t>(out),
-                         std::span<const uint8_t>(helper_data[i]),
-                         spec.reads[i].coeff);
+        srcs[i] = helper_data[i].data();
+        coeffs[i] = spec.reads[i].coeff;
     }
+    Buffer out(size, 0);
+    gf::mulAddRegionMulti(std::span<uint8_t>(out), srcs, coeffs);
     return out;
 }
 
@@ -197,15 +205,14 @@ LinearCode::decode(std::vector<Buffer> &chunks) const
             return false;
         coeff_sets.push_back(std::move(*coeffs));
     }
+    std::vector<const gf::Elem *> srcs(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+        srcs[i] =
+            chunks[static_cast<std::size_t>(survivors[i])].data();
     for (std::size_t mi = 0; mi < missing.size(); ++mi) {
         Buffer out(size, 0);
-        for (std::size_t i = 0; i < survivors.size(); ++i) {
-            gf::mulAddRegion(
-                std::span<uint8_t>(out),
-                std::span<const uint8_t>(
-                    chunks[static_cast<std::size_t>(survivors[i])]),
-                coeff_sets[mi][i]);
-        }
+        gf::mulAddRegionMulti(std::span<uint8_t>(out), srcs,
+                              coeff_sets[mi]);
         chunks[static_cast<std::size_t>(missing[mi])] = std::move(out);
     }
     return true;

@@ -2,6 +2,9 @@
 
 #include <array>
 
+#include "gf/gf_kernels.hh"
+#include "gf/gf_tables.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -9,32 +12,32 @@ namespace gf {
 
 namespace {
 
-/** Primitive polynomial x^8+x^4+x^3+x^2+1 -> 0x11D. */
-constexpr unsigned kPoly = 0x11D;
+using detail::kTables;
 
-struct Tables
+/** Bytes pushed through each region entry point, for codec-throughput
+ * accounting in exported metric snapshots. Handles resolve once. */
+struct RegionCounters
 {
-    std::array<Elem, 256> log{};
-    std::array<Elem, 512> exp{}; // doubled so mul never reduces mod 255
+    telemetry::Counter &mulAdd;
+    telemetry::Counter &mul;
+    telemetry::Counter &add;
+    telemetry::Counter &multi;
 
-    constexpr Tables()
+    RegionCounters()
+        : mulAdd(telemetry::metrics().counter("gf.bytes.muladd")),
+          mul(telemetry::metrics().counter("gf.bytes.mul")),
+          add(telemetry::metrics().counter("gf.bytes.add")),
+          multi(telemetry::metrics().counter("gf.bytes.muladd_multi"))
     {
-        unsigned x = 1;
-        for (unsigned i = 0; i < 255; ++i) {
-            exp[i] = static_cast<Elem>(x);
-            exp[i + 255] = static_cast<Elem>(x);
-            log[x] = static_cast<Elem>(i);
-            x <<= 1;
-            if (x & 0x100)
-                x ^= kPoly;
-        }
-        exp[510] = exp[255];
-        exp[511] = exp[256];
-        log[0] = 0; // unused sentinel; callers guard zero operands
     }
 };
 
-constexpr Tables kTables{};
+RegionCounters &
+counters()
+{
+    static RegionCounters c;
+    return c;
+}
 
 } // namespace
 
@@ -80,22 +83,16 @@ mulAddRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff)
     CHAMELEON_ASSERT(dst.size() == src.size(),
                      "region size mismatch: ", dst.size(), " vs ",
                      src.size());
-    if (coeff == 0)
+    if (coeff == 0 || dst.empty())
         return;
+    counters().mulAdd.add(static_cast<int64_t>(dst.size()));
     if (coeff == 1) {
-        addRegion(dst, src);
+        detail::activeKernels().add(dst.data(), src.data(),
+                                    dst.size());
         return;
     }
-    const unsigned lc = kTables.log[coeff];
-    const Elem *exp = kTables.exp.data();
-    const Elem *log = kTables.log.data();
-    Elem *d = dst.data();
-    const Elem *s = src.data();
-    for (std::size_t i = 0, n = dst.size(); i < n; ++i) {
-        Elem v = s[i];
-        if (v)
-            d[i] ^= exp[lc + log[v]];
-    }
+    detail::activeKernels().mulAdd(dst.data(), src.data(), dst.size(),
+                                   coeff);
 }
 
 void
@@ -107,30 +104,72 @@ mulRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff)
             b = 0;
         return;
     }
+    if (dst.empty())
+        return;
     if (coeff == 1) {
         if (dst.data() != src.data())
             std::copy(src.begin(), src.end(), dst.begin());
         return;
     }
-    const unsigned lc = kTables.log[coeff];
-    const Elem *exp = kTables.exp.data();
-    const Elem *log = kTables.log.data();
-    Elem *d = dst.data();
-    const Elem *s = src.data();
-    for (std::size_t i = 0, n = dst.size(); i < n; ++i) {
-        Elem v = s[i];
-        d[i] = v ? exp[lc + log[v]] : 0;
-    }
+    counters().mul.add(static_cast<int64_t>(dst.size()));
+    detail::activeKernels().mul(dst.data(), src.data(), dst.size(),
+                                coeff);
 }
 
 void
 addRegion(std::span<Elem> dst, std::span<const Elem> src)
 {
     CHAMELEON_ASSERT(dst.size() == src.size(), "region size mismatch");
-    Elem *d = dst.data();
-    const Elem *s = src.data();
-    for (std::size_t i = 0, n = dst.size(); i < n; ++i)
-        d[i] ^= s[i];
+    if (dst.empty())
+        return;
+    counters().add.add(static_cast<int64_t>(dst.size()));
+    detail::activeKernels().add(dst.data(), src.data(), dst.size());
+}
+
+void
+mulAddRegionMulti(std::span<Elem> dst, std::span<const Elem *const> srcs,
+                  std::span<const Elem> coeffs)
+{
+    CHAMELEON_ASSERT(srcs.size() == coeffs.size(),
+                     "source/coefficient count mismatch: ",
+                     srcs.size(), " vs ", coeffs.size());
+    if (dst.empty() || srcs.empty())
+        return;
+
+    // Strip zero coefficients so kernels see only real work; small
+    // fixed batches keep the filtered arrays on the stack (repair
+    // plans are capped well below this by the executor's mask width).
+    constexpr std::size_t kBatch = 64;
+    std::array<const Elem *, kBatch> fsrcs;
+    std::array<Elem, kBatch> fcoeffs;
+    std::size_t cnt = 0;
+    for (std::size_t i = 0; i < srcs.size(); ++i) {
+        if (coeffs[i] == 0)
+            continue;
+        CHAMELEON_ASSERT(srcs[i] != nullptr, "null source region");
+        fsrcs[cnt] = srcs[i];
+        fcoeffs[cnt] = coeffs[i];
+        if (++cnt == kBatch) {
+            detail::activeKernels().mulAddMulti(
+                dst.data(), fsrcs.data(), fcoeffs.data(), cnt,
+                dst.size());
+            counters().multi.add(
+                static_cast<int64_t>(cnt * dst.size()));
+            cnt = 0;
+        }
+    }
+    if (cnt > 0) {
+        detail::activeKernels().mulAddMulti(dst.data(), fsrcs.data(),
+                                            fcoeffs.data(), cnt,
+                                            dst.size());
+        counters().multi.add(static_cast<int64_t>(cnt * dst.size()));
+    }
+}
+
+const char *
+kernelName()
+{
+    return detail::activeKernels().name;
 }
 
 } // namespace gf

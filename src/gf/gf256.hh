@@ -4,9 +4,15 @@
  *
  * The field is constructed from the AES/Rijndael-compatible primitive
  * polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial
- * Jerasure/GF-complete default to for w = 8. Multiplication uses
- * log/antilog tables; bulk chunk operations go through mulRegion /
- * addRegion, which are what the codecs and relay combination use.
+ * Jerasure/GF-complete default to for w = 8. Single-element
+ * multiplication uses log/antilog tables; bulk chunk operations go
+ * through the region kernels (mulAddRegion / mulRegion / addRegion /
+ * mulAddRegionMulti), which dispatch once at startup to the fastest
+ * compiled-in variant the CPU supports (AVX2 > SSSE3 > 64-bit SWAR >
+ * scalar reference; see gf_kernels.hh for the contract and
+ * gf_dispatch.cc for the selection policy). All variants are
+ * byte-identical; regions need no particular alignment, though
+ * 64-byte-aligned buffers (ec::Buffer) avoid cacheline splits.
  */
 
 #ifndef CHAMELEON_GF_GF256_HH_
@@ -58,6 +64,27 @@ void mulRegion(std::span<Elem> dst, std::span<const Elem> src, Elem coeff);
 
 /** dst ^= src over byte regions. */
 void addRegion(std::span<Elem> dst, std::span<const Elem> src);
+
+/**
+ * Fused multi-source axpy: dst ^= sum_i coeffs[i] * srcs[i], the
+ * whole right-hand side of Equation (1) in one cache-blocked pass.
+ *
+ * Encoding a parity chunk, decoding an erased chunk, and a relay's
+ * partial-decode combination are all single calls here: the
+ * destination is streamed through once while every source folds into
+ * an in-register accumulator, instead of one full read-modify-write
+ * pass per source. Zero coefficients are skipped. Every source must
+ * be at least dst.size() bytes and must not overlap dst.
+ */
+void mulAddRegionMulti(std::span<Elem> dst,
+                       std::span<const Elem *const> srcs,
+                       std::span<const Elem> coeffs);
+
+/**
+ * Name of the region-kernel variant this process dispatches through
+ * ("avx2", "ssse3", "swar", or "scalar"); fixed after first use.
+ */
+const char *kernelName();
 
 } // namespace gf
 } // namespace chameleon

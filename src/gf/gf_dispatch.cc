@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Runtime kernel selection. The choice is made exactly once, on first
+ * use, from three inputs:
+ *
+ *   1. what was compiled in (-DCHAMELEON_FORCE_SCALAR=ON strips every
+ *      non-reference variant; non-x86 builds lack the SIMD TUs);
+ *   2. what the CPU supports (__builtin_cpu_supports, so a binary
+ *      built with AVX2 TUs still runs correctly on an SSSE3-only or
+ *      pre-SSSE3 machine);
+ *   3. an optional CHAMELEON_GF_KERNEL environment override
+ *      ("scalar" | "swar" | "ssse3" | "avx2"), used by the property
+ *      tests and benchmarks to pin a variant; an unavailable request
+ *      is ignored with the default order taking over.
+ *
+ * The selected variant is recorded in the telemetry metrics registry
+ * as gf.kernel.selected.<name> so exported metric snapshots identify
+ * which codec ran.
+ */
+
+#include "gf/gf_kernels.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace gf {
+namespace detail {
+
+namespace {
+
+bool
+cpuSupports(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+    case Isa::kSwar:
+        return true;
+#ifdef CHAMELEON_HAVE_SSSE3
+    case Isa::kSsse3:
+        return __builtin_cpu_supports("ssse3") != 0;
+#endif
+#ifdef CHAMELEON_HAVE_AVX2
+    case Isa::kAvx2:
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+    default:
+        return false;
+    }
+}
+
+Isa
+selectIsa()
+{
+    const auto avail = availableIsas();
+    if (const char *want = std::getenv("CHAMELEON_GF_KERNEL")) {
+        for (Isa isa : avail) {
+            if (std::strcmp(want, isaName(isa)) == 0)
+                return isa;
+        }
+        // Unavailable request: fall through to the default order.
+    }
+    return avail.front();
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+        return "scalar";
+    case Isa::kSwar:
+        return "swar";
+    case Isa::kSsse3:
+        return "ssse3";
+    case Isa::kAvx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+std::vector<Isa>
+availableIsas()
+{
+#ifdef CHAMELEON_FORCE_SCALAR
+    return {Isa::kScalar};
+#else
+    std::vector<Isa> out;
+#ifdef CHAMELEON_HAVE_AVX2
+    if (cpuSupports(Isa::kAvx2))
+        out.push_back(Isa::kAvx2);
+#endif
+#ifdef CHAMELEON_HAVE_SSSE3
+    if (cpuSupports(Isa::kSsse3))
+        out.push_back(Isa::kSsse3);
+#endif
+    out.push_back(Isa::kSwar);
+    out.push_back(Isa::kScalar);
+    return out;
+#endif
+}
+
+const Kernels &
+kernels(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+        return scalarKernels();
+    case Isa::kSwar:
+        return swarKernels();
+#ifdef CHAMELEON_HAVE_SSSE3
+    case Isa::kSsse3:
+        return ssse3Kernels();
+#endif
+#ifdef CHAMELEON_HAVE_AVX2
+    case Isa::kAvx2:
+        return avx2Kernels();
+#endif
+    default:
+        CHAMELEON_PANIC("GF kernel variant ", static_cast<int>(isa),
+                        " not compiled in");
+    }
+}
+
+Isa
+activeIsa()
+{
+    static const Isa isa = [] {
+        Isa chosen = selectIsa();
+        telemetry::metrics()
+            .counter(std::string("gf.kernel.selected.") +
+                     isaName(chosen))
+            .add();
+        return chosen;
+    }();
+    return isa;
+}
+
+const Kernels &
+activeKernels()
+{
+    static const Kernels &k = kernels(activeIsa());
+    return k;
+}
+
+} // namespace detail
+} // namespace gf
+} // namespace chameleon

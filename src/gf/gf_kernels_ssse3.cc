@@ -1,0 +1,150 @@
+/**
+ * @file
+ * SSSE3 split-nibble kernels: one pshufb per nibble half turns the
+ * 256-entry multiply table into two 16-entry in-register lookups
+ * (GF-complete's SPLIT_TABLE(8,4), the scheme Jerasure and every
+ * modern EC codec build on). 16 bytes per step, unaligned loads, and
+ * scalar tails keep the alignment contract of gf_kernels.hh.
+ *
+ * This TU is compiled with -mssse3; nothing outside may call into it
+ * without the runtime CPU check in gf_dispatch.cc.
+ */
+
+#include "gf/gf_kernels.hh"
+
+#ifdef CHAMELEON_HAVE_SSSE3
+
+#include <algorithm>
+#include <tmmintrin.h>
+
+namespace chameleon {
+namespace gf {
+namespace detail {
+
+namespace {
+
+/** Loaded-and-ready form of NibbleTables. */
+struct VecTables
+{
+    __m128i lo;
+    __m128i hi;
+};
+
+inline VecTables
+loadTables(uint8_t c)
+{
+    const NibbleTables t = makeNibbleTables(c);
+    return {_mm_load_si128(reinterpret_cast<const __m128i *>(t.lo)),
+            _mm_load_si128(reinterpret_cast<const __m128i *>(t.hi))};
+}
+
+/** c * v for 16 lanes: lo[v & 0xF] ^ hi[v >> 4]. */
+inline __m128i
+mulVec(__m128i v, const VecTables &t, __m128i nibble_mask)
+{
+    const __m128i lo = _mm_shuffle_epi8(t.lo,
+                                        _mm_and_si128(v, nibble_mask));
+    const __m128i hi = _mm_shuffle_epi8(
+        t.hi, _mm_and_si128(_mm_srli_epi64(v, 4), nibble_mask));
+    return _mm_xor_si128(lo, hi);
+}
+
+void
+ssse3MulAdd(uint8_t *dst, const uint8_t *src, std::size_t n, uint8_t c)
+{
+    const VecTables t = loadTables(c);
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        d = _mm_xor_si128(d, mulVec(s, t, mask));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i), d);
+    }
+    if (i < n)
+        scalarKernels().mulAdd(dst + i, src + i, n - i, c);
+}
+
+void
+ssse3Mul(uint8_t *dst, const uint8_t *src, std::size_t n, uint8_t c)
+{
+    const VecTables t = loadTables(c);
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         mulVec(s, t, mask));
+    }
+    if (i < n)
+        scalarKernels().mul(dst + i, src + i, n - i, c);
+}
+
+void
+ssse3Add(uint8_t *dst, const uint8_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i s = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        const __m128i d = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_xor_si128(d, s));
+    }
+    if (i < n)
+        scalarKernels().add(dst + i, src + i, n - i);
+}
+
+void
+ssse3MulAddMulti(uint8_t *dst, const uint8_t *const *srcs,
+                 const uint8_t *coeffs, std::size_t nsrc,
+                 std::size_t n)
+{
+    // True fusion: the destination strip is loaded and stored once
+    // while every source folds into the in-register accumulator, so
+    // dst memory traffic is 1/nsrc of repeated single-source calls.
+    constexpr std::size_t kMaxFused = 32;
+    for (std::size_t base = 0; base < nsrc; base += kMaxFused) {
+        const std::size_t cnt = std::min(kMaxFused, nsrc - base);
+        VecTables tabs[kMaxFused];
+        for (std::size_t j = 0; j < cnt; ++j)
+            tabs[j] = loadTables(coeffs[base + j]);
+        const __m128i mask = _mm_set1_epi8(0x0F);
+        std::size_t i = 0;
+        for (; i + 16 <= n; i += 16) {
+            __m128i acc = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(dst + i));
+            for (std::size_t j = 0; j < cnt; ++j) {
+                const __m128i s = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(
+                        srcs[base + j] + i));
+                acc = _mm_xor_si128(acc, mulVec(s, tabs[j], mask));
+            }
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                             acc);
+        }
+        for (std::size_t j = 0; i < n && j < cnt; ++j)
+            scalarKernels().mulAdd(dst + i, srcs[base + j] + i, n - i,
+                                   coeffs[base + j]);
+    }
+}
+
+} // namespace
+
+const Kernels &
+ssse3Kernels()
+{
+    static const Kernels k = {"ssse3", ssse3MulAdd, ssse3Mul,
+                              ssse3Add, ssse3MulAddMulti};
+    return k;
+}
+
+} // namespace detail
+} // namespace gf
+} // namespace chameleon
+
+#endif // CHAMELEON_HAVE_SSSE3

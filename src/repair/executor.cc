@@ -27,7 +27,11 @@ RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
                                ExecutorConfig config)
     : cluster_(cluster), config_(config),
       metChunks_(telemetry::metrics().counter("repair.exec.chunks")),
-      metSlices_(telemetry::metrics().counter("repair.exec.slices"))
+      metSlices_(telemetry::metrics().counter("repair.exec.slices")),
+      metCodecBytes_(
+          telemetry::metrics().counter("repair.exec.codec_bytes")),
+      metCombinedSlices_(telemetry::metrics().counter(
+          "repair.exec.combined_slices"))
 {
     CHAMELEON_ASSERT(config_.chunkSize > 0 && config_.sliceSize > 0,
                      "sizes must be positive");
@@ -498,6 +502,20 @@ RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
     if (chunk.plan.combinable) {
         const Mask mask = edge.inFlightMask;
         edge.payload[static_cast<std::size_t>(s)] = mask;
+        // The receiver folds this slice into its partial decode — a
+        // mulAddRegionMulti's worth of codec work per delivery.
+        {
+            const auto &src = chunk.plan
+                                  .sources[static_cast<std::size_t>(
+                                      edge.source)];
+            const Bytes total = src.fraction * config_.chunkSize;
+            const Bytes slice_bytes = std::min(
+                config_.sliceSize,
+                total - static_cast<double>(s) * config_.sliceSize);
+            metCodecBytes_.add(static_cast<int64_t>(slice_bytes));
+            if (mask != ownMask(edge.source))
+                metCombinedSlices_.add();
+        }
         if (edge.target == kToDestination) {
             Mask &dm = chunk.destMask[static_cast<std::size_t>(s)];
             CHAMELEON_ASSERT((dm & mask) == 0,
@@ -592,7 +610,8 @@ RepairExecutor::checkChunkDone(RepairId id)
         {{"stripe", chunk.plan.stripe},
          {"chunk", chunk.plan.failedChunk},
          {"dest", chunk.plan.destination},
-         {"sources", chunk.plan.sources.size()}}));
+         {"sources", chunk.plan.sources.size()},
+         {"gf_kernel", gf::kernelName()}}));
     auto plan_copy = chunk.plan;
     auto done = std::move(chunk.onDone);
     active_.erase(it);

@@ -245,6 +245,13 @@ class RepairExecutor
     /** Metric handles (see telemetry/metrics.hh). */
     telemetry::Counter &metChunks_;
     telemetry::Counter &metSlices_;
+    /** Bytes folded by GF combination at relays/destination — the
+     * codec work a real deployment would push through the SIMD
+     * region kernels (gf::mulAddRegionMulti). */
+    telemetry::Counter &metCodecBytes_;
+    /** Delivered slices that carried a partial decode (i.e. the
+     * sender was a relay that combined before forwarding). */
+    telemetry::Counter &metCombinedSlices_;
     std::unordered_map<RepairId, ChunkExec> active_;
     std::vector<NodeSlots> slots_;
     RepairId nextId_ = 0;

@@ -181,19 +181,26 @@ evaluatePlan(const ChunkRepairPlan &plan,
                 [&](int c) { return ready[static_cast<std::size_t>(c)]; });
             if (!deps_ready)
                 continue;
+            // A relay's whole combination — its own coefficient-scaled
+            // chunk plus every child's partial decode — is one fused
+            // kernel call (the right-hand side of Equation (1)).
             ec::Buffer buf(size, 0);
             const auto &src = plan.sources[i];
-            gf::mulAddRegion(
-                std::span<uint8_t>(buf),
-                std::span<const uint8_t>(
-                    stripe_data[static_cast<std::size_t>(src.chunk)]),
-                src.coeff);
+            std::vector<const gf::Elem *> srcs;
+            std::vector<gf::Elem> coeffs;
+            srcs.reserve(children.size() + 1);
+            coeffs.reserve(children.size() + 1);
+            srcs.push_back(
+                stripe_data[static_cast<std::size_t>(src.chunk)]
+                    .data());
+            coeffs.push_back(src.coeff);
             for (int c : children) {
-                gf::addRegion(std::span<uint8_t>(buf),
-                              std::span<const uint8_t>(
-                                  contribution[static_cast<std::size_t>(
-                                      c)]));
+                srcs.push_back(
+                    contribution[static_cast<std::size_t>(c)].data());
+                coeffs.push_back(gf::kOne);
             }
+            gf::mulAddRegionMulti(std::span<uint8_t>(buf), srcs,
+                                  coeffs);
             contribution[i] = std::move(buf);
             ready[i] = true;
             ++computed;
@@ -202,12 +209,15 @@ evaluatePlan(const ChunkRepairPlan &plan,
         CHAMELEON_ASSERT(progress, "plan evaluation stuck (cycle?)");
     }
 
+    // The destination's own fold is likewise a single fused pass.
     ec::Buffer result(size, 0);
-    for (int i : plan.childrenOf(kToDestination)) {
-        gf::addRegion(std::span<uint8_t>(result),
-                      std::span<const uint8_t>(
-                          contribution[static_cast<std::size_t>(i)]));
-    }
+    std::vector<const gf::Elem *> root_srcs;
+    for (int i : plan.childrenOf(kToDestination))
+        root_srcs.push_back(
+            contribution[static_cast<std::size_t>(i)].data());
+    std::vector<gf::Elem> root_coeffs(root_srcs.size(), gf::kOne);
+    gf::mulAddRegionMulti(std::span<uint8_t>(result), root_srcs,
+                          root_coeffs);
     return result;
 }
 

@@ -130,9 +130,12 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
     flow.onComplete = std::move(on_complete);
     flow.start = sim_.now();
     flow.size = size;
-    for (ResourceId r : flow.path)
-        resources_[static_cast<std::size_t>(r)].active.push_back(id);
-    flows_.emplace(id, std::move(flow));
+    // Insert first, then attach: the active lists hold pointers into
+    // the map's (stable) nodes.
+    Flow &stored = flows_.emplace(id, std::move(flow)).first->second;
+    for (ResourceId r : stored.path)
+        resources_[static_cast<std::size_t>(r)].active.push_back(
+            &stored);
     flowsStarted_.add();
     flowsActive_.set(static_cast<double>(flows_.size()));
     resolve();
@@ -223,11 +226,9 @@ FlowNetwork::currentTagRate(ResourceId id, FlowTag tag) const
                      static_cast<std::size_t>(id) < resources_.size(),
                      "bad resource id ", id);
     Rate acc = 0.0;
-    for (FlowId f : resources_[static_cast<std::size_t>(id)].active) {
-        auto it = flows_.find(f);
-        CHAMELEON_ASSERT(it != flows_.end(), "stale flow on resource");
-        if (it->second.tag == tag)
-            acc += it->second.rate;
+    for (const Flow *f : resources_[static_cast<std::size_t>(id)].active) {
+        if (f->tag == tag)
+            acc += f->rate;
     }
     return acc;
 }
@@ -287,7 +288,7 @@ FlowNetwork::detachFlow(const Flow &flow)
 {
     for (ResourceId r : flow.path) {
         auto &vec = resources_[static_cast<std::size_t>(r)].active;
-        auto it = std::find(vec.begin(), vec.end(), flow.id);
+        auto it = std::find(vec.begin(), vec.end(), &flow);
         CHAMELEON_ASSERT(it != vec.end(), "flow missing from resource");
         *it = vec.back();
         vec.pop_back();
@@ -330,10 +331,11 @@ FlowNetwork::computeRates()
         CHAMELEON_ASSERT(best_r < nres,
                          "unfrozen flows but no active resource");
         // Freeze every unfrozen flow crossing the bottleneck.
-        // Iterate over a copy: freezing mutates the bookkeeping only,
-        // not the active lists, so this is safe but explicit.
-        for (FlowId fid : resources_[best_r].active) {
-            auto &flow = flows_.at(fid);
+        // Freezing mutates the fill bookkeeping only, never the
+        // active lists, so iterating the list directly is safe —
+        // and pointer-chasing-free (no per-flow hash lookup).
+        for (Flow *fp : resources_[best_r].active) {
+            Flow &flow = *fp;
             if (flow.rate >= 0)
                 continue; // already frozen
             flow.rate = best_fair;

@@ -142,7 +142,11 @@ class FlowNetwork
     {
         std::string name;
         Rate capacity;
-        std::vector<FlowId> active;
+        /** Flows currently crossing this resource. Pointers into
+         * flows_ (stable: unordered_map never moves nodes), so the
+         * progressive-filling loop and per-tag rate queries walk
+         * flows directly instead of hashing ids per visit. */
+        std::vector<Flow *> active;
         Bytes taggedBytes[kNumFlowTags] = {0.0, 0.0};
         WindowedUsage usage[kNumFlowTags];
 

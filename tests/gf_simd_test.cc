@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Property tests for the GF(2^8) region-kernel variants: every
+ * compiled-in, CPU-supported kernel must be byte-identical to the
+ * scalar reference for random sizes (0–4097, crossing every
+ * SIMD-width and tail boundary), random buffer misalignments, and
+ * all 256 coefficients. Runs under the ASan/UBSan CI job, so the
+ * unaligned-load paths and tail handling also get sanitizer
+ * coverage.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gf/gf256.hh"
+#include "gf/gf_kernels.hh"
+#include "util/rng.hh"
+
+namespace chameleon {
+namespace gf {
+namespace {
+
+using detail::Isa;
+using detail::Kernels;
+
+/** Arena with room to place regions at arbitrary misalignments. */
+constexpr std::size_t kMaxSize = 4097;
+constexpr std::size_t kMaxAlign = 63;
+constexpr std::size_t kArena = kMaxSize + kMaxAlign;
+
+std::vector<uint8_t>
+randomBytes(Rng &rng, std::size_t n)
+{
+    std::vector<uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<uint8_t>(rng.below(256));
+    return v;
+}
+
+class GfKernelParity : public ::testing::TestWithParam<Isa>
+{
+};
+
+TEST_P(GfKernelParity, MulAddRandomSizesAlignmentsCoeffs)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0xC0DEC);
+    for (int trial = 0; trial < 400; ++trial) {
+        const std::size_t n = rng.below(kMaxSize + 1);
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        const std::size_t soff = rng.below(kMaxAlign + 1);
+        const uint8_t c = static_cast<uint8_t>(1 + rng.below(255));
+        auto dst = randomBytes(rng, kArena);
+        auto src = randomBytes(rng, kArena);
+        auto expect = dst;
+        ref.mulAdd(expect.data() + doff, src.data() + soff, n, c);
+        k.mulAdd(dst.data() + doff, src.data() + soff, n, c);
+        ASSERT_EQ(dst, expect)
+            << "kernel " << k.name << " trial " << trial << " n=" << n
+            << " doff=" << doff << " soff=" << soff << " c=" << int(c);
+    }
+}
+
+TEST_P(GfKernelParity, MulAddAllCoefficients)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0xA11C0);
+    const std::size_t n = 1031; // prime: exercises every tail length
+    for (int c = 1; c < 256; ++c) {
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        const std::size_t soff = rng.below(kMaxAlign + 1);
+        auto dst = randomBytes(rng, kArena);
+        auto src = randomBytes(rng, kArena);
+        auto expect = dst;
+        ref.mulAdd(expect.data() + doff, src.data() + soff, n,
+                   static_cast<uint8_t>(c));
+        k.mulAdd(dst.data() + doff, src.data() + soff, n,
+                 static_cast<uint8_t>(c));
+        ASSERT_EQ(dst, expect) << "kernel " << k.name << " c=" << c;
+    }
+}
+
+TEST_P(GfKernelParity, MulRandomized)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0x5EED1);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = rng.below(kMaxSize + 1);
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        const std::size_t soff = rng.below(kMaxAlign + 1);
+        const uint8_t c = static_cast<uint8_t>(1 + rng.below(255));
+        auto dst = randomBytes(rng, kArena);
+        auto src = randomBytes(rng, kArena);
+        auto expect = dst;
+        ref.mul(expect.data() + doff, src.data() + soff, n, c);
+        k.mul(dst.data() + doff, src.data() + soff, n, c);
+        ASSERT_EQ(dst, expect)
+            << "kernel " << k.name << " trial " << trial;
+    }
+}
+
+TEST_P(GfKernelParity, AddRandomized)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0x5EED2);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = rng.below(kMaxSize + 1);
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        const std::size_t soff = rng.below(kMaxAlign + 1);
+        auto dst = randomBytes(rng, kArena);
+        auto src = randomBytes(rng, kArena);
+        auto expect = dst;
+        ref.add(expect.data() + doff, src.data() + soff, n);
+        k.add(dst.data() + doff, src.data() + soff, n);
+        ASSERT_EQ(dst, expect)
+            << "kernel " << k.name << " trial " << trial;
+    }
+}
+
+TEST_P(GfKernelParity, MulAddMultiMatchesSequentialMulAdds)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0x5EED3);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = rng.below(kMaxSize + 1);
+        const std::size_t nsrc = 1 + rng.below(14);
+        auto dst = randomBytes(rng, kArena);
+        auto expect = dst;
+        std::vector<std::vector<uint8_t>> srcs;
+        std::vector<const uint8_t *> ptrs;
+        std::vector<uint8_t> coeffs;
+        for (std::size_t j = 0; j < nsrc; ++j) {
+            srcs.push_back(randomBytes(rng, kMaxSize));
+            coeffs.push_back(
+                static_cast<uint8_t>(1 + rng.below(255)));
+        }
+        for (auto &s : srcs)
+            ptrs.push_back(s.data());
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        for (std::size_t j = 0; j < nsrc; ++j)
+            ref.mulAdd(expect.data() + doff, ptrs[j], n, coeffs[j]);
+        k.mulAddMulti(dst.data() + doff, ptrs.data(), coeffs.data(),
+                      nsrc, n);
+        ASSERT_EQ(dst, expect)
+            << "kernel " << k.name << " trial " << trial << " n=" << n
+            << " nsrc=" << nsrc;
+    }
+}
+
+TEST_P(GfKernelParity, ZeroLengthIsNoop)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    std::vector<uint8_t> dst = {1, 2, 3}, src = {4, 5, 6};
+    auto before = dst;
+    k.mulAdd(dst.data(), src.data(), 0, 0x35);
+    k.add(dst.data(), src.data(), 0);
+    k.mul(dst.data(), src.data(), 0, 0x35);
+    const uint8_t *ptrs[1] = {src.data()};
+    const uint8_t coeffs[1] = {0x35};
+    k.mulAddMulti(dst.data(), ptrs, coeffs, 1, 0);
+    EXPECT_EQ(dst, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailableIsas, GfKernelParity,
+    ::testing::ValuesIn(detail::availableIsas()),
+    [](const ::testing::TestParamInfo<Isa> &info) {
+        return detail::isaName(info.param);
+    });
+
+/** The public dispatched entry points agree with the reference too
+ * (covers the zero/one special-casing and the multi zero-coeff
+ * stripping in gf256.cc). */
+TEST(GfDispatch, PublicApiMatchesScalarReference)
+{
+    Rng rng(0xD15);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = rng.below(kMaxSize + 1);
+        const uint8_t c = static_cast<uint8_t>(rng.below(256));
+        std::vector<uint8_t> dst = randomBytes(rng, n);
+        std::vector<uint8_t> src = randomBytes(rng, n);
+        auto expect = dst;
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] = add(expect[i], mul(c, src[i]));
+        mulAddRegion(dst, src, c);
+        ASSERT_EQ(dst, expect) << "trial " << trial;
+    }
+}
+
+TEST(GfDispatch, MultiSkipsZeroCoefficients)
+{
+    Rng rng(0xD16);
+    const std::size_t n = 777;
+    std::vector<uint8_t> dst = randomBytes(rng, n);
+    std::vector<uint8_t> a = randomBytes(rng, n);
+    std::vector<uint8_t> b = randomBytes(rng, n);
+    auto expect = dst;
+    mulAddRegion(expect, b, 0x42);
+    const uint8_t *ptrs[3] = {a.data(), b.data(), a.data()};
+    const uint8_t coeffs[3] = {0, 0x42, 0};
+    mulAddRegionMulti(dst, ptrs, coeffs);
+    EXPECT_EQ(dst, expect);
+}
+
+TEST(GfDispatch, ActiveKernelIsListedAsAvailable)
+{
+    const auto avail = detail::availableIsas();
+    ASSERT_FALSE(avail.empty());
+    bool found = false;
+    for (Isa isa : avail)
+        found = found || (isa == detail::activeIsa());
+    EXPECT_TRUE(found);
+    EXPECT_STREQ(kernelName(), detail::isaName(detail::activeIsa()));
+#ifdef CHAMELEON_FORCE_SCALAR
+    EXPECT_STREQ(kernelName(), "scalar");
+#endif
+}
+
+} // namespace
+} // namespace gf
+} // namespace chameleon

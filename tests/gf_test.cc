@@ -137,6 +137,33 @@ TEST(Gf256, MulAddRegionCoeffOneIsXor)
     EXPECT_EQ(dst, (std::vector<Elem>{1 ^ 4, 2 ^ 5, 3 ^ 6}));
 }
 
+TEST(Gf256, MulAddRegionMultiMatchesSequential)
+{
+    Rng rng(7);
+    const std::size_t n = 301;
+    std::vector<Elem> dst(n), a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<Elem>(rng.below(256));
+        a[i] = static_cast<Elem>(rng.below(256));
+        b[i] = static_cast<Elem>(rng.below(256));
+        c[i] = static_cast<Elem>(rng.below(256));
+    }
+    auto expect = dst;
+    mulAddRegion(expect, a, 0x11);
+    mulAddRegion(expect, b, 0x01);
+    mulAddRegion(expect, c, 0xFE);
+    const Elem *srcs[3] = {a.data(), b.data(), c.data()};
+    const Elem coeffs[3] = {0x11, 0x01, 0xFE};
+    mulAddRegionMulti(dst, srcs, coeffs);
+    EXPECT_EQ(dst, expect);
+}
+
+TEST(Gf256, KernelNameIsNonEmpty)
+{
+    EXPECT_NE(kernelName(), nullptr);
+    EXPECT_GT(std::string(kernelName()).size(), 0u);
+}
+
 TEST(Gf256, MulRegionMatchesScalar)
 {
     Rng rng(6);
