@@ -16,11 +16,28 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // One off-default knob per family: relay overhead off and a
+        // constrained upload-slot count.
+        int failures = runSmoke(
+            "ablation_knobs (overhead=0)", {Algorithm::kEcpipe},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.exec.relayOverheadPerMiB = 0.0;
+            });
+        failures += runSmoke(
+            "ablation_knobs (1 upload slot)", {Algorithm::kCr},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.exec.nodeUploadSlots = 1;
+            });
+        return failures ? 1 : 0;
+    }
 
     printHeader("Ablation: model calibration knobs",
                 "RS(10,4), YCSB-A unless noted");

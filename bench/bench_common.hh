@@ -18,6 +18,9 @@
 #define CHAMELEON_BENCH_BENCH_COMMON_HH_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,8 +29,82 @@
 namespace chameleon {
 namespace bench {
 
+/**
+ * Smoke mode (--smoke): every bench binary runs a tiny fixed-seed
+ * slice of its sweep and exits non-zero if the results fail cheap
+ * shape checks (throughput positive, every chunk accounted for,
+ * expected orderings hold). `ctest -L bench_smoke` runs all of them;
+ * the full sweeps still run by default.
+ */
+inline bool smoke = false;
+
+/** Parses the shared bench CLI; call first in every main(). */
+inline void
+init(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "unknown flag '%s' (only --smoke)\n",
+                         argv[i]);
+            std::exit(2);
+        }
+    }
+}
+
 /** Chunks repaired per cell (paper: 200). */
 inline constexpr int kBenchChunks = 60;
+
+/** Smoke-mode chunk count: enough for a real repair window while
+ * keeping each cell well under a second. */
+inline constexpr int kSmokeChunks = 6;
+
+/** Chunks per cell honoring --smoke; `full` overrides the default
+ * full-scale count. */
+inline int
+benchChunks(int full = kBenchChunks)
+{
+    return smoke ? kSmokeChunks : full;
+}
+
+/**
+ * Collects named pass/fail shape checks and renders them as a
+ * compact report; exitCode() feeds main's return so CTest sees
+ * failures.
+ */
+class ShapeChecker
+{
+  public:
+    void check(const std::string &what, bool ok)
+    {
+        std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+        if (!ok)
+            failed_ = true;
+    }
+
+    /** check() with the measured value appended to the label. */
+    void positive(const std::string &what, double value)
+    {
+        check(what + " > 0 (got " + std::to_string(value) + ")",
+              value > 0);
+    }
+
+    void equals(const std::string &what, long long got,
+                long long want)
+    {
+        check(what + " == " + std::to_string(want) + " (got " +
+                  std::to_string(got) + ")",
+              got == want);
+    }
+
+    bool failed() const { return failed_; }
+    int exitCode() const { return failed_ ? 1 : 0; }
+
+  private:
+    bool failed_ = false;
+};
 
 /** Slice size used by benches (paper: 1 MB). */
 inline constexpr Bytes kBenchSlice = 2 * units::MiB;
@@ -84,6 +161,53 @@ printLatencyDetail(const LatencySummary &s)
                 "P99 %6.1f ms  max %6.1f ms  (%zu requests)\n",
                 s.mean * 1e3, s.p50 * 1e3, s.p99 * 1e3, s.max * 1e3,
                 s.count);
+}
+
+/**
+ * Shared smoke-mode body: runs one tiny fixed-seed cell per
+ * algorithm and applies the checks every repair experiment must
+ * pass (positive throughput, every lost chunk repaired or reported
+ * unrecoverable). `tweak` edits the cell config; `extra` adds
+ * binary-specific checks. Returns main()'s exit code.
+ */
+inline int
+runSmoke(const std::string &name,
+         const std::vector<analysis::Algorithm> &algos,
+         const std::function<void(analysis::ExperimentConfig &)>
+             &tweak = {},
+         const std::function<void(ShapeChecker &,
+                                  analysis::Algorithm,
+                                  const analysis::ExperimentResult &)>
+             &extra = {})
+{
+    std::printf("%s --smoke: %d chunks, seed 7\n", name.c_str(),
+                kSmokeChunks);
+    ShapeChecker chk;
+    for (auto algo : algos) {
+        auto cfg = defaultConfig();
+        cfg.chunksToRepair = kSmokeChunks;
+        cfg.seed = 7;
+        if (tweak)
+            tweak(cfg);
+        auto r = analysis::runExperiment(algo, cfg);
+        auto label = analysis::algorithmName(algo);
+        chk.positive(label + " repair throughput MB/s",
+                     r.repairThroughput / 1e6);
+        chk.positive(label + " repair time s", r.repairTime);
+        // >= because multi-node failure cells lose extra chunks
+        // beyond node 0's.
+        chk.check(label + " chunks accounted for (" +
+                      std::to_string(r.chunksRepaired) +
+                      " repaired + " +
+                      std::to_string(r.chunksUnrecoverable) +
+                      " unrecoverable vs " +
+                      std::to_string(cfg.chunksToRepair) + " lost)",
+                  r.chunksRepaired + r.chunksUnrecoverable >=
+                      cfg.chunksToRepair);
+        if (extra)
+            extra(chk, algo, r);
+    }
+    return chk.exitCode();
 }
 
 } // namespace bench

@@ -14,11 +14,23 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // One trace, all four algorithms, plus a latency sanity
+        // check (foreground requests must complete during repair).
+        return runSmoke(
+            "exp01_interference", comparisonAlgorithms(), {},
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                chk.positive("P99 latency ms", r.p99LatencyMs);
+            });
+    }
 
     printHeader("Exp#1 (Fig. 12): interference study across traces",
                 "RS(10,4), 4 clients per trace");

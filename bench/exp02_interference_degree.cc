@@ -13,11 +13,27 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Bounded-trace cell: the trace must actually finish and
+        // report an execution time.
+        return runSmoke(
+            "exp02_interference_degree",
+            {Algorithm::kCr, Algorithm::kChameleon},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.requestsPerClient = 2000;
+            },
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                chk.positive("trace execution time s", r.traceTime);
+            });
+    }
 
     printHeader("Exp#2 (Fig. 13): interference degree",
                 "bounded traces; degree = T_repair/T_alone - 1");

@@ -12,10 +12,30 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Two T_phase points; each must complete and run >= 1 phase.
+        int failures = 0;
+        for (double tphase : {5.0, 20.0}) {
+            failures += runSmoke(
+                "exp03_tphase (T=" + std::to_string(tphase) + ")",
+                {Algorithm::kChameleon},
+                [tphase](analysis::ExperimentConfig &cfg) {
+                    cfg.chameleon.tPhase = tphase;
+                },
+                [](ShapeChecker &chk, Algorithm,
+                   const analysis::ExperimentResult &r) {
+                    chk.positive("phases run", r.phases);
+                });
+        }
+        return failures ? 1 : 0;
+    }
 
     printHeader("Exp#3 (Fig. 14): impact of T_phase",
                 "ChameleonEC, RS(10,4), YCSB-A");

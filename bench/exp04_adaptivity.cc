@@ -14,10 +14,37 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Exercise the profile-switch hook: rotate the trace once
+        // mid-repair and require a repair-traffic timeline.
+        auto switched = std::make_shared<bool>(false);
+        analysis::ExperimentHooks hooks;
+        hooks.onSample = [switched](SimTime,
+                                    traffic::ForegroundDriver *d) {
+            if (d && !*switched) {
+                d->switchProfile(traffic::facebookEtc());
+                *switched = true;
+            }
+        };
+        ShapeChecker chk;
+        auto cfg = defaultConfig();
+        cfg.chunksToRepair = kSmokeChunks;
+        cfg.seed = 7;
+        auto r = runExperiment(Algorithm::kChameleon, cfg, hooks);
+        chk.positive("repair throughput MB/s",
+                     r.repairThroughput / 1e6);
+        chk.check("trace switched mid-repair", *switched);
+        chk.positive("throughput timeline samples",
+                     static_cast<double>(r.throughputTimeline.size()));
+        return chk.exitCode();
+    }
 
     printHeader("Exp#4 (Fig. 15): adaptivity under trace transitions",
                 "traces rotate every 15 s during repair");

@@ -12,11 +12,19 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // One plain and one RB-scheduled cell per topology family.
+        return runSmoke("exp06_repairboost",
+                        {Algorithm::kRbCr, Algorithm::kRbPpr,
+                         Algorithm::kRbEcpipe});
+    }
 
     printHeader("Exp#6 (Fig. 17): RepairBoost-scheduled baselines",
                 "RS(10,4), YCSB-A");

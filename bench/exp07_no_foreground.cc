@@ -12,10 +12,27 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Foreground disabled: latency metrics must stay zero.
+        return runSmoke(
+            "exp07_no_foreground",
+            {Algorithm::kCr, Algorithm::kChameleon},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.trace.reset();
+            },
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                chk.check("no foreground latency recorded",
+                          r.p99LatencyMs == 0.0);
+            });
+    }
 
     printHeader("Exp#7 (Fig. 18): no foreground traffic",
                 "link bandwidth swept 1..10 Gb/s, no clients");

@@ -12,10 +12,30 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Two failed nodes: more chunks than node 0's are lost, so
+        // chunksRepaired must exceed the configured count.
+        return runSmoke(
+            "exp08_multinode",
+            {Algorithm::kCr, Algorithm::kChameleon},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.failedNodes = 2;
+            },
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                chk.check("multi-node failure repaired extra "
+                          "chunks (" +
+                              std::to_string(r.chunksRepaired) + ")",
+                          r.chunksRepaired > kSmokeChunks);
+            });
+    }
 
     printHeader("Exp#8 (Fig. 19): multi-node repair",
                 "RS(10,4), YCSB-A, 1..3 failed nodes");

@@ -14,11 +14,28 @@
 #include "ec/factory.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // One cell per code family (RS, LRC, Butterfly).
+        int failures = 0;
+        for (auto code :
+             {ec::makeRs(6, 3), ec::makeLrc(8, 2, 2),
+              ec::makeButterfly()}) {
+            failures += runSmoke(
+                "exp09_generality (" + code->name() + ")",
+                {Algorithm::kChameleon},
+                [code](analysis::ExperimentConfig &cfg) {
+                    cfg.code = code;
+                });
+        }
+        return failures ? 1 : 0;
+    }
 
     printHeader("Exp#9 (Fig. 20): generality across erasure codes",
                 "YCSB-A foreground");

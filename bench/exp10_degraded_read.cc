@@ -13,11 +13,28 @@
 #include "ec/factory.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Single-chunk repair: exactly one chunk, repaired fast.
+        return runSmoke(
+            "exp10_degraded_read",
+            {Algorithm::kCr, Algorithm::kChameleon},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.chunksToRepair = 1;
+                cfg.chameleon.tPhase = 5.0;
+            },
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                chk.equals("single chunk repaired",
+                           r.chunksRepaired, 1);
+            });
+    }
 
     printHeader("Exp#10 (Fig. 21): degraded reads",
                 "single-chunk repair latency -> throughput, "

@@ -13,11 +13,25 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // A straggler mid-repair; both ablation levels must finish.
+        return runSmoke(
+            "exp11_breakdown",
+            {Algorithm::kEtrp, Algorithm::kChameleon},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.chameleon.checkPeriod = 1.0;
+                cfg.chameleon.stragglerSlack = 2.0;
+                cfg.stragglers.push_back(analysis::StragglerEvent{
+                    1.0, kInvalidNode, 0.05, 10.0, true, true});
+            });
+    }
 
     printHeader("Exp#11 (Fig. 22): breakdown (ETRP vs +SAR) under a "
                 "straggler",

@@ -12,11 +12,25 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Tight disks, plentiful network: the IO-keyed variant must
+        // still complete the repair.
+        return runSmoke(
+            "exp12_storage_bottleneck",
+            {Algorithm::kChameleon, Algorithm::kChameleonIo},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.cluster.uplinkBw = 10 * units::Gbps;
+                cfg.cluster.downlinkBw = 10 * units::Gbps;
+                cfg.cluster.diskBw = 125 * units::MBps;
+            });
+    }
 
     printHeader("Exp#12 (Fig. 23): storage-bottlenecked scenarios",
                 "disk bandwidth swept 125..500 MB/s, links fixed");

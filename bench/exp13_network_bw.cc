@@ -12,10 +12,34 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // Two bandwidth points; throughput must rise with bandwidth.
+        auto run_at = [](double gbps) {
+            auto cfg = defaultConfig();
+            cfg.chunksToRepair = kSmokeChunks;
+            cfg.seed = 7;
+            cfg.cluster.uplinkBw = gbps * units::Gbps;
+            cfg.cluster.downlinkBw = gbps * units::Gbps;
+            return runExperiment(Algorithm::kChameleon, cfg);
+        };
+        ShapeChecker chk;
+        auto slow = run_at(1.0);
+        auto fast = run_at(5.0);
+        chk.positive("1 Gb/s repair throughput MB/s",
+                     slow.repairThroughput / 1e6);
+        chk.positive("5 Gb/s repair throughput MB/s",
+                     fast.repairThroughput / 1e6);
+        chk.check("throughput rises with link bandwidth",
+                  fast.repairThroughput > slow.repairThroughput);
+        return chk.exitCode();
+    }
 
     printHeader("Exp#13 (Fig. 24): impact of network bandwidth",
                 "links swept 1..10 Gb/s, YCSB-A foreground");

@@ -7,15 +7,36 @@
 
 #include <cstdio>
 #include <initializer_list>
+#include <string>
 
 #include "analysis/reliability.hh"
 #include "util/types.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     analysis::ReliabilityModel model; // paper defaults
+
+    // --smoke: the analytical model is already instant; just check
+    // the monotone trend that motivates the paper and exit.
+    bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+    if (smoke) {
+        double prev = 1.0;
+        bool monotone = true, bounded = true;
+        for (double mbps : {10.0, 100.0, 1000.0}) {
+            double p = model.dataLossProbability(mbps * 1e6);
+            monotone = monotone && p < prev;
+            bounded = bounded && p > 0.0 && p < 1.0;
+            prev = p;
+        }
+        std::printf("  [%s] loss probability falls with repair "
+                    "throughput\n",
+                    monotone ? "ok" : "FAIL");
+        std::printf("  [%s] probabilities in (0,1)\n",
+                    bounded ? "ok" : "FAIL");
+        return monotone && bounded ? 0 : 1;
+    }
 
     std::printf("Figure 2: data loss probability vs repair "
                 "throughput (RS(%d,%d), %.0f TB/node, theta=%g years)\n",

@@ -12,11 +12,24 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
     using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // One loaded and one unloaded cell of the motivation study.
+        int failures = runSmoke("fig04_motivation (loaded)",
+                                {Algorithm::kCr});
+        failures += runSmoke(
+            "fig04_motivation (no clients)", {Algorithm::kCr},
+            [](analysis::ExperimentConfig &cfg) {
+                cfg.trace.reset();
+            });
+        return failures ? 1 : 0;
+    }
 
     printHeader("Figure 4: interference study (repair vs #clients)",
                 "RS(10,4), YCSB-A, clients C = 0..4");

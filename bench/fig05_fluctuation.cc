@@ -12,23 +12,25 @@
 #include "traffic/foreground_driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
 
-    printHeader("Figure 5: foreground bandwidth fluctuation",
-                "YCSB-A, 4 clients, 15 s windows, no repair");
+    init(argc, argv);
+    if (!smoke)
+        printHeader("Figure 5: foreground bandwidth fluctuation",
+                    "YCSB-A, 4 clients, 15 s windows, no repair");
 
     sim::Simulator sim;
     cluster::ClusterConfig ccfg;
     ccfg.uplinkBw = ccfg.downlinkBw = 2.5 * units::Gbps;
-    ccfg.usageWindow = 15.0;
+    ccfg.usageWindow = smoke ? 5.0 : 15.0;
     cluster::Cluster cluster(sim, ccfg);
     traffic::ForegroundDriver driver(cluster, traffic::ycsbA(),
                                      Rng(42), 0);
     driver.start();
-    sim.run(240.0);
+    sim.run(smoke ? 30.0 : 240.0);
     driver.stop();
     sim.run(sim.now() + 50.0);
 
@@ -47,6 +49,25 @@ main()
                     "(min %.2f, max %.2f); mean occupied %.2f Gb/s\n",
                     name, fluct.mean, fluct.min, fluct.max, mean.mean);
     };
+    if (smoke) {
+        // Foreground load must exist and actually fluctuate.
+        ShapeChecker chk;
+        Summary fluct, mean;
+        for (NodeId n = 0; n < cluster.numNodes(); ++n) {
+            const auto &usage = cluster.network().usage(
+                cluster.uplink(n), sim::FlowTag::kForeground);
+            if (usage.windowCount() == 0)
+                continue;
+            fluct.add(usage.fluctuation());
+            mean.add(usage.meanRate());
+        }
+        chk.positive("mean occupied uplink bandwidth Gb/s",
+                     mean.mean * 8 / 1e9);
+        chk.positive("per-window fluctuation Gb/s",
+                     fluct.mean * 8 / 1e9);
+        return chk.exitCode();
+    }
+
     report("uplinks  ", true);
     report("downlinks", false);
 

@@ -12,10 +12,31 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
+    using analysis::Algorithm;
+
+    init(argc, argv);
+    if (smoke) {
+        // The per-link load report must cover every node and show
+        // repair traffic on at least one surviving uplink.
+        return runSmoke(
+            "fig06_imbalance", {Algorithm::kCr},
+            {},
+            [](ShapeChecker &chk, Algorithm,
+               const analysis::ExperimentResult &r) {
+                double max_repair = 0;
+                for (const auto &l : r.uplinks)
+                    max_repair = std::max(max_repair, l.repairMean);
+                chk.positive("peak uplink repair bandwidth Gb/s",
+                             max_repair * 8 / 1e9);
+                chk.check("per-node link loads reported",
+                          !r.uplinks.empty() &&
+                              r.uplinks.size() == r.downlinks.size());
+            });
+    }
 
     printHeader("Figure 6: ML vs LL link utilization during repair",
                 "RS(10,4), YCSB-A, per-node repair+foreground "

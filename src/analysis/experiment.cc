@@ -145,6 +145,7 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
     for (NodeId n = 0; n < config.failedNodes; ++n) {
         auto lost = stripes.failNode(n);
         pending.insert(pending.end(), lost.begin(), lost.end());
+        cluster.markNodeDown(n);
         if (driver)
             driver->excludeNode(n);
     }
@@ -242,6 +243,54 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
         session->start(pending);
     }
 
+    // Arm mid-repair faults (explicit schedule + generated chaos)
+    // once the repair layer is live, so crash hooks have somewhere
+    // to deliver the newly lost chunks.
+    std::unique_ptr<fault::FaultInjector> injector;
+    {
+        fault::FaultSchedule schedule = config.faults;
+        if (config.chaosRate > 0) {
+            auto chaos = fault::ChaosConfig::fromRate(
+                config.chaosRate, config.chaosHorizon);
+            uint64_t chaos_seed = config.chaosSeed != 0
+                                      ? config.chaosSeed
+                                      : config.seed ^ 0x9e3779b97f4a7c15ull;
+            auto generated = fault::generateChaos(chaos, nodes,
+                                                  chaos_seed);
+            schedule.events.insert(schedule.events.end(),
+                                   generated.events.begin(),
+                                   generated.events.end());
+            std::stable_sort(schedule.events.begin(),
+                             schedule.events.end(),
+                             [](const fault::FaultEvent &a,
+                                const fault::FaultEvent &b) {
+                                 return a.at < b.at;
+                             });
+        }
+        if (!schedule.empty()) {
+            fault::InjectorHooks fault_hooks;
+            fault_hooks.onCrash =
+                [&](NodeId node,
+                    const std::vector<cluster::FailedChunk> &lost) {
+                    if (driver)
+                        driver->excludeNode(node);
+                    if (scheduler)
+                        scheduler->onNodeCrash(node, lost);
+                    else if (session)
+                        session->onNodeCrash(node, lost);
+                };
+            fault_hooks.onRejoin = [&](NodeId node) {
+                if (driver)
+                    driver->includeNode(node);
+            };
+            fault_hooks.onBlackoutStart = [&] { monitor.stop(); };
+            fault_hooks.onBlackoutEnd = [&] { monitor.start(); };
+            injector = std::make_unique<fault::FaultInjector>(
+                cluster, stripes, std::move(fault_hooks));
+            injector->arm(schedule, rng.split());
+        }
+    }
+
     auto repair_done = [&] {
         if (algorithm == Algorithm::kNone)
             return true;
@@ -313,7 +362,10 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
                                       sim::FlowTag::kRepair);
     }
 
-    // Wind everything down.
+    // Wind everything down. Disarming first keeps not-yet-fired
+    // faults out of the drain window.
+    if (injector)
+        injector->disarm();
     if (driver)
         driver->stop();
     monitor.stop();
@@ -324,17 +376,27 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
         result.chunksRepaired =
             scheduler ? scheduler->chunksRepaired()
                       : session->chunksRepaired();
+        result.chunksUnrecoverable =
+            scheduler ? scheduler->chunksUnrecoverable()
+                      : session->chunksUnrecoverable();
+        result.crashReplans = scheduler ? scheduler->crashReplans()
+                                        : session->crashReplans();
         result.repairTime = repair_finish - repair_start;
-        CHAMELEON_ASSERT(result.repairTime > 0, "empty repair window");
-        result.repairThroughput =
-            static_cast<double>(result.chunksRepaired) *
-            config.exec.chunkSize / result.repairTime;
+        if (result.chunksRepaired > 0) {
+            CHAMELEON_ASSERT(result.repairTime > 0,
+                             "empty repair window");
+            result.repairThroughput =
+                static_cast<double>(result.chunksRepaired) *
+                config.exec.chunkSize / result.repairTime;
+        }
         if (scheduler) {
             result.phases = scheduler->phasesRun();
             result.retunes = scheduler->retunes();
             result.reorders = scheduler->reorders();
         }
     }
+    if (injector)
+        result.faultsInjected = injector->faultsInjected();
     if (driver) {
         const auto &lat = driver->latencies();
         // Latency over the repair window (or the whole loaded run

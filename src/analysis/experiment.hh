@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "fault/fault.hh"
 #include "repair/chameleon_scheduler.hh"
 #include "repair/executor.hh"
 #include "repair/session.hh"
@@ -80,6 +81,17 @@ struct ExperimentConfig
     repair::ChameleonConfig chameleon;
     repair::SessionConfig session;
     std::vector<StragglerEvent> stragglers;
+    /** Mid-repair fault schedule, armed at the failure instant
+     * (event times are relative to it). */
+    fault::FaultSchedule faults;
+    /** Chaos generation: combined fault arrival rate (events per
+     * second, split across kinds); 0 disables chaos. Generated
+     * events are merged with `faults`. */
+    double chaosRate = 0.0;
+    /** Chaos schedule seed; 0 derives one from `seed`. */
+    uint64_t chaosSeed = 0;
+    /** Chaos events arrive within this window after the failure. */
+    SimTime chaosHorizon = 120.0;
     uint64_t seed = 1;
     /** Hard wall on simulated time (guards runaway runs). */
     SimTime simTimeCap = 100000.0;
@@ -106,6 +118,13 @@ struct ExperimentResult
     Rate repairThroughput = 0.0;
     SimTime repairTime = 0.0;
     int chunksRepaired = 0;
+    /** Chunks the repair layer gave up on (stripe short of helpers
+     * or retry budget exhausted); 0 without fault injection. */
+    int chunksUnrecoverable = 0;
+    /** Chunk repairs aborted by mid-repair crashes and re-planned. */
+    int crashReplans = 0;
+    /** Faults the injector applied (skipped events excluded). */
+    int faultsInjected = 0;
     /** Foreground request latency during the repair window (ms). */
     double p99LatencyMs = 0.0;
     double meanLatencyMs = 0.0;

@@ -10,6 +10,7 @@ Cluster::Cluster(sim::Simulator &sim, const ClusterConfig &config)
 {
     CHAMELEON_ASSERT(config.numNodes >= 1, "cluster needs nodes");
     CHAMELEON_ASSERT(config.numClients >= 0, "negative client count");
+    down_.assign(static_cast<std::size_t>(config.numNodes), false);
     for (int i = 0; i < config.numNodes; ++i) {
         const std::string base = "node" + std::to_string(i);
         uplinks_.push_back(net_.addResource(base + ".up",
@@ -41,6 +42,31 @@ Cluster::Cluster(sim::Simulator &sim, const ClusterConfig &config)
                 net_.addResource(base + ".down", agg));
         }
     }
+}
+
+void
+Cluster::markNodeDown(NodeId node)
+{
+    checkNode(node);
+    CHAMELEON_ASSERT(!down_[static_cast<std::size_t>(node)],
+                     "node ", node, " already down");
+    down_[static_cast<std::size_t>(node)] = true;
+}
+
+void
+Cluster::markNodeUp(NodeId node)
+{
+    checkNode(node);
+    CHAMELEON_ASSERT(down_[static_cast<std::size_t>(node)],
+                     "node ", node, " is not down");
+    down_[static_cast<std::size_t>(node)] = false;
+}
+
+bool
+Cluster::nodeDown(NodeId node) const
+{
+    checkNode(node);
+    return down_[static_cast<std::size_t>(node)];
 }
 
 int

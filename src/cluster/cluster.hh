@@ -66,6 +66,16 @@ class Cluster
     int numNodes() const { return config_.numNodes; }
     int numClients() const { return config_.numClients; }
 
+    /**
+     * Liveness bookkeeping for fault injection. A down node's
+     * resources still exist (capacity is not zeroed — cancelling the
+     * flows that touch it is the repair layer's job), but the
+     * executor refuses to start new flows against it.
+     */
+    void markNodeDown(NodeId node);
+    void markNodeUp(NodeId node);
+    bool nodeDown(NodeId node) const;
+
     /** Uplink resource of storage node `node`. */
     sim::ResourceId uplink(NodeId node) const;
     /** Downlink resource of storage node `node`. */
@@ -121,6 +131,8 @@ class Cluster
     std::vector<sim::ResourceId> clientDownlinks_;
     std::vector<sim::ResourceId> rackUplinks_;
     std::vector<sim::ResourceId> rackDownlinks_;
+    /** down_[node]: crashed and not yet rejoined. */
+    std::vector<bool> down_;
 };
 
 } // namespace cluster

@@ -129,6 +129,15 @@ StripeManager::nodeFailed(NodeId node) const
     return nodeFailed_[static_cast<std::size_t>(node)];
 }
 
+void
+StripeManager::rejoinNode(NodeId node)
+{
+    CHAMELEON_ASSERT(node >= 0 && node < numNodes_, "bad node ", node);
+    CHAMELEON_ASSERT(nodeFailed_[static_cast<std::size_t>(node)],
+                     "node ", node, " has not failed");
+    nodeFailed_[static_cast<std::size_t>(node)] = false;
+}
+
 std::vector<FailedChunk>
 StripeManager::lostChunks() const
 {

@@ -78,6 +78,15 @@ class StripeManager
 
     bool nodeFailed(NodeId node) const;
 
+    /**
+     * Clears a node's failed flag after a delayed rejoin. The node
+     * returns *empty*: chunks it hosted stay lost (their data is
+     * gone) until repaired to some destination, but the node is
+     * again eligible as a repair destination and stripe placement
+     * target.
+     */
+    void rejoinNode(NodeId node);
+
     /** All chunks currently lost, in stripe order. */
     std::vector<FailedChunk> lostChunks() const;
 

@@ -46,6 +46,8 @@ ChameleonScheduler::start(std::vector<cluster::FailedChunk> pending)
         finishTime_ = startTime_;
         return;
     }
+    phaseLoopActive_ = true;
+    checkLoopActive_ = true;
     runPhase();
     sim.scheduleAfter(config_.checkPeriod, [this] { progressCheck(); });
 }
@@ -53,16 +55,19 @@ ChameleonScheduler::start(std::vector<cluster::FailedChunk> pending)
 bool
 ChameleonScheduler::finished() const
 {
-    return started_ && chunksRepaired_ == totalChunks_;
+    return started_ &&
+           chunksRepaired_ + chunksUnrecoverable() == totalChunks_;
 }
 
 Rate
 ChameleonScheduler::throughput() const
 {
     CHAMELEON_ASSERT(finished(), "repair not finished");
+    if (chunksRepaired_ == 0)
+        return 0.0;
     SimTime span = finishTime_ - startTime_;
     CHAMELEON_ASSERT(span > 0, "zero-length repair");
-    return static_cast<double>(totalChunks_) *
+    return static_cast<double>(chunksRepaired_) *
            executor_.config().chunkSize / span;
 }
 
@@ -117,6 +122,10 @@ ChameleonScheduler::admitChunk(PlannerState &state,
 {
     auto avail = stripes_.availableChunks(chunk.stripe);
     auto pool = stripes_.code().helperPool(chunk.chunk, avail);
+    // Recoverability gate: fewer surviving helpers than the code
+    // needs means no plan exists (permanent for MDS stripes).
+    if (static_cast<int>(pool.candidates.size()) < pool.required)
+        return Admission::kUnrecoverable;
 
     PlannerChunkInput input;
     input.stripe = chunk.stripe;
@@ -147,6 +156,11 @@ ChameleonScheduler::admitChunk(PlannerState &state,
     for (NodeId d : dests)
         if (!res.count(d))
             input.destCandidates.push_back(d);
+    if (input.destCandidates.empty() && res.empty()) {
+        // Not even an unreserved cluster has a slot for this stripe:
+        // no in-flight completion can free one up.
+        return Admission::kUnrecoverable;
+    }
 
     // Snapshot for rollback if the estimate rejects the chunk.
     auto up_snapshot = state.taskUp;
@@ -211,10 +225,14 @@ ChameleonScheduler::admitChunk(PlannerState &state,
     auto &sim = executor_.cluster().simulator();
     SimTime now = sim.now();
     RepairId id = executor_.launch(
-        plan, [this](const ChunkRepairPlan &p, SimTime t) {
+        plan,
+        [this](const ChunkRepairPlan &p, SimTime t) {
             // The id is recovered through the active set when the
             // callback fires; see onChunkDone.
             onChunkDone(kInvalidRepair, p, t);
+        },
+        [this](const ChunkRepairPlan &p, NodeId cause, SimTime t) {
+            onChunkFailed(p, cause, t);
         });
     activeIds_.insert(id);
     for (std::size_t j = 0; j < plan.sources.size(); ++j) {
@@ -239,8 +257,12 @@ ChameleonScheduler::admitChunk(PlannerState &state,
 void
 ChameleonScheduler::runPhase()
 {
-    if (finished())
+    if (finished()) {
+        // The loop dies here; a later crash restarts it through
+        // maybeRestartLoops().
+        phaseLoopActive_ = false;
         return;
+    }
     ++phasesRun_;
     metPhases_.add();
     auto &sim = executor_.cluster().simulator();
@@ -317,30 +339,36 @@ ChameleonScheduler::admitPending()
     // Admission: priority order, estimate-bounded; always make
     // progress when nothing is in flight.
     auto ordered = orderedPending();
-    std::set<std::pair<StripeId, ChunkIndex>> admitted;
+    std::set<std::pair<StripeId, ChunkIndex>> departed;
     for (const auto &chunk : ordered) {
-        bool force = admitted.empty() && activeIds_.empty();
+        bool force = departed.empty() && activeIds_.empty();
         Admission result = admitChunk(*phaseState_, chunk, force);
         if (result == Admission::kAdmitted) {
-            admitted.insert({chunk.stripe, chunk.chunk});
+            departed.insert({chunk.stripe, chunk.chunk});
+        } else if (result == Admission::kUnrecoverable) {
+            markUnrecoverable(chunk);
+            departed.insert({chunk.stripe, chunk.chunk});
         } else if (result == Admission::kNoBudget) {
             break; // estimate exhausted: stop admitting for now
         }
         // kNoDestination: skip this chunk, try the others.
     }
     for (auto it = pending_.begin(); it != pending_.end();) {
-        if (admitted.count({it->stripe, it->chunk}))
+        if (departed.count({it->stripe, it->chunk}))
             it = pending_.erase(it);
         else
             ++it;
     }
+    maybeFinish(executor_.cluster().simulator().now());
 }
 
 void
 ChameleonScheduler::progressCheck()
 {
-    if (finished())
+    if (finished()) {
+        checkLoopActive_ = false;
         return;
+    }
     auto &sim = executor_.cluster().simulator();
     const SimTime now = sim.now();
     metChecks_.add();
@@ -492,38 +520,32 @@ ChameleonScheduler::progressCheck()
 }
 
 void
-ChameleonScheduler::onChunkDone(RepairId, const ChunkRepairPlan &plan,
-                                SimTime when)
+ChameleonScheduler::releasePlanBudget(const ChunkRepairPlan &plan)
 {
-    ++chunksRepaired_;
     // Release the chunk's task budget so the phase can top up.
     // Re-tuned plans may credit a different node than was debited;
     // clamping keeps the drift harmless until the phase resets.
-    if (phaseState_) {
-        auto debit = [](int &count) {
-            if (count > 0)
-                --count;
-        };
-        for (const auto &src : plan.sources) {
-            debit(phaseState_->taskUp[static_cast<std::size_t>(
-                src.node)]);
-            NodeId tgt =
-                src.parent == kToDestination
-                    ? plan.destination
-                    : plan.sources[static_cast<std::size_t>(src.parent)]
-                          .node;
-            debit(phaseState_->taskDown[static_cast<std::size_t>(tgt)]);
-        }
+    if (!phaseState_)
+        return;
+    auto debit = [](int &count) {
+        if (count > 0)
+            --count;
+    };
+    for (const auto &src : plan.sources) {
+        debit(phaseState_->taskUp[static_cast<std::size_t>(
+            src.node)]);
+        NodeId tgt =
+            src.parent == kToDestination
+                ? plan.destination
+                : plan.sources[static_cast<std::size_t>(src.parent)]
+                      .node;
+        debit(phaseState_->taskDown[static_cast<std::size_t>(tgt)]);
     }
-    stripes_.markRepaired(plan.stripe, plan.failedChunk);
-    stripes_.relocate(plan.stripe, plan.failedChunk, plan.destination);
-    auto it = reserved_.find(plan.stripe);
-    if (it != reserved_.end()) {
-        it->second.erase(plan.destination);
-        if (it->second.empty())
-            reserved_.erase(it);
-    }
-    // Sweep completed ids out of the active set.
+}
+
+void
+ChameleonScheduler::sweepInactive()
+{
     for (auto iter = activeIds_.begin(); iter != activeIds_.end();) {
         if (!executor_.chunkActive(*iter)) {
             pausedIds_.erase(*iter);
@@ -533,20 +555,137 @@ ChameleonScheduler::onChunkDone(RepairId, const ChunkRepairPlan &plan,
             ++iter;
         }
     }
-    if (chunksRepaired_ == totalChunks_) {
-        finishTime_ = when;
-        if (phaseSpanOpen_) {
-            CHAMELEON_TELEM(telemetry::tracer().end(
-                when, telemetry::kTrackScheduler));
-            phaseSpanOpen_ = false;
-        }
-        CHAMELEON_TELEM(telemetry::tracer().instant(
-            when, telemetry::kTrackScheduler, "repair", "finished",
-            {{"chunks", chunksRepaired_},
-             {"phases", phasesRun_}}));
+}
+
+void
+ChameleonScheduler::markUnrecoverable(const cluster::FailedChunk &chunk)
+{
+    unrecoverable_.push_back(chunk);
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        executor_.cluster().simulator().now(), telemetry::kTrackFault,
+        "fault", "unrecoverable",
+        {{"stripe", chunk.stripe}, {"chunk", chunk.chunk}}));
+    telemetry::metrics()
+        .counter("repair.chameleon.unrecoverable")
+        .add();
+}
+
+void
+ChameleonScheduler::maybeFinish(SimTime when)
+{
+    if (!finished())
+        return;
+    finishTime_ = when;
+    if (phaseSpanOpen_) {
+        CHAMELEON_TELEM(telemetry::tracer().end(
+            when, telemetry::kTrackScheduler));
+        phaseSpanOpen_ = false;
+    }
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        when, telemetry::kTrackScheduler, "repair", "finished",
+        {{"chunks", chunksRepaired_},
+         {"unrecoverable", chunksUnrecoverable()},
+         {"phases", phasesRun_}}));
+}
+
+void
+ChameleonScheduler::maybeRestartLoops()
+{
+    if (finished())
+        return;
+    auto &sim = executor_.cluster().simulator();
+    if (!checkLoopActive_) {
+        checkLoopActive_ = true;
+        sim.scheduleAfter(config_.checkPeriod,
+                          [this] { progressCheck(); });
+    }
+    if (!phaseLoopActive_) {
+        phaseLoopActive_ = true;
+        // runPhase() builds fresh monitor state, admits, and
+        // re-schedules itself.
+        runPhase();
+    }
+}
+
+void
+ChameleonScheduler::onChunkDone(RepairId, const ChunkRepairPlan &plan,
+                                SimTime when)
+{
+    ++chunksRepaired_;
+    releasePlanBudget(plan);
+    stripes_.markRepaired(plan.stripe, plan.failedChunk);
+    stripes_.relocate(plan.stripe, plan.failedChunk, plan.destination);
+    auto it = reserved_.find(plan.stripe);
+    if (it != reserved_.end()) {
+        it->second.erase(plan.destination);
+        if (it->second.empty())
+            reserved_.erase(it);
+    }
+    sweepInactive();
+    if (finished()) {
+        maybeFinish(when);
         return;
     }
     admitPending();
+}
+
+void
+ChameleonScheduler::onChunkFailed(const ChunkRepairPlan &plan,
+                                  NodeId cause, SimTime when)
+{
+    ++crashReplans_;
+    releasePlanBudget(plan);
+    auto it = reserved_.find(plan.stripe);
+    if (it != reserved_.end()) {
+        it->second.erase(plan.destination);
+        if (it->second.empty())
+            reserved_.erase(it);
+    }
+    sweepInactive();
+    telemetry::metrics()
+        .counter("repair.chameleon.crash_replans")
+        .add();
+
+    cluster::FailedChunk fc{plan.stripe, plan.failedChunk};
+    CHAMELEON_ASSERT(stripes_.chunkLost(fc.stripe, fc.chunk),
+                     "aborted chunk is not lost");
+    int &attempts = retries_[{fc.stripe, fc.chunk}];
+    if (++attempts > config_.maxRetries) {
+        markUnrecoverable(fc);
+        maybeFinish(when);
+        return;
+    }
+    // Re-queue after a backoff so the burst of aborts from one
+    // crash settles before replacement plans pick sources.
+    ++retriesInAir_;
+    executor_.cluster().simulator().scheduleAfter(
+        config_.retryBackoff, [this, fc] {
+            --retriesInAir_;
+            pending_.push_back(fc);
+            maybeRestartLoops();
+            if (phaseState_)
+                admitPending();
+        });
+    (void)cause;
+}
+
+void
+ChameleonScheduler::onNodeCrash(
+    NodeId node, const std::vector<cluster::FailedChunk> &newly_lost)
+{
+    CHAMELEON_ASSERT(started_, "crash before scheduler start");
+    // Abort doomed in-flight repairs first; each abort lands in
+    // onChunkFailed and schedules its own re-plan.
+    executor_.abortChunksTouching(node);
+    for (const auto &fc : newly_lost) {
+        pending_.push_back(fc);
+        ++totalChunks_;
+    }
+    if (newly_lost.empty() && pending_.empty())
+        return;
+    maybeRestartLoops();
+    if (phaseState_)
+        admitPending();
 }
 
 } // namespace repair

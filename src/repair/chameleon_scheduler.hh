@@ -66,6 +66,10 @@ struct ChameleonConfig
     bool enableReordering = true;
     bool enableRetuning = true;
     RepairPriority priority = RepairPriority::kSequential;
+    /** Crash-abort re-plans per chunk before giving up on it. */
+    int maxRetries = 5;
+    /** Delay before a crash-aborted chunk is re-planned. */
+    SimTime retryBackoff = 1.0;
 };
 
 /** The coordinator; see file comment. */
@@ -80,10 +84,41 @@ class ChameleonScheduler
     /** Starts repairing `pending`; the first phase begins now. */
     void start(std::vector<cluster::FailedChunk> pending);
 
+    /**
+     * Absorbs a mid-repair node crash (stripe manager and cluster
+     * must already say the node is dead): aborts in-flight repairs
+     * touching it, queues the crash's newly lost chunks, and
+     * restarts the phase/check loops if the scheduler had finished.
+     */
+    void onNodeCrash(NodeId node,
+                     const std::vector<cluster::FailedChunk>
+                         &newly_lost);
+
     bool finished() const;
     SimTime startTime() const { return startTime_; }
     SimTime finishTime() const { return finishTime_; }
     int chunksRepaired() const { return chunksRepaired_; }
+    int chunksUnrecoverable() const
+    {
+        return static_cast<int>(unrecoverable_.size());
+    }
+    const std::vector<cluster::FailedChunk> &unrecoverable() const
+    {
+        return unrecoverable_;
+    }
+    /** All chunks ever queued (initial failures + crash losses). */
+    int totalChunks() const { return totalChunks_; }
+    /** Chunks waiting for admission (retry backoffs included). */
+    int pendingCount() const
+    {
+        return static_cast<int>(pending_.size()) + retriesInAir_;
+    }
+    int inFlightCount() const
+    {
+        return static_cast<int>(activeIds_.size());
+    }
+    /** Chunk repairs aborted by crashes and re-queued. */
+    int crashReplans() const { return crashReplans_; }
     int phasesRun() const { return phasesRun_; }
     int retunes() const { return retunes_; }
     int reorders() const { return reorders_; }
@@ -99,7 +134,23 @@ class ChameleonScheduler
     void progressCheck();
     void onChunkDone(RepairId id, const ChunkRepairPlan &plan,
                      SimTime when);
-    enum class Admission { kAdmitted, kNoBudget, kNoDestination };
+    void onChunkFailed(const ChunkRepairPlan &plan, NodeId cause,
+                       SimTime when);
+    void markUnrecoverable(const cluster::FailedChunk &chunk);
+    /** Credits a departed plan's tasks back to the phase budget. */
+    void releasePlanBudget(const ChunkRepairPlan &plan);
+    /** Drops completed ids from the active set and its side maps. */
+    void sweepInactive();
+    /** Restarts the phase/check loops after a crash revived a
+     * finished scheduler (no-op while they run). */
+    void maybeRestartLoops();
+    void maybeFinish(SimTime when);
+    enum class Admission {
+        kAdmitted,
+        kNoBudget,
+        kNoDestination,
+        kUnrecoverable
+    };
     Admission admitChunk(PlannerState &state,
                          const cluster::FailedChunk &chunk,
                          bool force);
@@ -142,6 +193,15 @@ class ChameleonScheduler
     int phasesRun_ = 0;
     int retunes_ = 0;
     int reorders_ = 0;
+    std::vector<cluster::FailedChunk> unrecoverable_;
+    /** Crash-abort counts per chunk, against maxRetries. */
+    std::map<std::pair<StripeId, ChunkIndex>, int> retries_;
+    int retriesInAir_ = 0;
+    int crashReplans_ = 0;
+    /** True while the self-rescheduling loops are alive; they stop
+     * when the scheduler finishes and a crash may restart them. */
+    bool phaseLoopActive_ = false;
+    bool checkLoopActive_ = false;
 };
 
 } // namespace repair

@@ -31,7 +31,8 @@ RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
       metCodecBytes_(
           telemetry::metrics().counter("repair.exec.codec_bytes")),
       metCombinedSlices_(telemetry::metrics().counter(
-          "repair.exec.combined_slices"))
+          "repair.exec.combined_slices")),
+      metAborts_(telemetry::metrics().counter("repair.exec.aborts"))
 {
     CHAMELEON_ASSERT(config_.chunkSize > 0 && config_.sliceSize > 0,
                      "sizes must be positive");
@@ -58,7 +59,8 @@ RepairExecutor::wake(std::vector<std::pair<RepairId, int>> &waiters)
 }
 
 RepairId
-RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done)
+RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done,
+                       ChunkFail on_fail)
 {
     plan.validate();
     CHAMELEON_ASSERT(plan.sources.size() <= 31,
@@ -69,6 +71,7 @@ RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done)
     chunk.id = id;
     chunk.plan = plan;
     chunk.onDone = std::move(on_done);
+    chunk.onFail = std::move(on_fail);
     chunk.launchTime = cluster_.simulator().now();
     chunk.chunkSlices = sliceCount(config_.chunkSize, config_.sliceSize);
 
@@ -447,6 +450,12 @@ RepairExecutor::beginSliceFlow(ChunkExec &chunk, int edge_index)
         std::min(config_.sliceSize,
                  total - static_cast<double>(s) * config_.sliceSize);
     CHAMELEON_ASSERT(bytes > 0, "empty slice");
+    // The no-dead-node invariant: crashes abort every affected chunk
+    // synchronously, so a launch can never involve a down node.
+    CHAMELEON_ASSERT(!cluster_.nodeDown(src.node),
+                     "repair slice reads from dead node ", src.node);
+    CHAMELEON_ASSERT(!cluster_.nodeDown(to),
+                     "repair slice sends to dead node ", to);
 
     const RepairId id = chunk.id;
     sim::FlowId flow = cluster_.network().startFlow(
@@ -472,6 +481,78 @@ RepairExecutor::releaseSlots(Edge &edge)
         wake(s.downWaiters);
         edge.holdDown = kInvalidNode;
     }
+}
+
+int
+RepairExecutor::abortChunksTouching(NodeId node)
+{
+    // Collect first: aborting mutates active_ and fires callbacks
+    // that may launch replacement chunks.
+    std::vector<RepairId> doomed;
+    for (const auto &[id, chunk] : active_) {
+        if (chunk.plan.destination == node) {
+            doomed.push_back(id);
+            continue;
+        }
+        for (const Edge &edge : chunk.edges) {
+            if (edge.delivered >= edge.slicesTotal)
+                continue; // data already delivered; node not needed
+            NodeId src = chunk.plan
+                             .sources[static_cast<std::size_t>(
+                                 edge.source)]
+                             .node;
+            NodeId tgt =
+                edge.target == kToDestination
+                    ? chunk.plan.destination
+                    : chunk.plan
+                          .sources[static_cast<std::size_t>(
+                              edge.target)]
+                          .node;
+            if (src == node || tgt == node) {
+                doomed.push_back(id);
+                break;
+            }
+        }
+    }
+    for (RepairId id : doomed)
+        abortChunk(id, node);
+    return static_cast<int>(doomed.size());
+}
+
+void
+RepairExecutor::abortChunk(RepairId id, NodeId cause)
+{
+    auto it = active_.find(id);
+    CHAMELEON_ASSERT(it != active_.end(), "abort of inactive repair ",
+                     id);
+    ChunkExec &chunk = it->second;
+    auto &net = cluster_.network();
+    for (Edge &edge : chunk.edges) {
+        // kLaunchingFlow edges have a deferred beginSliceFlow in the
+        // event queue; it no-ops once the chunk leaves active_.
+        if (edge.activeFlow != sim::kInvalidFlow &&
+            edge.activeFlow != kLaunchingFlow)
+            net.cancelFlow(edge.activeFlow);
+        edge.activeFlow = sim::kInvalidFlow;
+        releaseSlots(edge);
+    }
+    for (sim::FlowId write : chunk.destWrites) {
+        if (net.flowActive(write))
+            net.cancelFlow(write);
+    }
+    metAborts_.add();
+    const SimTime now = cluster_.simulator().now();
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        now, telemetry::kTrackFault, "fault", "abort",
+        {{"stripe", chunk.plan.stripe},
+         {"chunk", chunk.plan.failedChunk},
+         {"dest", chunk.plan.destination},
+         {"cause_node", cause}}));
+    auto plan_copy = chunk.plan;
+    auto on_fail = std::move(chunk.onFail);
+    active_.erase(it);
+    if (on_fail)
+        on_fail(plan_copy, cause, now);
 }
 
 void
@@ -557,9 +638,12 @@ RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
 void
 RepairExecutor::issueDestWrite(ChunkExec &chunk, Bytes bytes)
 {
+    CHAMELEON_ASSERT(!cluster_.nodeDown(chunk.plan.destination),
+                     "destination write on dead node ",
+                     chunk.plan.destination);
     chunk.writesIssued += 1;
     const RepairId id = chunk.id;
-    cluster_.network().startFlow(
+    sim::FlowId flow = cluster_.network().startFlow(
         {cluster_.disk(chunk.plan.destination)}, bytes,
         sim::FlowTag::kRepair, [this, id] {
             auto it = active_.find(id);
@@ -568,6 +652,12 @@ RepairExecutor::issueDestWrite(ChunkExec &chunk, Bytes bytes)
             it->second.writesDone += 1;
             checkChunkDone(id);
         });
+    // Track the write so a destination crash can invalidate it;
+    // completed writes are pruned lazily at the next issue/abort.
+    std::erase_if(chunk.destWrites, [this](sim::FlowId f) {
+        return !cluster_.network().flowActive(f);
+    });
+    chunk.destWrites.push_back(flow);
 }
 
 void

@@ -111,6 +111,15 @@ class RepairExecutor
     using ChunkDone =
         std::function<void(const ChunkRepairPlan &, SimTime)>;
 
+    /**
+     * Invoked once when a chunk's repair is aborted because a node
+     * it depended on crashed (the node id is passed). The chunk's
+     * executor state is gone by the time this fires; the scheduler
+     * owns re-planning.
+     */
+    using ChunkFail = std::function<void(const ChunkRepairPlan &,
+                                         NodeId, SimTime)>;
+
     RepairExecutor(cluster::Cluster &cluster, ExecutorConfig config);
 
     const ExecutorConfig &config() const { return config_; }
@@ -118,7 +127,21 @@ class RepairExecutor
     cluster::Cluster &cluster() { return cluster_; }
 
     /** Starts executing `plan`; returns a handle for control calls. */
-    RepairId launch(const ChunkRepairPlan &plan, ChunkDone on_done);
+    RepairId launch(const ChunkRepairPlan &plan, ChunkDone on_done,
+                    ChunkFail on_fail = nullptr);
+
+    /**
+     * Aborts every active chunk whose destination is `node` or with
+     * an unfinished edge reading from / sending to `node`: cancels
+     * the chunk's network flows (including partially written
+     * destination slices — the half-written destination is
+     * invalidated, never registered as chunk data), releases its
+     * node slots, erases its state, and fires its ChunkFail.
+     * Call after the node's metadata says it is dead.
+     *
+     * @return the number of chunks aborted.
+     */
+    int abortChunksTouching(NodeId node);
 
     bool chunkActive(RepairId id) const;
 
@@ -208,6 +231,10 @@ class RepairExecutor
         int writesDone = 0;
         bool paused = false;
         ChunkDone onDone;
+        ChunkFail onFail;
+        /** In-flight destination disk writes, so a destination
+         * crash can cancel the half-written slices. */
+        std::vector<sim::FlowId> destWrites;
         /** Telemetry: launch instant for the chunk's repair span. */
         SimTime launchTime = 0.0;
     };
@@ -239,6 +266,7 @@ class RepairExecutor
 
     void wake(std::vector<std::pair<RepairId, int>> &waiters);
     void releaseSlots(Edge &edge);
+    void abortChunk(RepairId id, NodeId cause);
 
     cluster::Cluster &cluster_;
     ExecutorConfig config_;
@@ -252,6 +280,8 @@ class RepairExecutor
     /** Delivered slices that carried a partial decode (i.e. the
      * sender was a relay that combined before forwarding). */
     telemetry::Counter &metCombinedSlices_;
+    /** Chunk repairs aborted by node crashes. */
+    telemetry::Counter &metAborts_;
     std::unordered_map<RepairId, ChunkExec> active_;
     std::vector<NodeSlots> slots_;
     RepairId nextId_ = 0;

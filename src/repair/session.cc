@@ -1,5 +1,8 @@
 #include "repair/session.hh"
 
+#include <algorithm>
+
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -13,6 +16,7 @@ RepairSession::RepairSession(cluster::StripeManager &stripes,
 {
     CHAMELEON_ASSERT(config_.maxInFlight >= 1,
                      "window must be at least 1");
+    CHAMELEON_ASSERT(config_.maxRetries >= 0, "negative retry budget");
     CHAMELEON_ASSERT(planFn_ != nullptr, "null plan factory");
 }
 
@@ -34,19 +38,65 @@ RepairSession::start(std::vector<cluster::FailedChunk> pending)
 bool
 RepairSession::finished() const
 {
-    return started_ && chunksRepaired_ == totalChunks_;
+    return started_ &&
+           chunksRepaired_ + chunksUnrecoverable() == totalChunks_;
+}
+
+int
+RepairSession::pendingCount() const
+{
+    return static_cast<int>(pending_.size() + deferred_.size()) +
+           retriesInAir_;
 }
 
 Rate
 RepairSession::throughput() const
 {
     CHAMELEON_ASSERT(finished(), "session not finished");
-    if (totalChunks_ == 0)
+    if (chunksRepaired_ == 0)
         return 0.0;
     SimTime span = finishTime_ - startTime_;
     CHAMELEON_ASSERT(span > 0, "zero-length session");
-    return static_cast<double>(totalChunks_) *
+    return static_cast<double>(chunksRepaired_) *
            executor_.config().chunkSize / span;
+}
+
+void
+RepairSession::markUnrecoverable(const cluster::FailedChunk &chunk)
+{
+    unrecoverable_.push_back(chunk);
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        executor_.cluster().simulator().now(), telemetry::kTrackFault,
+        "fault", "unrecoverable",
+        {{"stripe", chunk.stripe}, {"chunk", chunk.chunk}}));
+    telemetry::metrics().counter("repair.session.unrecoverable").add();
+}
+
+void
+RepairSession::releaseReservation(StripeId stripe, NodeId destination)
+{
+    auto it = reserved_.find(stripe);
+    if (it == reserved_.end())
+        return;
+    it->second.erase(destination);
+    if (it->second.empty())
+        reserved_.erase(it);
+}
+
+void
+RepairSession::requeueDeferred()
+{
+    while (!deferred_.empty()) {
+        pending_.push_back(deferred_.front());
+        deferred_.pop_front();
+    }
+}
+
+void
+RepairSession::checkFinished(SimTime when)
+{
+    if (finished())
+        finishTime_ = when;
 }
 
 void
@@ -56,17 +106,48 @@ RepairSession::pump()
         cluster::FailedChunk fc = pending_.front();
         pending_.pop_front();
 
+        // Recoverability gate: fewer surviving helpers than the code
+        // needs means no plan can exist (for MDS codes this is
+        // permanent — a stripe short of k survivors stays short).
+        auto avail = stripes_.availableChunks(fc.stripe);
+        auto pool = stripes_.code().helperPool(fc.chunk, avail);
+        if (static_cast<int>(pool.candidates.size()) <
+            pool.required) {
+            markUnrecoverable(fc);
+            continue;
+        }
+
         auto &res = reserved_[fc.stripe];
         std::vector<NodeId> reserved(res.begin(), res.end());
+        // Destination gate: concurrent repairs of the same stripe
+        // may hold every candidate destination; park the chunk until
+        // one completes.
+        auto dests = stripes_.candidateDestinations(fc.stripe);
+        std::erase_if(dests, [&](NodeId d) { return res.count(d); });
+        if (dests.empty()) {
+            if (res.empty()) {
+                // Not even an unreserved cluster has a slot for this
+                // stripe: no completion can free one up.
+                markUnrecoverable(fc);
+            } else {
+                deferred_.push_back(fc);
+            }
+            continue;
+        }
         ChunkRepairPlan plan = planFn_(fc, reserved);
         res.insert(plan.destination);
 
         ++inFlight_;
-        executor_.launch(plan,
-                         [this](const ChunkRepairPlan &p, SimTime t) {
-                             onChunkDone(p, t);
-                         });
+        executor_.launch(
+            plan,
+            [this](const ChunkRepairPlan &p, SimTime t) {
+                onChunkDone(p, t);
+            },
+            [this](const ChunkRepairPlan &p, NodeId cause, SimTime t) {
+                onChunkFailed(p, cause, t);
+            });
     }
+    checkFinished(executor_.cluster().simulator().now());
 }
 
 void
@@ -76,16 +157,62 @@ RepairSession::onChunkDone(const ChunkRepairPlan &plan, SimTime when)
     ++chunksRepaired_;
     stripes_.markRepaired(plan.stripe, plan.failedChunk);
     stripes_.relocate(plan.stripe, plan.failedChunk, plan.destination);
-    auto it = reserved_.find(plan.stripe);
-    if (it != reserved_.end()) {
-        it->second.erase(plan.destination);
-        if (it->second.empty())
-            reserved_.erase(it);
-    }
-    if (chunksRepaired_ == totalChunks_) {
+    releaseReservation(plan.stripe, plan.destination);
+    if (finished()) {
         finishTime_ = when;
         return;
     }
+    // A completion frees a destination: parked chunks get another
+    // shot at planning.
+    requeueDeferred();
+    pump();
+}
+
+void
+RepairSession::onChunkFailed(const ChunkRepairPlan &plan, NodeId cause,
+                             SimTime when)
+{
+    --inFlight_;
+    ++crashReplans_;
+    releaseReservation(plan.stripe, plan.destination);
+    telemetry::metrics().counter("repair.session.crash_replans").add();
+
+    cluster::FailedChunk fc{plan.stripe, plan.failedChunk};
+    CHAMELEON_ASSERT(stripes_.chunkLost(fc.stripe, fc.chunk),
+                     "aborted chunk is not lost");
+    int &attempts = retries_[{fc.stripe, fc.chunk}];
+    if (++attempts > config_.maxRetries) {
+        markUnrecoverable(fc);
+        checkFinished(when);
+        return;
+    }
+    // Re-plan after a backoff so the burst of aborts from one crash
+    // settles before replacement plans pick sources.
+    ++retriesInAir_;
+    executor_.cluster().simulator().scheduleAfter(
+        config_.retryBackoff, [this, fc] {
+            --retriesInAir_;
+            pending_.push_back(fc);
+            pump();
+        });
+    (void)cause;
+}
+
+void
+RepairSession::onNodeCrash(
+    NodeId node, const std::vector<cluster::FailedChunk> &newly_lost)
+{
+    CHAMELEON_ASSERT(started_, "crash before session start");
+    // Abort doomed in-flight repairs first; each abort lands in
+    // onChunkFailed and schedules its own re-plan.
+    executor_.abortChunksTouching(node);
+    for (const auto &fc : newly_lost) {
+        pending_.push_back(fc);
+        ++totalChunks_;
+    }
+    // Stripe geometry changed: parked chunks may be plannable now
+    // (or newly unrecoverable — pump sorts them).
+    requeueDeferred();
     pump();
 }
 

@@ -5,6 +5,14 @@
  * work queues do), builds each chunk's plan through a pluggable plan
  * factory (random baseline or RepairBoost selection), updates stripe
  * metadata as chunks complete, and reports repair throughput.
+ *
+ * The session survives mid-repair churn: onNodeCrash() aborts every
+ * in-flight repair touching the dead node, folds the node's newly
+ * lost chunks into the queue, and re-plans aborted chunks against
+ * the surviving nodes after a short backoff (bounded retries). A
+ * chunk whose stripe no longer has enough surviving helpers — or
+ * that keeps getting aborted past the retry budget — lands in the
+ * unrecoverable list, a graceful terminal state.
  */
 
 #ifndef CHAMELEON_REPAIR_SESSION_HH_
@@ -33,6 +41,11 @@ struct SessionConfig
      * allow".
      */
     int maxInFlight = 64;
+    /** Crash-abort re-plans per chunk before giving up on it. */
+    int maxRetries = 5;
+    /** Delay before a crash-aborted chunk is re-planned, so one
+     * crash's burst of aborts settles before replacements launch. */
+    SimTime retryBackoff = 1.0;
 };
 
 /** Windowed baseline repair runner; see file comment. */
@@ -55,12 +68,39 @@ class RepairSession
     /** Begins repairing `pending` (FIFO order). */
     void start(std::vector<cluster::FailedChunk> pending);
 
+    /**
+     * Absorbs a mid-repair node crash. Call after the stripe manager
+     * and cluster already marked the node dead: aborts in-flight
+     * repairs touching it (they re-plan after the retry backoff) and
+     * queues `newly_lost`, the chunks the crash destroyed.
+     */
+    void onNodeCrash(NodeId node,
+                     const std::vector<cluster::FailedChunk>
+                         &newly_lost);
+
+    /** True once every chunk is repaired or unrecoverable. A later
+     * crash can add work and make a finished session active again. */
     bool finished() const;
 
     SimTime startTime() const { return startTime_; }
     SimTime finishTime() const { return finishTime_; }
 
     int chunksRepaired() const { return chunksRepaired_; }
+    int chunksUnrecoverable() const
+    {
+        return static_cast<int>(unrecoverable_.size());
+    }
+    const std::vector<cluster::FailedChunk> &unrecoverable() const
+    {
+        return unrecoverable_;
+    }
+    /** All chunks ever queued (initial failures + crash losses). */
+    int totalChunks() const { return totalChunks_; }
+    /** Chunks waiting to be planned (deferred + backoff included). */
+    int pendingCount() const;
+    int inFlightCount() const { return inFlight_; }
+    /** Chunk repairs aborted by crashes and re-queued. */
+    int crashReplans() const { return crashReplans_; }
 
     /** Repaired bytes per second over the whole session. */
     Rate throughput() const;
@@ -68,15 +108,32 @@ class RepairSession
   private:
     void pump();
     void onChunkDone(const ChunkRepairPlan &plan, SimTime when);
+    void onChunkFailed(const ChunkRepairPlan &plan, NodeId cause,
+                       SimTime when);
+    void markUnrecoverable(const cluster::FailedChunk &chunk);
+    void releaseReservation(StripeId stripe, NodeId destination);
+    /** Moves deferred chunks back into the queue (destinations or
+     * helpers may have changed). */
+    void requeueDeferred();
+    void checkFinished(SimTime when);
 
     cluster::StripeManager &stripes_;
     RepairExecutor &executor_;
     PlanFn planFn_;
     SessionConfig config_;
     std::deque<cluster::FailedChunk> pending_;
+    /** Chunks that currently cannot be planned (no free destination);
+     * retried when a repair completes or the cluster changes. */
+    std::deque<cluster::FailedChunk> deferred_;
+    std::vector<cluster::FailedChunk> unrecoverable_;
+    /** Crash-abort counts per chunk, against maxRetries. */
+    std::map<std::pair<StripeId, ChunkIndex>, int> retries_;
     int inFlight_ = 0;
+    /** Chunks whose retry backoff timer is pending. */
+    int retriesInAir_ = 0;
     int chunksRepaired_ = 0;
     int totalChunks_ = 0;
+    int crashReplans_ = 0;
     SimTime startTime_ = 0.0;
     SimTime finishTime_ = kTimeNever;
     /** Destinations claimed by in-flight repairs, per stripe. */

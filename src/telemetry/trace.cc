@@ -27,6 +27,8 @@ trackName(int tid)
         return "monitor";
       case kTrackSim:
         return "sim";
+      case kTrackFault:
+        return "fault";
       default:
         return "track";
     }

@@ -40,6 +40,7 @@ enum Track : int {
     kTrackForeground = 3, ///< foreground-tagged network flows
     kTrackMonitor = 4,   ///< residual-bandwidth counter series
     kTrackSim = 5,       ///< kernel-level events (rate recomputes)
+    kTrackFault = 6,     ///< injected faults and recovery actions
 };
 
 /** One numeric or string event annotation. */

@@ -52,6 +52,20 @@ ForegroundDriver::excludeNode(NodeId node)
 }
 
 void
+ForegroundDriver::includeNode(NodeId node)
+{
+    CHAMELEON_ASSERT(node >= 0 && node < cluster_.numNodes(),
+                     "node out of range");
+    if (std::find(aliveNodes_.begin(), aliveNodes_.end(), node) !=
+        aliveNodes_.end())
+        return;
+    aliveNodes_.push_back(node);
+    // Keep the target set ordered so key->node hashing stays
+    // deterministic across exclude/include cycles.
+    std::sort(aliveNodes_.begin(), aliveNodes_.end());
+}
+
+void
 ForegroundDriver::start()
 {
     CHAMELEON_ASSERT(!running_, "driver already started");

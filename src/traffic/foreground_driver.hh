@@ -54,6 +54,9 @@ class ForegroundDriver
      */
     void excludeNode(NodeId node);
 
+    /** Returns a rejoined node to the request target set. */
+    void includeNode(NodeId node);
+
     /** Begins issuing requests at the current simulation time. */
     void start();
 

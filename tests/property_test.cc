@@ -11,10 +11,16 @@
  *    accounting of every resource on its path;
  *  - executor fuzz: random plans, random mid-flight retunes, pauses,
  *    and capacity changes — every chunk completes and the
- *    exactly-once contribution invariant (asserted internally) holds.
+ *    exactly-once contribution invariant (asserted internally) holds;
+ *  - churn fuzz: random chaos schedules against a full repair
+ *    session — no repair traffic ever crosses a dead node's links,
+ *    and pending + in-flight + repaired + unrecoverable always sums
+ *    to every chunk ever lost.
  */
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -24,9 +30,11 @@
 #include "ec/factory.hh"
 #include "ec/lrc_code.hh"
 #include "ec/rs_code.hh"
+#include "fault/fault.hh"
 #include "repair/chameleon_planner.hh"
 #include "repair/executor.hh"
 #include "repair/plan.hh"
+#include "repair/session.hh"
 #include "repair/strategies.hh"
 #include "util/rng.hh"
 
@@ -477,6 +485,122 @@ TEST(ExecutorFuzz, RandomPlansWithRandomInterventionsComplete)
         });
         sim.run(2000.0);
         EXPECT_EQ(completed, launched) << "seed " << seed;
+    }
+}
+
+// ------------------------------------------------------ churn fuzz
+
+TEST(ChurnFuzz, RandomFaultSchedulesKeepRepairInvariants)
+{
+    // 20 randomized chaos runs. Two invariants, checked continuously:
+    //  1. no repair traffic on a dead node's links (the executor
+    //     additionally asserts this at every flow launch);
+    //  2. chunk accounting closes — pending + in-flight + repaired +
+    //     unrecoverable equals every chunk ever lost, at all times.
+    // On failure the chaos seed lands in chaos_seed.txt so CI can
+    // attach it to the run.
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        SCOPED_TRACE("chaos seed " + std::to_string(seed));
+        Rng rng(seed * 104729);
+        sim::Simulator sim;
+        cluster::ClusterConfig ccfg;
+        ccfg.numNodes = 14 + static_cast<int>(rng.below(6));
+        ccfg.numClients = 0;
+        ccfg.uplinkBw = ccfg.downlinkBw = 100.0;
+        ccfg.diskBw = 300.0;
+        cluster::Cluster cluster(sim, ccfg);
+        int k = 4 + static_cast<int>(rng.below(4));
+        int m = 2 + static_cast<int>(rng.below(2));
+        auto code = ec::makeRs(k, m);
+        cluster::StripeManager stripes(code, ccfg.numNodes);
+        stripes.createStripes(8, rng);
+        repair::ExecutorConfig ecfg;
+        ecfg.chunkSize = 64.0;
+        ecfg.sliceSize = 8.0;
+        ecfg.relayOverheadPerMiB = 0.0;
+        repair::RepairExecutor exec(cluster, ecfg);
+
+        Rng plan_rng(seed * 31);
+        repair::RepairSession session(
+            stripes, exec,
+            [&](const cluster::FailedChunk &fc,
+                const std::vector<NodeId> &reserved) {
+                auto topo = static_cast<repair::Topology>(
+                    plan_rng.below(3));
+                return repair::makeBaselinePlan(stripes, fc, topo,
+                                                reserved, plan_rng);
+            });
+
+        auto checkInvariants = [&] {
+            EXPECT_EQ(session.pendingCount() +
+                          session.inFlightCount() +
+                          session.chunksRepaired() +
+                          session.chunksUnrecoverable(),
+                      session.totalChunks());
+            for (NodeId n = 0; n < ccfg.numNodes; ++n) {
+                if (!cluster.nodeDown(n))
+                    continue;
+                EXPECT_EQ(cluster.network().currentTagRate(
+                              cluster.uplink(n),
+                              sim::FlowTag::kRepair),
+                          0.0)
+                    << "repair traffic out of dead node " << n;
+                EXPECT_EQ(cluster.network().currentTagRate(
+                              cluster.downlink(n),
+                              sim::FlowTag::kRepair),
+                          0.0)
+                    << "repair traffic into dead node " << n;
+            }
+        };
+
+        fault::InjectorHooks hooks;
+        hooks.onCrash = [&](NodeId node,
+                            const std::vector<cluster::FailedChunk>
+                                &lost) {
+            session.onNodeCrash(node, lost);
+            checkInvariants();
+        };
+        fault::FaultInjector injector(cluster, stripes, hooks);
+        // Never crash below k+1 nodes so most runs stay recoverable
+        // while some stripes still tip into unrecoverable.
+        injector.setMinLiveNodes(k + 1);
+
+        fault::ChaosConfig chaos;
+        chaos.crashRate = 0.15;
+        chaos.slowDiskRate = 0.1;
+        chaos.linkRate = 0.25;
+        chaos.horizon = 12.0;
+        chaos.meanCrashDowntime = 5.0;
+        auto schedule =
+            fault::generateChaos(chaos, ccfg.numNodes, seed);
+
+        auto initial = stripes.failNode(0);
+        cluster.markNodeDown(0);
+        injector.arm(schedule, rng.split());
+        session.start(initial);
+
+        // Sprinkle standalone invariant probes across the run (fixed
+        // times, so they add no nondeterminism).
+        for (int i = 1; i <= 40; ++i)
+            sim.schedule(i * 0.5, checkInvariants);
+
+        sim.run(2000.0);
+
+        EXPECT_TRUE(session.finished());
+        EXPECT_EQ(session.chunksRepaired() +
+                      session.chunksUnrecoverable(),
+                  session.totalChunks());
+        checkInvariants();
+
+        if (::testing::Test::HasFailure()) {
+            std::ofstream("chaos_seed.txt")
+                << seed << "\n" << schedule.str() << "\n";
+            std::fprintf(stderr,
+                         "churn fuzz failed; chaos seed %llu "
+                         "(schedule in chaos_seed.txt)\n",
+                         static_cast<unsigned long long>(seed));
+            break;
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 
 #include "analysis/experiment.hh"
 #include "ec/factory.hh"
+#include "fault/fault.hh"
 #include "telemetry/telemetry.hh"
 #include "traffic/trace_file.hh"
 
@@ -52,6 +53,15 @@ Options (defaults in brackets):
   --straggler T:F:D  throttle a participating node to fraction F
                      for D seconds, T seconds after repair starts
                      (repeatable)
+  --faults SPEC      inject faults mid-repair; SPEC is semicolon-
+                     separated kind@T[:node=N][:factor=F][:dur=D]
+                     with kind crash|slowdisk|linkdeg|blackout and
+                     T seconds after repair starts, e.g.
+                     "crash@5:dur=40;linkdeg@10:factor=0.2:dur=15"
+  --chaos-rate X     sample a random fault schedule at X events/s
+                     (split across kinds)  [0 = off]
+  --chaos-seed N     chaos schedule seed  [derived from --seed]
+  --chaos-horizon X  chaos window length (s)  [120]
   --seed N           RNG seed  [42]
   --trace-out PATH   write a Chrome/Perfetto trace (chrome://tracing,
                      https://ui.perfetto.dev) of every run
@@ -191,6 +201,9 @@ publishResult(Algorithm algo, const ExperimentResult &r)
     reg.gauge(base + "phases").set(r.phases);
     reg.gauge(base + "retunes").set(r.retunes);
     reg.gauge(base + "reorders").set(r.reorders);
+    reg.gauge(base + "unrecoverable").set(r.chunksUnrecoverable);
+    reg.gauge(base + "crash_replans").set(r.crashReplans);
+    reg.gauge(base + "faults_injected").set(r.faultsInjected);
 }
 
 StragglerEvent
@@ -296,6 +309,18 @@ main(int argc, char **argv)
         } else if (flag == "--straggler") {
             cfg.stragglers.push_back(parseStraggler(need_value(i)));
             ++i;
+        } else if (flag == "--faults") {
+            cfg.faults = fault::FaultSchedule::parse(need_value(i));
+            ++i;
+        } else if (flag == "--chaos-rate") {
+            cfg.chaosRate = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--chaos-seed") {
+            cfg.chaosSeed = std::stoull(need_value(i));
+            ++i;
+        } else if (flag == "--chaos-horizon") {
+            cfg.chaosHorizon = std::stod(need_value(i));
+            ++i;
         } else if (flag == "--seed") {
             cfg.seed = std::stoull(need_value(i));
             ++i;
@@ -354,6 +379,11 @@ main(int argc, char **argv)
             std::printf("   phases %.0f retunes %.0f reorders %.0f",
                         value("phases"), value("retunes"),
                         value("reorders"));
+        if (r.faultsInjected)
+            std::printf("   faults %.0f replans %.0f unrecoverable %.0f",
+                        value("faults_injected"),
+                        value("crash_replans"),
+                        value("unrecoverable"));
         std::printf("\n");
     }
     telemetry::flush();
