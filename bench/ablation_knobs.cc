@@ -20,88 +20,145 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // One off-default knob per family: relay overhead off and a
         // constrained upload-slot count.
         int failures = runSmoke(
             "ablation_knobs (overhead=0)", {Algorithm::kEcpipe},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.exec.relayOverheadPerMiB = 0.0;
             });
         failures += runSmoke(
             "ablation_knobs (1 upload slot)", {Algorithm::kCr},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.exec.nodeUploadSlots = 1;
             });
         return failures ? 1 : 0;
     }
 
+    // Four knob families, flattened into one table. Every cell in a
+    // family's row shares a seedIndex (same workload, different
+    // algorithm); the emit lambda below replays the original
+    // row-oriented formatting, keyed by cell index ranges.
+    std::vector<runtime::SweepCell> cells;
+    int group = 0;
+
+    const std::vector<double> overheads = {0.0, 0.005, 0.010, 0.020};
+    const std::vector<Algorithm> overhead_algos = {
+        Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe};
+    for (double ovh : overheads) {
+        for (auto algo : overhead_algos)
+            cells.push_back(makeCell(
+                "overhead", algo, group,
+                [ovh](runtime::ExperimentConfig &cfg) {
+                    cfg.exec.relayOverheadPerMiB = ovh;
+                }));
+        ++group;
+    }
+    std::size_t slots_begin = cells.size();
+
+    const std::vector<int> slot_counts = {1, 2, 4, 8};
+    const std::vector<Algorithm> slot_algos = {Algorithm::kCr,
+                                               Algorithm::kChameleon};
+    for (int slots : slot_counts) {
+        for (auto algo : slot_algos)
+            cells.push_back(makeCell(
+                "slots", algo, group,
+                [slots](runtime::ExperimentConfig &cfg) {
+                    cfg.exec.nodeUploadSlots = slots;
+                }));
+        ++group;
+    }
+    std::size_t factor_begin = cells.size();
+
+    const std::vector<double> factors = {1.0, 2.0, 4.0};
+    for (double factor : factors) {
+        cells.push_back(makeCell(
+            "factor", Algorithm::kChameleon, group++,
+            [factor](runtime::ExperimentConfig &cfg) {
+                cfg.chameleon.expectationFactor = factor;
+                cfg.stragglers.push_back(runtime::StragglerEvent{
+                    2.0, kInvalidNode, 0.05, 15.0, true, true});
+                cfg.chameleon.checkPeriod = 1.0;
+            }));
+    }
+    std::size_t oversub_begin = cells.size();
+
+    const std::vector<double> oversubs = {1.0, 2.0, 4.0};
+    for (double oversub : oversubs) {
+        for (auto algo : slot_algos)
+            cells.push_back(makeCell(
+                "oversub", algo, group,
+                [oversub](runtime::ExperimentConfig &cfg) {
+                    cfg.cluster.racks = 4;
+                    cfg.cluster.rackOversubscription = oversub;
+                }));
+        ++group;
+    }
+
     printHeader("Ablation: model calibration knobs",
                 "RS(10,4), YCSB-A unless noted");
 
-    std::printf("relay overhead per MiB (0 restores the classical "
-                "chains-win ordering):\n");
-    for (double ovh : {0.0, 0.005, 0.010, 0.020}) {
-        std::printf("  %4.0f ms/MiB:", ovh * 1e3);
-        for (auto algo : {Algorithm::kCr, Algorithm::kPpr,
-                          Algorithm::kEcpipe}) {
-            auto cfg = defaultConfig();
-            cfg.exec.relayOverheadPerMiB = ovh;
-            auto r = runExperiment(algo, cfg);
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i < slots_begin) {
+            std::size_t row = i / overhead_algos.size();
+            if (i == 0)
+                std::printf("relay overhead per MiB (0 restores the "
+                            "classical chains-win ordering):\n");
+            if (i % overhead_algos.size() == 0)
+                std::printf("  %4.0f ms/MiB:", overheads[row] * 1e3);
             std::printf("  %s=%5.1f",
-                        analysis::algorithmName(algo).c_str(),
+                        runtime::algorithmName(cell.algorithm)
+                            .c_str(),
                         r.repairThroughput / 1e6);
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\nper-node recovery streams (upload slots):\n");
-    for (int slots : {1, 2, 4, 8}) {
-        std::printf("  %d slots:", slots);
-        for (auto algo : {Algorithm::kCr, Algorithm::kChameleon}) {
-            auto cfg = defaultConfig();
-            cfg.exec.nodeUploadSlots = slots;
-            auto r = runExperiment(algo, cfg);
+            if (i % overhead_algos.size() ==
+                overhead_algos.size() - 1)
+                std::printf("\n");
+        } else if (i < factor_begin) {
+            std::size_t j = i - slots_begin;
+            std::size_t row = j / slot_algos.size();
+            if (j == 0)
+                std::printf("\nper-node recovery streams (upload "
+                            "slots):\n");
+            if (j % slot_algos.size() == 0)
+                std::printf("  %d slots:", slot_counts[row]);
             std::printf("  %s=%5.1f (p99 %4.1f ms)",
-                        analysis::algorithmName(algo).c_str(),
+                        runtime::algorithmName(cell.algorithm)
+                            .c_str(),
                         r.repairThroughput / 1e6, r.p99LatencyMs);
-        }
-        std::printf("\n");
-    }
-
-    std::printf("\nChameleonEC expectation safety factor (straggler "
-                "detection sensitivity):\n");
-    for (double factor : {1.0, 2.0, 4.0}) {
-        auto cfg = defaultConfig();
-        cfg.chameleon.expectationFactor = factor;
-        cfg.stragglers.push_back(analysis::StragglerEvent{
-            2.0, kInvalidNode, 0.05, 15.0, true, true});
-        cfg.chameleon.checkPeriod = 1.0;
-        auto r = runExperiment(Algorithm::kChameleon, cfg);
-        std::printf("  factor %.0f: %6.1f MB/s (retunes %d, "
-                    "reorders %d)\n",
-                    factor, r.repairThroughput / 1e6, r.retunes,
-                    r.reorders);
-    }
-
-    std::printf("\nrack oversubscription (hierarchical topology; "
-                "flat = the paper's EC2 setting):\n");
-    for (double oversub : {1.0, 2.0, 4.0}) {
-        std::printf("  %.0f:1 oversub:", oversub);
-        for (auto algo : {Algorithm::kCr, Algorithm::kChameleon}) {
-            auto cfg = defaultConfig();
-            cfg.cluster.racks = 4;
-            cfg.cluster.rackOversubscription = oversub;
-            auto r = runExperiment(algo, cfg);
+            if (j % slot_algos.size() == slot_algos.size() - 1)
+                std::printf("\n");
+        } else if (i < oversub_begin) {
+            std::size_t j = i - factor_begin;
+            if (j == 0)
+                std::printf("\nChameleonEC expectation safety factor "
+                            "(straggler detection sensitivity):\n");
+            std::printf("  factor %.0f: %6.1f MB/s (retunes %d, "
+                        "reorders %d)\n",
+                        factors[j], r.repairThroughput / 1e6,
+                        r.retunes, r.reorders);
+        } else {
+            std::size_t j = i - oversub_begin;
+            std::size_t row = j / slot_algos.size();
+            if (j == 0)
+                std::printf("\nrack oversubscription (hierarchical "
+                            "topology; flat = the paper's EC2 "
+                            "setting):\n");
+            if (j % slot_algos.size() == 0)
+                std::printf("  %.0f:1 oversub:", oversubs[row]);
             std::printf("  %s=%5.1f",
-                        analysis::algorithmName(algo).c_str(),
+                        runtime::algorithmName(cell.algorithm)
+                            .c_str(),
                         r.repairThroughput / 1e6);
+            if (j % slot_algos.size() == slot_algos.size() - 1)
+                std::printf("\n");
         }
-        std::printf("\n");
-    }
+    });
 
     std::printf("\nShape checks: overhead 0 puts PPR/ECPipe on top; "
                 "the default 10 ms/MiB yields the paper's "

@@ -1,9 +1,20 @@
 /**
  * @file
- * Shared configuration and table formatting for the experiment bench
- * binaries. Each binary reproduces one figure/table of the paper
- * (see DESIGN.md's experiment index and EXPERIMENTS.md for the
- * paper-vs-measured record).
+ * Shared configuration, CLI flags, and table formatting for the
+ * experiment bench binaries. Each binary reproduces one figure/table
+ * of the paper (see DESIGN.md's experiment index and EXPERIMENTS.md
+ * for the paper-vs-measured record) as a declarative table of sweep
+ * cells executed by runtime::SweepRunner.
+ *
+ * Shared flags (parsed by init()):
+ *   --smoke     tiny fixed-seed slice with shape checks (CTest)
+ *   --list      print the binary's sweep cells without running
+ *   --jobs N    worker threads (0 = hardware concurrency)
+ *   --seed S    base seed; per-cell seeds derive via splitmix64
+ *   --out FILE  write the table to FILE instead of stdout
+ *
+ * `--jobs 1` and `--jobs N` produce byte-identical tables; see
+ * runtime/sweep.hh for the determinism contract.
  *
  * Scaling: the paper repairs 200 x 64 MB chunks with 1 MB slices and
  * replays 100k requests per client. To keep every binary's wall time
@@ -24,34 +35,139 @@
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.hh"
+#include "runtime/experiment.hh"
+#include "runtime/sweep.hh"
 
 namespace chameleon {
 namespace bench {
 
+/** The shared bench CLI, one instance per process (each bench binary
+ * is its own process; sweep workers never write these). */
+struct BenchOptions
+{
+    bool smoke = false;
+    bool list = false;
+    int jobs = 1;
+    uint64_t seed = 0;
+    std::string out;
+};
+
+inline BenchOptions &
+opts()
+{
+    static BenchOptions o;
+    return o;
+}
+
 /**
- * Smoke mode (--smoke): every bench binary runs a tiny fixed-seed
- * slice of its sweep and exits non-zero if the results fail cheap
- * shape checks (throughput positive, every chunk accounted for,
- * expected orderings hold). `ctest -L bench_smoke` runs all of them;
- * the full sweeps still run by default.
+ * Parses the shared flags into `out`. Accepts `--flag value` and
+ * `--flag=value`. Returns false with a message in `err` on an
+ * unknown flag, missing value, or malformed number.
  */
-inline bool smoke = false;
+inline bool
+parseFlags(int argc, char **argv, BenchOptions &out, std::string &err)
+{
+    auto value = [&](int &i, const std::string &arg,
+                     const char *name, std::string *val) {
+        std::string prefix = std::string(name) + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+            *val = arg.substr(prefix.size());
+            return true;
+        }
+        if (arg != name)
+            return false;
+        if (i + 1 >= argc) {
+            err = std::string(name) + " needs a value";
+            *val = "";
+            return true;
+        }
+        *val = argv[++i];
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string val;
+        if (arg == "--smoke") {
+            out.smoke = true;
+        } else if (arg == "--list") {
+            out.list = true;
+        } else if (value(i, arg, "--jobs", &val)) {
+            if (!err.empty())
+                return false;
+            char *end = nullptr;
+            out.jobs = static_cast<int>(std::strtol(
+                val.c_str(), &end, 10));
+            if (val.empty() || *end) {
+                err = "--jobs wants an integer, got '" + val + "'";
+                return false;
+            }
+        } else if (value(i, arg, "--seed", &val)) {
+            if (!err.empty())
+                return false;
+            char *end = nullptr;
+            out.seed = std::strtoull(val.c_str(), &end, 10);
+            if (val.empty() || *end) {
+                err = "--seed wants an integer, got '" + val + "'";
+                return false;
+            }
+        } else if (value(i, arg, "--out", &val)) {
+            if (!err.empty())
+                return false;
+            out.out = val;
+        } else {
+            err = "unknown flag '" + arg + "'";
+            return false;
+        }
+    }
+    return true;
+}
 
 /** Parses the shared bench CLI; call first in every main(). */
 inline void
 init(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else {
-            std::fprintf(stderr,
-                         "unknown flag '%s' (only --smoke)\n",
-                         argv[i]);
-            std::exit(2);
-        }
+    BenchOptions parsed;
+    std::string err;
+    if (!parseFlags(argc, argv, parsed, err)) {
+        std::fprintf(stderr,
+                     "%s\nusage: %s [--smoke] [--list] [--jobs N] "
+                     "[--seed S] [--out FILE]\n",
+                     err.c_str(), argv[0]);
+        std::exit(2);
     }
+    opts() = parsed;
+    if (!parsed.out.empty() &&
+        !std::freopen(parsed.out.c_str(), "w", stdout)) {
+        std::fprintf(stderr, "cannot open --out file '%s'\n",
+                     parsed.out.c_str());
+        std::exit(2);
+    }
+}
+
+/**
+ * Runs a declarative cell table through SweepRunner, honoring
+ * --jobs/--seed; `emit` fires per cell on this thread, in table
+ * order. Under --list, prints the table and exits instead.
+ */
+inline std::vector<runtime::ExperimentResult>
+runCells(const std::vector<runtime::SweepCell> &cells,
+         const runtime::SweepRunner::Emit &emit = {})
+{
+    if (opts().list) {
+        std::printf("%zu cells:\n", cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::printf("  [%3zu] %-44s %-14s seedIndex %d\n", i,
+                        cells[i].label.c_str(),
+                        runtime::algorithmName(cells[i].algorithm)
+                            .c_str(),
+                        cells[i].seedIndex);
+        std::exit(0);
+    }
+    runtime::SweepOptions so;
+    so.jobs = opts().jobs;
+    so.baseSeed = opts().seed;
+    runtime::SweepRunner runner(so);
+    return runner.run(cells, emit);
 }
 
 /** Chunks repaired per cell (paper: 200). */
@@ -66,7 +182,7 @@ inline constexpr int kSmokeChunks = 6;
 inline int
 benchChunks(int full = kBenchChunks)
 {
-    return smoke ? kSmokeChunks : full;
+    return opts().smoke ? kSmokeChunks : full;
 }
 
 /**
@@ -111,10 +227,10 @@ inline constexpr Bytes kBenchSlice = 2 * units::MiB;
 
 /** Baseline experiment config at the paper's Section V-A settings
  * (scaled per the file comment). */
-inline analysis::ExperimentConfig
+inline runtime::ExperimentConfig
 defaultConfig()
 {
-    analysis::ExperimentConfig cfg;
+    runtime::ExperimentConfig cfg;
     cfg.chunksToRepair = kBenchChunks;
     cfg.exec.sliceSize = kBenchSlice;
     cfg.trace = traffic::ycsbA();
@@ -122,11 +238,28 @@ defaultConfig()
     return cfg;
 }
 
+/** Builds one sweep cell on top of defaultConfig(). */
+inline runtime::SweepCell
+makeCell(const std::string &label, runtime::Algorithm algorithm,
+         int seedIndex = -1,
+         const std::function<void(runtime::ExperimentConfig &)>
+             &tweak = {})
+{
+    runtime::SweepCell cell;
+    cell.label = label;
+    cell.algorithm = algorithm;
+    cell.config = defaultConfig();
+    cell.seedIndex = seedIndex;
+    if (tweak)
+        tweak(cell.config);
+    return cell;
+}
+
 /** The four baseline-vs-Chameleon comparison algorithms. */
-inline std::vector<analysis::Algorithm>
+inline std::vector<runtime::Algorithm>
 comparisonAlgorithms()
 {
-    using analysis::Algorithm;
+    using runtime::Algorithm;
     return {Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe,
             Algorithm::kChameleon};
 }
@@ -165,32 +298,39 @@ printLatencyDetail(const LatencySummary &s)
 
 /**
  * Shared smoke-mode body: runs one tiny fixed-seed cell per
- * algorithm and applies the checks every repair experiment must
- * pass (positive throughput, every lost chunk repaired or reported
- * unrecoverable). `tweak` edits the cell config; `extra` adds
- * binary-specific checks. Returns main()'s exit code.
+ * algorithm — through SweepRunner, so --smoke --jobs 2 exercises the
+ * concurrent path — and applies the checks every repair experiment
+ * must pass (positive throughput, every lost chunk repaired or
+ * reported unrecoverable). `tweak` edits the cell config; `extra`
+ * adds binary-specific checks. Returns main()'s exit code.
  */
 inline int
 runSmoke(const std::string &name,
-         const std::vector<analysis::Algorithm> &algos,
-         const std::function<void(analysis::ExperimentConfig &)>
+         const std::vector<runtime::Algorithm> &algos,
+         const std::function<void(runtime::ExperimentConfig &)>
              &tweak = {},
          const std::function<void(ShapeChecker &,
-                                  analysis::Algorithm,
-                                  const analysis::ExperimentResult &)>
+                                  runtime::Algorithm,
+                                  const runtime::ExperimentResult &)>
              &extra = {})
 {
-    std::printf("%s --smoke: %d chunks, seed 7\n", name.c_str(),
-                kSmokeChunks);
-    ShapeChecker chk;
+    std::printf("%s --smoke: %d chunks, seed 7, jobs %d\n",
+                name.c_str(), kSmokeChunks, opts().jobs);
+    std::vector<runtime::SweepCell> cells;
     for (auto algo : algos) {
-        auto cfg = defaultConfig();
-        cfg.chunksToRepair = kSmokeChunks;
-        cfg.seed = 7;
+        auto cell = makeCell(runtime::algorithmName(algo), algo);
+        cell.config.chunksToRepair = kSmokeChunks;
+        cell.config.seed = 7;
+        // Pin the historical smoke seed even under --seed.
+        cell.deriveSeed = false;
         if (tweak)
-            tweak(cfg);
-        auto r = analysis::runExperiment(algo, cfg);
-        auto label = analysis::algorithmName(algo);
+            tweak(cell.config);
+        cells.push_back(std::move(cell));
+    }
+    ShapeChecker chk;
+    runCells(cells, [&](std::size_t, const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        const std::string &label = cell.label;
         chk.positive(label + " repair throughput MB/s",
                      r.repairThroughput / 1e6);
         chk.positive(label + " repair time s", r.repairTime);
@@ -201,12 +341,13 @@ runSmoke(const std::string &name,
                       " repaired + " +
                       std::to_string(r.chunksUnrecoverable) +
                       " unrecoverable vs " +
-                      std::to_string(cfg.chunksToRepair) + " lost)",
+                      std::to_string(cell.config.chunksToRepair) +
+                      " lost)",
                   r.chunksRepaired + r.chunksUnrecoverable >=
-                      cfg.chunksToRepair);
+                      cell.config.chunksToRepair);
         if (extra)
-            extra(chk, algo, r);
-    }
+            extra(chk, cell.algorithm, r);
+    });
     return chk.exitCode();
 }
 

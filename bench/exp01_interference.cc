@@ -18,49 +18,61 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // One trace, all four algorithms, plus a latency sanity
         // check (foreground requests must complete during repair).
         return runSmoke(
             "exp01_interference", comparisonAlgorithms(), {},
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 chk.positive("P99 latency ms", r.p99LatencyMs);
             });
+    }
+
+    // One comparison group per trace; cells of a group share a
+    // seedIndex so every algorithm sees the same workload.
+    auto profiles = traffic::allProfiles();
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t t = 0; t < profiles.size(); ++t) {
+        for (auto algo : comparisonAlgorithms()) {
+            cells.push_back(makeCell(
+                profiles[t].name + " / " +
+                    runtime::algorithmName(algo),
+                algo, static_cast<int>(t),
+                [&](runtime::ExperimentConfig &cfg) {
+                    // The flagship table runs closer to the paper's
+                    // scale so phase-level effects fully develop.
+                    cfg.chunksToRepair = 150;
+                    cfg.trace = profiles[t];
+                }));
+        }
     }
 
     printHeader("Exp#1 (Fig. 12): interference study across traces",
                 "RS(10,4), 4 clients per trace");
 
     std::map<Algorithm, Summary> tput_summary;
-    for (const auto &profile : traffic::allProfiles()) {
-        std::printf("%s:\n", profile.name.c_str());
-        double chameleon_tput = 0;
-        for (auto algo : comparisonAlgorithms()) {
-            auto cfg = defaultConfig();
-            // The flagship table runs closer to the paper's scale so
-            // phase-level effects fully develop.
-            cfg.chunksToRepair = 150;
-            cfg.trace = profile;
-            auto r = runExperiment(algo, cfg);
-            printRow(analysis::algorithmName(algo),
-                     r.repairThroughput / 1e6, r.p99LatencyMs);
-            tput_summary[algo].add(r.repairThroughput / 1e6);
-            if (algo == Algorithm::kChameleon) {
-                chameleon_tput = r.repairThroughput;
-                printLatencyDetail(r.latency);
-            }
-        }
-        (void)chameleon_tput;
-    }
+    std::size_t per_group = comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % per_group == 0)
+            std::printf("%s:\n",
+                        profiles[i / per_group].name.c_str());
+        printRow(runtime::algorithmName(cell.algorithm),
+                 r.repairThroughput / 1e6, r.p99LatencyMs);
+        tput_summary[cell.algorithm].add(r.repairThroughput / 1e6);
+        if (cell.algorithm == Algorithm::kChameleon)
+            printLatencyDetail(r.latency);
+    });
 
     std::printf("\nAverages across traces:\n");
     for (auto algo : comparisonAlgorithms()) {
         std::printf("  %-16s %7.1f MB/s\n",
-                    analysis::algorithmName(algo).c_str(),
+                    runtime::algorithmName(algo).c_str(),
                     tput_summary[algo].mean);
     }
     double cham = tput_summary[Algorithm::kChameleon].mean;

@@ -17,63 +17,84 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Bounded-trace cell: the trace must actually finish and
         // report an execution time.
         return runSmoke(
             "exp02_interference_degree",
             {Algorithm::kCr, Algorithm::kChameleon},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.requestsPerClient = 2000;
             },
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 chk.positive("trace execution time s", r.traceTime);
             });
+    }
+
+    // Per trace: a kNone trace-only baseline first, then the four
+    // comparison algorithms against the same bounded workload (one
+    // seedIndex per trace keeps all five cells on one workload).
+    auto profiles = traffic::allProfiles();
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t t = 0; t < profiles.size(); ++t) {
+        auto tweak = [&](runtime::ExperimentConfig &cfg) {
+            // Longer repair so it overlaps most of the trace, as in
+            // the paper's 200-chunk runs.
+            cfg.chunksToRepair = 150;
+            cfg.trace = profiles[t];
+            // Request budgets sized so the trace spans the repair
+            // window (~40-60 s trace-only) for every profile.
+            if (profiles[t].name == "YCSB-A")
+                cfg.requestsPerClient = 40000;
+            else if (profiles[t].name == "IBM-ObjectStore")
+                cfg.requestsPerClient = 800;
+            else if (profiles[t].name == "Memcached")
+                cfg.requestsPerClient = 25000;
+            else
+                cfg.requestsPerClient = 8000;
+        };
+        cells.push_back(makeCell(profiles[t].name + " / trace-only",
+                                 Algorithm::kNone,
+                                 static_cast<int>(t), tweak));
+        for (auto algo : comparisonAlgorithms())
+            cells.push_back(makeCell(
+                profiles[t].name + " / " +
+                    runtime::algorithmName(algo),
+                algo, static_cast<int>(t), tweak));
     }
 
     printHeader("Exp#2 (Fig. 13): interference degree",
                 "bounded traces; degree = T_repair/T_alone - 1");
 
     std::map<Algorithm, Summary> degree;
-    for (const auto &profile : traffic::allProfiles()) {
-        auto base_cfg = defaultConfig();
-        // Longer repair so it overlaps most of the trace, as in the
-        // paper's 200-chunk runs.
-        base_cfg.chunksToRepair = 150;
-        base_cfg.trace = profile;
-        // Request budgets sized so the trace spans the repair
-        // window (~40-60 s trace-only) for every profile.
-        if (profile.name == "YCSB-A")
-            base_cfg.requestsPerClient = 40000;
-        else if (profile.name == "IBM-ObjectStore")
-            base_cfg.requestsPerClient = 800;
-        else if (profile.name == "Memcached")
-            base_cfg.requestsPerClient = 25000;
-        else
-            base_cfg.requestsPerClient = 8000;
-
-        auto baseline = runExperiment(Algorithm::kNone, base_cfg);
-        std::printf("%s (trace-only time %.1f s):\n",
-                    profile.name.c_str(), baseline.traceTime);
-        for (auto algo : comparisonAlgorithms()) {
-            auto r = runExperiment(algo, base_cfg);
-            double deg = r.traceTime / baseline.traceTime - 1.0;
-            degree[algo].add(deg);
-            std::printf("  %-16s trace time %7.1f s   degree "
-                        "%+6.1f%%\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.traceTime, deg * 100.0);
+    double baseline_time = 0.0;
+    std::size_t per_group = 1 + comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (cell.algorithm == Algorithm::kNone) {
+            baseline_time = r.traceTime;
+            std::printf("%s (trace-only time %.1f s):\n",
+                        profiles[i / per_group].name.c_str(),
+                        baseline_time);
+            return;
         }
-    }
+        double deg = r.traceTime / baseline_time - 1.0;
+        degree[cell.algorithm].add(deg);
+        std::printf("  %-16s trace time %7.1f s   degree "
+                    "%+6.1f%%\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.traceTime, deg * 100.0);
+    });
 
     std::printf("\nAverage interference degree:\n");
     for (auto algo : comparisonAlgorithms()) {
         std::printf("  %-16s %+6.1f%%\n",
-                    analysis::algorithmName(algo).c_str(),
+                    runtime::algorithmName(algo).c_str(),
                     degree[algo].mean * 100.0);
     }
     std::printf("Shape check: ChameleonEC has the lowest degree "

@@ -16,45 +16,55 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Two T_phase points; each must complete and run >= 1 phase.
         int failures = 0;
         for (double tphase : {5.0, 20.0}) {
             failures += runSmoke(
                 "exp03_tphase (T=" + std::to_string(tphase) + ")",
                 {Algorithm::kChameleon},
-                [tphase](analysis::ExperimentConfig &cfg) {
+                [tphase](runtime::ExperimentConfig &cfg) {
                     cfg.chameleon.tPhase = tphase;
                 },
                 [](ShapeChecker &chk, Algorithm,
-                   const analysis::ExperimentResult &r) {
+                   const runtime::ExperimentResult &r) {
                     chk.positive("phases run", r.phases);
                 });
         }
         return failures ? 1 : 0;
     }
 
+    // All T_phase points repair the same workload (one seedIndex).
+    std::vector<runtime::SweepCell> cells;
+    for (double tphase : {10.0, 20.0, 30.0, 40.0}) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "T_phase %.0f s", tphase);
+        cells.push_back(makeCell(
+            label, Algorithm::kChameleon, 0,
+            [tphase](runtime::ExperimentConfig &cfg) {
+                // Longer repair so multiple phases actually occur.
+                cfg.chunksToRepair = 200;
+                cfg.chameleon.tPhase = tphase;
+            }));
+    }
+
     printHeader("Exp#3 (Fig. 14): impact of T_phase",
                 "ChameleonEC, RS(10,4), YCSB-A");
 
     double first = 0.0;
-    for (double tphase : {10.0, 20.0, 30.0, 40.0}) {
-        auto cfg = defaultConfig();
-        // Longer repair so multiple phases actually occur.
-        cfg.chunksToRepair = 200;
-        cfg.chameleon.tPhase = tphase;
-        auto r = runExperiment(analysis::Algorithm::kChameleon, cfg);
+    runCells(cells, [&](std::size_t, const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
         if (first == 0.0)
             first = r.repairThroughput;
-        std::printf("  T_phase %4.0f s: %7.1f MB/s (%+5.1f%% vs "
+        std::printf("  %-14s: %7.1f MB/s (%+5.1f%% vs "
                     "10 s), %d phases\n",
-                    tphase, r.repairThroughput / 1e6,
+                    cell.label.c_str(), r.repairThroughput / 1e6,
                     (r.repairThroughput / first - 1) * 100.0,
                     r.phases);
-    }
+    });
     std::printf("\nShape check: throughput declines (or stays flat) "
                 "as T_phase grows; the 10->20 s drop is small, "
                 "matching the paper's 5.4%%.\n");

@@ -10,34 +10,71 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "bench_common.hh"
+
+namespace {
+
+/** Per-cell trace-rotation hook; each cell owns its own state, so
+ * cells stay independent under concurrent sweep workers. */
+chameleon::runtime::ExperimentHooks
+rotationHooks()
+{
+    using namespace chameleon;
+    struct SwitchState
+    {
+        std::size_t next = 1;
+        SimTime lastSwitch = 0.0;
+    };
+    auto profiles = traffic::allProfiles();
+    auto state = std::make_shared<SwitchState>();
+    runtime::ExperimentHooks hooks;
+    hooks.onSample = [profiles, state](
+                         SimTime now,
+                         traffic::ForegroundDriver *driver) {
+        if (!driver)
+            return;
+        if (now - state->lastSwitch >= 15.0) {
+            driver->switchProfile(
+                profiles[state->next % profiles.size()]);
+            state->next++;
+            state->lastSwitch = now;
+        }
+    };
+    return hooks;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Exercise the profile-switch hook: rotate the trace once
         // mid-repair and require a repair-traffic timeline.
         auto switched = std::make_shared<bool>(false);
-        analysis::ExperimentHooks hooks;
-        hooks.onSample = [switched](SimTime,
-                                    traffic::ForegroundDriver *d) {
+        runtime::SweepCell cell =
+            makeCell("hook switch", Algorithm::kChameleon);
+        cell.config.chunksToRepair = kSmokeChunks;
+        cell.config.seed = 7;
+        cell.deriveSeed = false;
+        cell.hooks.onSample = [switched](
+                                  SimTime,
+                                  traffic::ForegroundDriver *d) {
             if (d && !*switched) {
                 d->switchProfile(traffic::facebookEtc());
                 *switched = true;
             }
         };
         ShapeChecker chk;
-        auto cfg = defaultConfig();
-        cfg.chunksToRepair = kSmokeChunks;
-        cfg.seed = 7;
-        auto r = runExperiment(Algorithm::kChameleon, cfg, hooks);
+        auto results = runCells({cell});
+        const auto &r = results.at(0);
         chk.positive("repair throughput MB/s",
                      r.repairThroughput / 1e6);
         chk.check("trace switched mid-repair", *switched);
@@ -46,51 +83,37 @@ main(int argc, char **argv)
         return chk.exitCode();
     }
 
+    std::vector<runtime::SweepCell> cells;
+    for (auto algo : comparisonAlgorithms()) {
+        auto cell = makeCell(runtime::algorithmName(algo), algo, 0,
+                             [](runtime::ExperimentConfig &cfg) {
+                                 // Long enough to span several 15 s
+                                 // trace transitions.
+                                 cfg.chunksToRepair = 150;
+                             });
+        cell.hooks = rotationHooks();
+        cells.push_back(std::move(cell));
+    }
+
     printHeader("Exp#4 (Fig. 15): adaptivity under trace transitions",
                 "traces rotate every 15 s during repair");
 
-    std::map<analysis::Algorithm, double> avg;
-    for (auto algo : comparisonAlgorithms()) {
-        auto cfg = defaultConfig();
-        // Long enough to span several 15 s trace transitions.
-        cfg.chunksToRepair = 150;
-        auto profiles = traffic::allProfiles();
-
-        // Rotate profiles every 15 seconds.
-        struct SwitchState
-        {
-            std::size_t next = 1;
-            SimTime lastSwitch = 0.0;
-        };
-        auto state = std::make_shared<SwitchState>();
-        analysis::ExperimentHooks hooks;
-        hooks.onSample = [profiles, state](
-                             SimTime now,
-                             traffic::ForegroundDriver *driver) {
-            if (!driver)
-                return;
-            if (now - state->lastSwitch >= 15.0) {
-                driver->switchProfile(
-                    profiles[state->next % profiles.size()]);
-                state->next++;
-                state->lastSwitch = now;
-            }
-        };
-        auto r = runExperiment(algo, cfg, hooks);
-        avg[algo] = r.repairThroughput;
+    std::map<Algorithm, double> avg;
+    runCells(cells, [&](std::size_t, const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        avg[cell.algorithm] = r.repairThroughput;
         std::printf("%s: overall %.1f MB/s; repair traffic (MB/s per "
                     "%.0f s window):\n  ",
-                    analysis::algorithmName(algo).c_str(),
-                    r.repairThroughput / 1e6, r.timelinePeriod);
+                    cell.label.c_str(), r.repairThroughput / 1e6,
+                    r.timelinePeriod);
         for (std::size_t i = 0; i < r.trafficTimeline.size(); ++i)
             std::printf("%5.0f%s", r.trafficTimeline[i] / 1e6,
                         (i + 1) % 12 == 0 ? "\n  " : " ");
         std::printf("\n");
-    }
+    });
     std::printf("\nChameleonEC vs CR under transitions: %+.1f%% "
                 "(paper: +51.5%%)\n",
-                (avg[analysis::Algorithm::kChameleon] /
-                     avg[analysis::Algorithm::kCr] -
+                (avg[Algorithm::kChameleon] / avg[Algorithm::kCr] -
                  1) *
                     100.0);
     return 0;

@@ -16,30 +16,35 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // One plain and one RB-scheduled cell per topology family.
         return runSmoke("exp06_repairboost",
                         {Algorithm::kRbCr, Algorithm::kRbPpr,
                          Algorithm::kRbEcpipe});
     }
 
+    // One workload, every scheduler variant (shared seedIndex).
+    std::vector<runtime::SweepCell> cells;
+    for (auto algo : {Algorithm::kCr, Algorithm::kRbCr,
+                      Algorithm::kPpr, Algorithm::kRbPpr,
+                      Algorithm::kEcpipe, Algorithm::kRbEcpipe,
+                      Algorithm::kChameleon})
+        cells.push_back(
+            makeCell(runtime::algorithmName(algo), algo, 0));
+
     printHeader("Exp#6 (Fig. 17): RepairBoost-scheduled baselines",
                 "RS(10,4), YCSB-A");
 
     std::map<Algorithm, double> tput;
-    for (auto algo : {Algorithm::kCr, Algorithm::kRbCr,
-                      Algorithm::kPpr, Algorithm::kRbPpr,
-                      Algorithm::kEcpipe, Algorithm::kRbEcpipe,
-                      Algorithm::kChameleon}) {
-        auto cfg = defaultConfig();
-        auto r = runExperiment(algo, cfg);
-        tput[algo] = r.repairThroughput;
-        printRow(analysis::algorithmName(algo),
-                 r.repairThroughput / 1e6, r.p99LatencyMs);
-    }
+    runCells(cells, [&](std::size_t, const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        tput[cell.algorithm] = r.repairThroughput;
+        printRow(cell.label, r.repairThroughput / 1e6,
+                 r.p99LatencyMs);
+    });
 
     auto gain = [&](Algorithm base) {
         return (tput[Algorithm::kChameleon] / tput[base] - 1) * 100.0;

@@ -7,6 +7,7 @@
  * repair even without interference.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hh"
@@ -16,47 +17,67 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Foreground disabled: latency metrics must stay zero.
         return runSmoke(
             "exp07_no_foreground",
             {Algorithm::kCr, Algorithm::kChameleon},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.trace.reset();
             },
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 chk.check("no foreground latency recorded",
                           r.p99LatencyMs == 0.0);
             });
     }
 
+    // One bandwidth group per link rate (shared seedIndex per group).
+    std::vector<double> rates = {1.0, 2.5, 5.0, 10.0};
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t g = 0; g < rates.size(); ++g) {
+        double gbps = rates[g];
+        for (auto algo : comparisonAlgorithms()) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%.1f Gb/s / %s",
+                          gbps,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, static_cast<int>(g),
+                [gbps](runtime::ExperimentConfig &cfg) {
+                    cfg.trace.reset();
+                    cfg.cluster.uplinkBw = gbps * units::Gbps;
+                    cfg.cluster.downlinkBw = gbps * units::Gbps;
+                }));
+        }
+    }
+
     printHeader("Exp#7 (Fig. 18): no foreground traffic",
                 "link bandwidth swept 1..10 Gb/s, no clients");
 
-    for (double gbps : {1.0, 2.5, 5.0, 10.0}) {
-        std::printf("%.1f Gb/s links:\n", gbps);
-        double cham = 0, best_base = 0;
-        for (auto algo : comparisonAlgorithms()) {
-            auto cfg = defaultConfig();
-            cfg.trace.reset();
-            cfg.cluster.uplinkBw = gbps * units::Gbps;
-            cfg.cluster.downlinkBw = gbps * units::Gbps;
-            auto r = runExperiment(algo, cfg);
-            std::printf("  %-16s %7.1f MB/s\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.repairThroughput / 1e6);
-            if (algo == analysis::Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            else
-                best_base = std::max(best_base, r.repairThroughput);
+    double cham = 0, best_base = 0;
+    std::size_t per_group = comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % per_group == 0) {
+            std::printf("%.1f Gb/s links:\n", rates[i / per_group]);
+            cham = best_base = 0;
         }
-        std::printf("  ChameleonEC vs best baseline: %+.1f%%\n",
-                    (cham / best_base - 1) * 100.0);
-    }
+        std::printf("  %-16s %7.1f MB/s\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.repairThroughput / 1e6);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        else
+            best_base = std::max(best_base, r.repairThroughput);
+        if (i % per_group == per_group - 1)
+            std::printf("  ChameleonEC vs best baseline: %+.1f%%\n",
+                        (cham / best_base - 1) * 100.0);
+    });
     std::printf("\nShape check: throughput grows with bandwidth; "
                 "ChameleonEC keeps an edge even without foreground "
                 "traffic (paper: +25-41%%).\n");

@@ -16,20 +16,20 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Two failed nodes: more chunks than node 0's are lost, so
         // chunksRepaired must exceed the configured count.
         return runSmoke(
             "exp08_multinode",
             {Algorithm::kCr, Algorithm::kChameleon},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.failedNodes = 2;
             },
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 chk.check("multi-node failure repaired extra "
                           "chunks (" +
                               std::to_string(r.chunksRepaired) + ")",
@@ -37,30 +37,50 @@ main(int argc, char **argv)
             });
     }
 
+    // One group per failure count (shared seedIndex per group).
+    std::vector<runtime::SweepCell> cells;
+    for (int failed = 1; failed <= 3; ++failed) {
+        for (auto algo : comparisonAlgorithms()) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%d failed / %s",
+                          failed,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, failed - 1,
+                [failed](runtime::ExperimentConfig &cfg) {
+                    cfg.failedNodes = failed;
+                    // Keep total lost chunks roughly constant
+                    // across rows.
+                    cfg.chunksToRepair = kBenchChunks / failed;
+                }));
+        }
+    }
+
     printHeader("Exp#8 (Fig. 19): multi-node repair",
                 "RS(10,4), YCSB-A, 1..3 failed nodes");
 
-    for (int failed = 1; failed <= 3; ++failed) {
-        std::printf("%d failed node%s:\n", failed,
-                    failed > 1 ? "s" : "");
-        double cham = 0, cr = 0;
-        for (auto algo : comparisonAlgorithms()) {
-            auto cfg = defaultConfig();
-            cfg.failedNodes = failed;
-            // Keep total lost chunks roughly constant across rows.
-            cfg.chunksToRepair = kBenchChunks / failed;
-            auto r = runExperiment(algo, cfg);
-            std::printf("  %-16s %7.1f MB/s (%d chunks)\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.repairThroughput / 1e6, r.chunksRepaired);
-            if (algo == analysis::Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            if (algo == analysis::Algorithm::kCr)
-                cr = r.repairThroughput;
+    double cham = 0, cr = 0;
+    std::size_t per_group = comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        int failed = static_cast<int>(i / per_group) + 1;
+        if (i % per_group == 0) {
+            std::printf("%d failed node%s:\n", failed,
+                        failed > 1 ? "s" : "");
+            cham = cr = 0;
         }
-        std::printf("  ChameleonEC vs CR: %+.1f%%\n",
-                    (cham / cr - 1) * 100.0);
-    }
+        std::printf("  %-16s %7.1f MB/s (%d chunks)\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.repairThroughput / 1e6, r.chunksRepaired);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        if (cell.algorithm == Algorithm::kCr)
+            cr = r.repairThroughput;
+        if (i % per_group == per_group - 1)
+            std::printf("  ChameleonEC vs CR: %+.1f%%\n",
+                        (cham / cr - 1) * 100.0);
+    });
     std::printf("\nShape check: throughput declines as failures "
                 "grow; ChameleonEC stays ahead (paper: +43.6%% at 1 "
                 "failure, +65.7%% at 3).\n");

@@ -18,10 +18,10 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // One cell per code family (RS, LRC, Butterfly).
         int failures = 0;
         for (auto code :
@@ -30,15 +30,12 @@ main(int argc, char **argv)
             failures += runSmoke(
                 "exp09_generality (" + code->name() + ")",
                 {Algorithm::kChameleon},
-                [code](analysis::ExperimentConfig &cfg) {
+                [code](runtime::ExperimentConfig &cfg) {
                     cfg.code = code;
                 });
         }
         return failures ? 1 : 0;
     }
-
-    printHeader("Exp#9 (Fig. 20): generality across erasure codes",
-                "YCSB-A foreground");
 
     struct CodeCase
     {
@@ -51,27 +48,52 @@ main(int argc, char **argv)
         {ec::makeButterfly(), false},
     };
 
-    for (const auto &cc : cases) {
-        std::printf("%s:\n", cc.code->name().c_str());
-        double cham = 0, cr = 0;
+    // One group per code; groups are ragged (butterfly has two
+    // cells), so track group boundaries by cell index.
+    std::vector<runtime::SweepCell> cells;
+    std::vector<std::size_t> group_of_cell;
+    std::vector<std::size_t> group_end; // last cell index per group
+    for (std::size_t g = 0; g < cases.size(); ++g) {
+        const auto &cc = cases[g];
         auto algos = cc.full_comparison
                          ? comparisonAlgorithms()
                          : std::vector<Algorithm>{
                                Algorithm::kCr, Algorithm::kChameleon};
         for (auto algo : algos) {
-            auto cfg = defaultConfig();
-            cfg.code = cc.code;
-            auto r = runExperiment(algo, cfg);
-            printRow(analysis::algorithmName(algo),
-                     r.repairThroughput / 1e6, r.p99LatencyMs);
-            if (algo == Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            if (algo == Algorithm::kCr)
-                cr = r.repairThroughput;
+            cells.push_back(makeCell(
+                cc.code->name() + " / " +
+                    runtime::algorithmName(algo),
+                algo, static_cast<int>(g),
+                [&cc](runtime::ExperimentConfig &cfg) {
+                    cfg.code = cc.code;
+                }));
+            group_of_cell.push_back(g);
         }
-        std::printf("  ChameleonEC vs CR: %+.1f%%\n",
-                    (cham / cr - 1) * 100.0);
+        group_end.push_back(cells.size() - 1);
     }
+
+    printHeader("Exp#9 (Fig. 20): generality across erasure codes",
+                "YCSB-A foreground");
+
+    double cham = 0, cr = 0;
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        std::size_t g = group_of_cell[i];
+        if (i == 0 || group_of_cell[i - 1] != g) {
+            std::printf("%s:\n", cases[g].code->name().c_str());
+            cham = cr = 0;
+        }
+        printRow(runtime::algorithmName(cell.algorithm),
+                 r.repairThroughput / 1e6, r.p99LatencyMs);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        if (cell.algorithm == Algorithm::kCr)
+            cr = r.repairThroughput;
+        if (i == group_end[g])
+            std::printf("  ChameleonEC vs CR: %+.1f%%\n",
+                        (cham / cr - 1) * 100.0);
+    });
     std::printf("\nShape checks: LRC repair throughput beats same-k "
                 "RS (reads k/l chunks); Butterfly gains only "
                 "slightly (paper: +4.9%%) since relays cannot "

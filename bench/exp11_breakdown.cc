@@ -17,20 +17,45 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // A straggler mid-repair; both ablation levels must finish.
         return runSmoke(
             "exp11_breakdown",
             {Algorithm::kEtrp, Algorithm::kChameleon},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.chameleon.checkPeriod = 1.0;
                 cfg.chameleon.stragglerSlack = 2.0;
-                cfg.stragglers.push_back(analysis::StragglerEvent{
+                cfg.stragglers.push_back(runtime::StragglerEvent{
                     1.0, kInvalidNode, 0.05, 10.0, true, true});
             });
+    }
+
+    // One group per straggler start time (shared seedIndex).
+    const std::vector<double> starts = {0.0, 5.0, 10.0};
+    const std::vector<Algorithm> algos = {
+        Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe,
+        Algorithm::kEtrp, Algorithm::kChameleon};
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t g = 0; g < starts.size(); ++g) {
+        double t0 = starts[g];
+        for (auto algo : algos) {
+            char label[48];
+            std::snprintf(label, sizeof(label),
+                          "straggler %+0.0f s / %s", t0,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, static_cast<int>(g),
+                [t0](runtime::ExperimentConfig &cfg) {
+                    cfg.chameleon.checkPeriod = 1.0;
+                    cfg.chameleon.stragglerSlack = 2.0;
+                    // Throttle a node participating in the repair.
+                    cfg.stragglers.push_back(runtime::StragglerEvent{
+                        t0, kInvalidNode, 0.05, 15.0, true, true});
+                }));
+        }
     }
 
     printHeader("Exp#11 (Fig. 22): breakdown (ETRP vs +SAR) under a "
@@ -38,40 +63,31 @@ main(int argc, char **argv)
                 "one node throttled to 5% for 15 s at t0 in "
                 "{0, 5, 10} s after repair start");
 
-    for (double t0 : {0.0, 5.0, 10.0}) {
-        std::printf("straggler at %+0.0f s:\n", t0);
-        for (auto algo : {Algorithm::kCr, Algorithm::kPpr,
-                          Algorithm::kEcpipe, Algorithm::kEtrp,
-                          Algorithm::kChameleon}) {
-            auto cfg = defaultConfig();
-            cfg.chameleon.checkPeriod = 1.0;
-            cfg.chameleon.stragglerSlack = 2.0;
-            // Throttle a node participating in the repair.
-            cfg.stragglers.push_back(analysis::StragglerEvent{
-                t0, kInvalidNode, 0.05, 15.0, true, true});
-            auto r = runExperiment(algo, cfg);
-            // The paper's metric: repair throughput within the
-            // monitored phase (the first T_phase = 20 s), i.e. the
-            // chunks that still complete despite the straggler.
-            Bytes in_phase = 0;
-            for (std::size_t w = 0;
-                 w < r.throughputTimeline.size() &&
-                 static_cast<double>(w) * r.timelinePeriod < 20.0;
-                 ++w)
-                in_phase += r.throughputTimeline[w] *
-                            r.timelinePeriod;
-            std::printf("  %-16s in-phase %7.1f MB/s  (overall "
-                        "%6.1f)",
-                        analysis::algorithmName(algo).c_str(),
-                        in_phase / 20.0 / 1e6,
-                        r.repairThroughput / 1e6);
-            if (algo == Algorithm::kChameleon ||
-                algo == Algorithm::kEtrp)
-                std::printf("  retunes %d reorders %d", r.retunes,
-                            r.reorders);
-            std::printf("\n");
-        }
-    }
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % algos.size() == 0)
+            std::printf("straggler at %+0.0f s:\n",
+                        starts[i / algos.size()]);
+        // The paper's metric: repair throughput within the
+        // monitored phase (the first T_phase = 20 s), i.e. the
+        // chunks that still complete despite the straggler.
+        Bytes in_phase = 0;
+        for (std::size_t w = 0;
+             w < r.throughputTimeline.size() &&
+             static_cast<double>(w) * r.timelinePeriod < 20.0;
+             ++w)
+            in_phase += r.throughputTimeline[w] * r.timelinePeriod;
+        std::printf("  %-16s in-phase %7.1f MB/s  (overall "
+                    "%6.1f)",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    in_phase / 20.0 / 1e6, r.repairThroughput / 1e6);
+        if (cell.algorithm == Algorithm::kChameleon ||
+            cell.algorithm == Algorithm::kEtrp)
+            std::printf("  retunes %d reorders %d", r.retunes,
+                        r.reorders);
+        std::printf("\n");
+    });
     std::printf("\nShape checks: full ChameleonEC >= ETRP under "
                 "stragglers (SAR bypasses them); later stragglers "
                 "hurt less.\n");

@@ -16,52 +16,74 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Tight disks, plentiful network: the IO-keyed variant must
         // still complete the repair.
         return runSmoke(
             "exp12_storage_bottleneck",
             {Algorithm::kChameleon, Algorithm::kChameleonIo},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.cluster.uplinkBw = 10 * units::Gbps;
                 cfg.cluster.downlinkBw = 10 * units::Gbps;
                 cfg.cluster.diskBw = 125 * units::MBps;
             });
     }
 
+    // One group per disk rate (shared seedIndex per group).
+    const std::vector<double> disks = {125.0, 250.0, 500.0};
+    const std::vector<Algorithm> algos = {
+        Algorithm::kCr, Algorithm::kChameleon,
+        Algorithm::kChameleonIo};
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t g = 0; g < disks.size(); ++g) {
+        double disk_mbps = disks[g];
+        for (auto algo : algos) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "disk %.0f / %s",
+                          disk_mbps,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, static_cast<int>(g),
+                [disk_mbps](runtime::ExperimentConfig &cfg) {
+                    // The paper's storage-bottleneck premise:
+                    // network far above disk (their 10 Gb/s NICs vs
+                    // <= 500 MB/s disks).
+                    cfg.cluster.uplinkBw = 10 * units::Gbps;
+                    cfg.cluster.downlinkBw = 10 * units::Gbps;
+                    cfg.cluster.diskBw = disk_mbps * units::MBps;
+                }));
+        }
+    }
+
     printHeader("Exp#12 (Fig. 23): storage-bottlenecked scenarios",
                 "disk bandwidth swept 125..500 MB/s, links fixed");
 
-    for (double disk_mbps : {125.0, 250.0, 500.0}) {
-        std::printf("disk %.0f MB/s:\n", disk_mbps);
-        double cham = 0, cham_io = 0, cr = 0;
-        for (auto algo : {Algorithm::kCr, Algorithm::kChameleon,
-                          Algorithm::kChameleonIo}) {
-            auto cfg = defaultConfig();
-            // The paper's storage-bottleneck premise: network far
-            // above disk (their 10 Gb/s NICs vs <= 500 MB/s disks).
-            cfg.cluster.uplinkBw = 10 * units::Gbps;
-            cfg.cluster.downlinkBw = 10 * units::Gbps;
-            cfg.cluster.diskBw = disk_mbps * units::MBps;
-            auto r = runExperiment(algo, cfg);
-            std::printf("  %-16s %7.1f MB/s\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.repairThroughput / 1e6);
-            if (algo == Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            if (algo == Algorithm::kChameleonIo)
-                cham_io = r.repairThroughput;
-            if (algo == Algorithm::kCr)
-                cr = r.repairThroughput;
+    double cham = 0, cham_io = 0, cr = 0;
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % algos.size() == 0) {
+            std::printf("disk %.0f MB/s:\n", disks[i / algos.size()]);
+            cham = cham_io = cr = 0;
         }
-        std::printf("  Chameleon vs CR %+.1f%%; Chameleon-IO vs "
-                    "Chameleon %+.1f%%\n",
-                    (cham / cr - 1) * 100.0,
-                    (cham_io / cham - 1) * 100.0);
-    }
+        std::printf("  %-16s %7.1f MB/s\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.repairThroughput / 1e6);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        if (cell.algorithm == Algorithm::kChameleonIo)
+            cham_io = r.repairThroughput;
+        if (cell.algorithm == Algorithm::kCr)
+            cr = r.repairThroughput;
+        if (i % algos.size() == algos.size() - 1)
+            std::printf("  Chameleon vs CR %+.1f%%; Chameleon-IO vs "
+                        "Chameleon %+.1f%%\n",
+                        (cham / cr - 1) * 100.0,
+                        (cham_io / cham - 1) * 100.0);
+    });
     std::printf("\nShape checks: ChameleonEC-IO beats plain "
                 "ChameleonEC under stringent storage bandwidth "
                 "(paper: +35.7%% at the tightest disks) and gives "

@@ -16,22 +16,29 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // Two bandwidth points; throughput must rise with bandwidth.
-        auto run_at = [](double gbps) {
-            auto cfg = defaultConfig();
-            cfg.chunksToRepair = kSmokeChunks;
-            cfg.seed = 7;
-            cfg.cluster.uplinkBw = gbps * units::Gbps;
-            cfg.cluster.downlinkBw = gbps * units::Gbps;
-            return runExperiment(Algorithm::kChameleon, cfg);
+        auto bw_cell = [](double gbps) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "%.0f Gb/s", gbps);
+            auto cell = makeCell(
+                label, Algorithm::kChameleon, -1,
+                [gbps](runtime::ExperimentConfig &cfg) {
+                    cfg.chunksToRepair = kSmokeChunks;
+                    cfg.seed = 7;
+                    cfg.cluster.uplinkBw = gbps * units::Gbps;
+                    cfg.cluster.downlinkBw = gbps * units::Gbps;
+                });
+            cell.deriveSeed = false;
+            return cell;
         };
+        auto results = runCells({bw_cell(1.0), bw_cell(5.0)});
+        const auto &slow = results.at(0);
+        const auto &fast = results.at(1);
         ShapeChecker chk;
-        auto slow = run_at(1.0);
-        auto fast = run_at(5.0);
         chk.positive("1 Gb/s repair throughput MB/s",
                      slow.repairThroughput / 1e6);
         chk.positive("5 Gb/s repair throughput MB/s",
@@ -41,29 +48,50 @@ main(int argc, char **argv)
         return chk.exitCode();
     }
 
+    // One group per link rate (shared seedIndex per group).
+    const std::vector<double> rates = {1.0, 2.5, 5.0, 10.0};
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t g = 0; g < rates.size(); ++g) {
+        double gbps = rates[g];
+        for (auto algo : comparisonAlgorithms()) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%.1f Gb/s / %s",
+                          gbps,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, static_cast<int>(g),
+                [gbps](runtime::ExperimentConfig &cfg) {
+                    cfg.cluster.uplinkBw = gbps * units::Gbps;
+                    cfg.cluster.downlinkBw = gbps * units::Gbps;
+                }));
+        }
+    }
+
     printHeader("Exp#13 (Fig. 24): impact of network bandwidth",
                 "links swept 1..10 Gb/s, YCSB-A foreground");
 
-    for (double gbps : {1.0, 2.5, 5.0, 10.0}) {
-        std::printf("%.1f Gb/s links:\n", gbps);
-        double cham = 0;
-        Summary base;
-        for (auto algo : comparisonAlgorithms()) {
-            auto cfg = defaultConfig();
-            cfg.cluster.uplinkBw = gbps * units::Gbps;
-            cfg.cluster.downlinkBw = gbps * units::Gbps;
-            auto r = runExperiment(algo, cfg);
-            std::printf("  %-16s %7.1f MB/s\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.repairThroughput / 1e6);
-            if (algo == analysis::Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            else
-                base.add(r.repairThroughput);
+    double cham = 0;
+    Summary base;
+    std::size_t per_group = comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % per_group == 0) {
+            std::printf("%.1f Gb/s links:\n", rates[i / per_group]);
+            cham = 0;
+            base = Summary();
         }
-        std::printf("  ChameleonEC vs baseline mean: %+.1f%%\n",
-                    (cham / base.mean - 1) * 100.0);
-    }
+        std::printf("  %-16s %7.1f MB/s\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.repairThroughput / 1e6);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        else
+            base.add(r.repairThroughput);
+        if (i % per_group == per_group - 1)
+            std::printf("  ChameleonEC vs baseline mean: %+.1f%%\n",
+                        (cham / base.mean - 1) * 100.0);
+    });
     std::printf("\nShape checks: absolute throughput rises with "
                 "bandwidth; the relative improvement falls as disks "
                 "take over as the bottleneck.\n");

@@ -23,24 +23,51 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // A crash 2 s into repair (rejoining at 22 s) plus a link
         // flap; every algorithm must absorb both and account for
         // every chunk, including the ones the crash destroyed.
         return runSmoke(
             "exp14_churn", comparisonAlgorithms(),
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.faults = fault::FaultSchedule::parse(
                     "crash@2:dur=20;"
                     "linkdeg@4:factor=0.2:dur=6");
             },
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 chk.positive("faults injected", r.faultsInjected);
             });
+    }
+
+    // One group per chaos rate (shared seedIndex per group; the
+    // chaos schedule itself stays pinned by chaosSeed so every
+    // algorithm sees the same faults).
+    const std::vector<double> rates = {0.0, 0.1, 0.3, 0.6};
+    std::vector<runtime::SweepCell> cells;
+    for (std::size_t g = 0; g < rates.size(); ++g) {
+        double rate = rates[g];
+        for (auto algo : comparisonAlgorithms()) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "chaos %.2f / %s",
+                          rate,
+                          runtime::algorithmName(algo).c_str());
+            cells.push_back(makeCell(
+                label, algo, static_cast<int>(g),
+                [rate](runtime::ExperimentConfig &cfg) {
+                    cfg.chunksToRepair = 40;
+                    cfg.chaosRate = rate;
+                    cfg.chaosSeed = 1234;
+                    // Concentrate the events inside the repair
+                    // window; the default 120 s horizon would land
+                    // most of them after a ~15 s repair already
+                    // finished.
+                    cfg.chaosHorizon = 15.0;
+                }));
+        }
     }
 
     printHeader("Exp#14: repair under churn",
@@ -48,34 +75,30 @@ main(int argc, char **argv)
                 "(crashes, link flaps, slow disks, monitor "
                 "blackouts), same schedule for every algorithm");
 
-    for (double rate : {0.0, 0.1, 0.3, 0.6}) {
-        std::printf("chaos rate %.2f events/s:\n", rate);
-        double cham = 0, cr = 0;
-        for (auto algo : comparisonAlgorithms()) {
-            auto cfg = defaultConfig();
-            cfg.chunksToRepair = 40;
-            cfg.chaosRate = rate;
-            cfg.chaosSeed = 1234;
-            // Concentrate the events inside the repair window; the
-            // default 120 s horizon would land most of them after a
-            // ~15 s repair already finished.
-            cfg.chaosHorizon = 15.0;
-            auto r = runExperiment(algo, cfg);
-            std::printf("  %-16s %7.1f MB/s in %6.1f s   faults %2d "
-                        "replans %2d unrecoverable %d\n",
-                        analysis::algorithmName(algo).c_str(),
-                        r.repairThroughput / 1e6, r.repairTime,
-                        r.faultsInjected, r.crashReplans,
-                        r.chunksUnrecoverable);
-            if (algo == Algorithm::kChameleon)
-                cham = r.repairThroughput;
-            if (algo == Algorithm::kCr)
-                cr = r.repairThroughput;
+    double cham = 0, cr = 0;
+    std::size_t per_group = comparisonAlgorithms().size();
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i % per_group == 0) {
+            std::printf("chaos rate %.2f events/s:\n",
+                        rates[i / per_group]);
+            cham = cr = 0;
         }
-        if (cr > 0)
+        std::printf("  %-16s %7.1f MB/s in %6.1f s   faults %2d "
+                    "replans %2d unrecoverable %d\n",
+                    runtime::algorithmName(cell.algorithm).c_str(),
+                    r.repairThroughput / 1e6, r.repairTime,
+                    r.faultsInjected, r.crashReplans,
+                    r.chunksUnrecoverable);
+        if (cell.algorithm == Algorithm::kChameleon)
+            cham = r.repairThroughput;
+        if (cell.algorithm == Algorithm::kCr)
+            cr = r.repairThroughput;
+        if (i % per_group == per_group - 1 && cr > 0)
             std::printf("  ChameleonEC vs CR: %+.1f%%\n",
                         (cham / cr - 1) * 100.0);
-    }
+    });
 
     std::printf("\nShape checks: higher chaos rates stretch every "
                 "algorithm's repair; chunk accounting still closes "

@@ -2,26 +2,28 @@
  * @file
  * Figure 2: data-loss probability during single-node repair as a
  * function of repair throughput (k = 10, m = 4, 96 TB per node,
- * 10-year expected node lifetime). Analytical; no simulation.
+ * 10-year expected node lifetime). Analytical; no simulation — but
+ * it still parses the shared bench flags so CTest can pass the same
+ * --smoke/--jobs arguments to every bench binary.
  */
 
 #include <cstdio>
 #include <initializer_list>
-#include <string>
 
 #include "analysis/reliability.hh"
+#include "bench_common.hh"
 #include "util/types.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace chameleon;
+    bench::init(argc, argv);
     analysis::ReliabilityModel model; // paper defaults
 
     // --smoke: the analytical model is already instant; just check
     // the monotone trend that motivates the paper and exit.
-    bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
-    if (smoke) {
+    if (bench::opts().smoke) {
         double prev = 1.0;
         bool monotone = true, bounded = true;
         for (double mbps : {10.0, 100.0, 1000.0}) {

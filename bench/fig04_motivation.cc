@@ -16,55 +16,73 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // One loaded and one unloaded cell of the motivation study.
         int failures = runSmoke("fig04_motivation (loaded)",
                                 {Algorithm::kCr});
         failures += runSmoke(
             "fig04_motivation (no clients)", {Algorithm::kCr},
-            [](analysis::ExperimentConfig &cfg) {
+            [](runtime::ExperimentConfig &cfg) {
                 cfg.trace.reset();
             });
         return failures ? 1 : 0;
     }
 
+    // Cell 0: YCSB-only P99 baseline (no repair), C = 4. Then one
+    // group per algorithm across client counts 0..4; equal client
+    // counts share a seedIndex (same foreground workload).
+    const std::vector<Algorithm> algos = {
+        Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe};
+    std::vector<runtime::SweepCell> cells;
+    cells.push_back(makeCell("YCSB-only (C=4)", Algorithm::kNone, 5,
+                             [](runtime::ExperimentConfig &cfg) {
+                                 cfg.requestsPerClient = 3000;
+                             }));
+    for (auto algo : algos) {
+        for (int clients = 0; clients <= 4; ++clients) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s / C=%d",
+                          runtime::algorithmName(algo).c_str(),
+                          clients);
+            cells.push_back(makeCell(
+                label, algo, clients,
+                [clients](runtime::ExperimentConfig &cfg) {
+                    if (clients == 0)
+                        cfg.trace.reset();
+                    else
+                        cfg.cluster.numClients = clients;
+                }));
+        }
+    }
+
     printHeader("Figure 4: interference study (repair vs #clients)",
                 "RS(10,4), YCSB-A, clients C = 0..4");
 
-    // YCSB-only P99 baseline (no repair), C = 4.
-    {
-        auto cfg = defaultConfig();
-        cfg.requestsPerClient = 3000;
-        auto r = runExperiment(Algorithm::kNone, cfg);
-        std::printf("YCSB-only (C=4):            P99 %6.1f ms\n",
-                    r.p99LatencyMs);
-    }
-
-    for (auto algo :
-         {Algorithm::kCr, Algorithm::kPpr, Algorithm::kEcpipe}) {
-        std::printf("%s:\n", analysis::algorithmName(algo).c_str());
-        for (int clients = 0; clients <= 4; ++clients) {
-            auto cfg = defaultConfig();
-            if (clients == 0) {
-                cfg.trace.reset();
-            } else {
-                cfg.cluster.numClients = clients;
-            }
-            auto r = runExperiment(algo, cfg);
-            if (clients == 0) {
-                std::printf("  C=%d  repair time %6.1f s   P99      "
-                            "- \n",
-                            clients, r.repairTime);
-            } else {
-                std::printf("  C=%d  repair time %6.1f s   P99 %6.1f "
-                            "ms\n",
-                            clients, r.repairTime, r.p99LatencyMs);
-            }
+    runCells(cells, [&](std::size_t i,
+                        const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
+        if (i == 0) {
+            std::printf("YCSB-only (C=4):            P99 %6.1f ms\n",
+                        r.p99LatencyMs);
+            return;
         }
-    }
+        int clients = static_cast<int>((i - 1) % 5);
+        if (clients == 0)
+            std::printf("%s:\n",
+                        runtime::algorithmName(cell.algorithm)
+                            .c_str());
+        if (clients == 0)
+            std::printf("  C=%d  repair time %6.1f s   P99      "
+                        "- \n",
+                        clients, r.repairTime);
+        else
+            std::printf("  C=%d  repair time %6.1f s   P99 %6.1f "
+                        "ms\n",
+                        clients, r.repairTime, r.p99LatencyMs);
+    });
     std::printf("\nShape check: repair time grows with C; with "
                 "foreground running, CR >= PPR >= ECPipe in repair "
                 "throughput (the paper's inversion).\n");

@@ -18,6 +18,7 @@ main(int argc, char **argv)
     using namespace chameleon::bench;
 
     init(argc, argv);
+    bool smoke = opts().smoke;
     if (!smoke)
         printHeader("Figure 5: foreground bandwidth fluctuation",
                     "YCSB-A, 4 clients, 15 s windows, no repair");

@@ -16,17 +16,17 @@ main(int argc, char **argv)
 {
     using namespace chameleon;
     using namespace chameleon::bench;
-    using analysis::Algorithm;
+    using runtime::Algorithm;
 
     init(argc, argv);
-    if (smoke) {
+    if (opts().smoke) {
         // The per-link load report must cover every node and show
         // repair traffic on at least one surviving uplink.
         return runSmoke(
             "fig06_imbalance", {Algorithm::kCr},
             {},
             [](ShapeChecker &chk, Algorithm,
-               const analysis::ExperimentResult &r) {
+               const runtime::ExperimentResult &r) {
                 double max_repair = 0;
                 for (const auto &l : r.uplinks)
                     max_repair = std::max(max_repair, l.repairMean);
@@ -38,18 +38,23 @@ main(int argc, char **argv)
             });
     }
 
+    // One workload, every algorithm (shared seedIndex).
+    std::vector<runtime::SweepCell> cells;
+    for (auto algo : comparisonAlgorithms())
+        cells.push_back(
+            makeCell(runtime::algorithmName(algo), algo, 0));
+
     printHeader("Figure 6: ML vs LL link utilization during repair",
                 "RS(10,4), YCSB-A, per-node repair+foreground "
                 "bandwidth over the repair window");
 
-    for (auto algo : comparisonAlgorithms()) {
-        auto cfg = defaultConfig();
-        auto r = runExperiment(algo, cfg);
+    runCells(cells, [&](std::size_t, const runtime::SweepCell &cell,
+                        const runtime::ExperimentResult &r) {
         auto report = [&](const char *dir,
-                          const std::vector<analysis::LinkLoad> &all) {
+                          const std::vector<runtime::LinkLoad> &all) {
             // The failed node carries no traffic; exclude it.
-            std::vector<analysis::LinkLoad> links(all.begin() + 1,
-                                                  all.end());
+            std::vector<runtime::LinkLoad> links(all.begin() + 1,
+                                                 all.end());
             auto ml = *std::max_element(
                 links.begin(), links.end(),
                 [](const auto &a, const auto &b) {
@@ -63,7 +68,7 @@ main(int argc, char **argv)
             std::printf("  %-12s %s ML: %6.2f Gb/s (repair %5.2f + "
                         "fg %5.2f) | LL: %6.2f Gb/s | ML/LL-1 = "
                         "%5.1f%%\n",
-                        analysis::algorithmName(algo).c_str(), dir,
+                        cell.label.c_str(), dir,
                         ml.total() * 8 / 1e9, ml.repairMean * 8 / 1e9,
                         ml.foregroundMean * 8 / 1e9,
                         ll.total() * 8 / 1e9,
@@ -73,7 +78,7 @@ main(int argc, char **argv)
         };
         report("up  ", r.uplinks);
         report("down", r.downlinks);
-    }
+    });
     std::printf("\nShape check: utilization varies strongly across "
                 "links for the baselines; ChameleonEC's "
                 "bandwidth-aware dispatch narrows the ML/LL gap.\n");

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Microbenchmark for the sweep executor itself: runs a fixed 24-cell
+ * table (4 algorithms x 6 workload groups) twice — --jobs 1 and
+ * --jobs <hardware> — and records both wall-clock times plus whether
+ * the two emitted tables are byte-identical (the SweepRunner
+ * determinism contract) in BENCH_runtime.json.
+ *
+ * Exit code: non-zero if the tables differ; the speedup itself is
+ * recorded, not asserted (it depends on the machine's core count).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "util/format.hh"
+
+namespace {
+
+using namespace chameleon;
+using namespace chameleon::bench;
+using runtime::Algorithm;
+
+std::vector<runtime::SweepCell>
+buildTable(int chunks)
+{
+    // 6 workload groups: the four traces, a no-foreground cell, and
+    // a low-bandwidth cell. Each group runs the four comparison
+    // algorithms on one shared workload (seedIndex = group).
+    std::vector<runtime::SweepCell> cells;
+    auto profiles = traffic::allProfiles();
+    int group = 0;
+    auto add = [&](const std::string &name,
+                   const std::function<void(
+                       runtime::ExperimentConfig &)> &tweak) {
+        for (auto algo : comparisonAlgorithms()) {
+            auto cell = makeCell(
+                name + " / " + runtime::algorithmName(algo), algo,
+                group, tweak);
+            cell.config.chunksToRepair = chunks;
+            cells.push_back(std::move(cell));
+        }
+        ++group;
+    };
+    for (const auto &profile : profiles)
+        add(profile.name, [profile](runtime::ExperimentConfig &cfg) {
+            cfg.trace = profile;
+        });
+    add("no-foreground", [](runtime::ExperimentConfig &cfg) {
+        cfg.trace.reset();
+    });
+    add("1Gbps", [](runtime::ExperimentConfig &cfg) {
+        cfg.cluster.uplinkBw = 1.0 * units::Gbps;
+        cfg.cluster.downlinkBw = 1.0 * units::Gbps;
+    });
+    return cells;
+}
+
+/** Renders every cell's headline numbers into one string; comparing
+ * the -j1 and -jN renderings byte-for-byte is the determinism
+ * check. */
+std::string
+renderTable(const std::vector<runtime::SweepCell> &cells,
+            const std::vector<runtime::ExperimentResult> &results)
+{
+    std::string table;
+    char line[160];
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        std::snprintf(line, sizeof(line),
+                      "%-40s %12.3f MB/s  %8.3f s  %3d chunks  "
+                      "P99 %9.3f ms\n",
+                      cells[i].label.c_str(),
+                      r.repairThroughput / 1e6, r.repairTime,
+                      r.chunksRepaired, r.p99LatencyMs);
+        table += line;
+    }
+    return table;
+}
+
+double
+timedRun(const std::vector<runtime::SweepCell> &cells, int jobs,
+         std::string *table)
+{
+    runtime::SweepOptions so;
+    so.jobs = jobs;
+    so.baseSeed = opts().seed;
+    // Keep the process telemetry context clean across the two runs
+    // so both execute identical work.
+    so.mergeTelemetry = false;
+    runtime::SweepRunner runner(so);
+    auto start = std::chrono::steady_clock::now();
+    auto results = runner.run(cells);
+    auto end = std::chrono::steady_clock::now();
+    *table = renderTable(cells, results);
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    init(argc, argv);
+
+    int chunks = opts().smoke ? kSmokeChunks : 10;
+    auto cells = buildTable(chunks);
+    if (opts().list) {
+        // Reuse the shared --list rendering.
+        runCells(cells);
+        return 0;
+    }
+
+    int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    int parallel_jobs = opts().jobs > 1 ? opts().jobs
+                                        : (opts().smoke ? 2 : hw);
+
+    std::printf("micro_sweep: %zu cells, %d chunks each; "
+                "--jobs 1 vs --jobs %d\n",
+                cells.size(), chunks, parallel_jobs);
+
+    std::string serial_table, parallel_table;
+    double serial_s = timedRun(cells, 1, &serial_table);
+    double parallel_s =
+        timedRun(cells, parallel_jobs, &parallel_table);
+    bool identical = serial_table == parallel_table;
+    double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+
+    std::printf("%s", serial_table.c_str());
+    std::printf("\n--jobs 1: %.2f s   --jobs %d: %.2f s   "
+                "speedup %.2fx\n",
+                serial_s, parallel_jobs, parallel_s, speedup);
+    std::printf("  [%s] -j1 and -j%d tables byte-identical\n",
+                identical ? "ok" : "FAIL", parallel_jobs);
+
+    std::FILE *json = std::fopen("BENCH_runtime.json", "w");
+    if (json) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"bench\": \"micro_sweep\",\n"
+            "  \"cells\": %zu,\n"
+            "  \"chunks_per_cell\": %d,\n"
+            "  \"hardware_concurrency\": %d,\n"
+            "  \"jobs_parallel\": %d,\n"
+            "  \"seconds_jobs1\": %s,\n"
+            "  \"seconds_jobsN\": %s,\n"
+            "  \"speedup\": %s,\n"
+            "  \"identical_tables\": %s\n"
+            "}\n",
+            cells.size(), chunks, hw, parallel_jobs,
+            formatDouble(serial_s).c_str(),
+            formatDouble(parallel_s).c_str(),
+            formatDouble(speedup).c_str(),
+            identical ? "true" : "false");
+        std::fclose(json);
+        std::printf("wrote BENCH_runtime.json\n");
+    } else {
+        std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    }
+    return identical ? 0 : 1;
+}

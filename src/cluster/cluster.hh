@@ -50,6 +50,8 @@ struct ClusterConfig
      * standard datacenter design ratio (1 = full bisection).
      */
     double rackOversubscription = 1.0;
+
+    bool operator==(const ClusterConfig &) const = default;
 };
 
 /** Owns the FlowNetwork resources for all nodes; see file comment. */

@@ -28,8 +28,8 @@ faultKindName(FaultKind kind)
 
 namespace {
 
-FaultKind
-parseKind(const std::string &name)
+std::optional<FaultKind>
+parseKind(const std::string &name, std::string &err)
 {
     if (name == "crash")
         return FaultKind::kNodeCrash;
@@ -39,12 +39,13 @@ parseKind(const std::string &name)
         return FaultKind::kLinkDegrade;
     if (name == "blackout")
         return FaultKind::kMonitorBlackout;
-    CHAMELEON_PANIC("unknown fault kind '", name,
-                    "' (want crash|slowdisk|linkdeg|blackout)");
+    err = "unknown fault kind '" + name +
+          "' (want crash|slowdisk|linkdeg|blackout)";
+    return std::nullopt;
 }
 
-double
-parseNum(const std::string &s, const char *what)
+std::optional<double>
+parseNum(const std::string &s, const char *what, std::string &err)
 {
     std::size_t used = 0;
     double v = 0.0;
@@ -53,8 +54,11 @@ parseNum(const std::string &s, const char *what)
     } catch (...) {
         used = 0;
     }
-    CHAMELEON_ASSERT(used == s.size() && !s.empty(),
-                     "malformed ", what, " '", s, "' in fault spec");
+    if (used != s.size() || s.empty()) {
+        err = std::string("malformed ") + what + " '" + s +
+              "' in fault spec";
+        return std::nullopt;
+    }
     return v;
 }
 
@@ -73,10 +77,8 @@ splitOn(const std::string &s, char sep)
     return out;
 }
 
-} // namespace
-
-FaultSchedule
-FaultSchedule::parse(const std::string &spec)
+std::optional<FaultSchedule>
+parseImpl(const std::string &spec, std::string &err)
 {
     FaultSchedule out;
     for (const std::string &item : splitOn(spec, ';')) {
@@ -85,28 +87,45 @@ FaultSchedule::parse(const std::string &spec)
         auto fields = splitOn(item, ':');
         // First field: kind@T.
         auto at_pos = fields[0].find('@');
-        CHAMELEON_ASSERT(at_pos != std::string::npos,
-                         "fault event '", item, "' lacks kind@time");
+        if (at_pos == std::string::npos) {
+            err = "fault event '" + item + "' lacks kind@time";
+            return std::nullopt;
+        }
         FaultEvent ev;
-        ev.kind = parseKind(fields[0].substr(0, at_pos));
-        ev.at = parseNum(fields[0].substr(at_pos + 1), "time");
+        auto kind = parseKind(fields[0].substr(0, at_pos), err);
+        if (!kind)
+            return std::nullopt;
+        ev.kind = *kind;
+        auto at = parseNum(fields[0].substr(at_pos + 1), "time", err);
+        if (!at)
+            return std::nullopt;
+        ev.at = *at;
         for (std::size_t i = 1; i < fields.size(); ++i) {
             auto eq = fields[i].find('=');
-            CHAMELEON_ASSERT(eq != std::string::npos,
-                             "fault option '", fields[i],
-                             "' is not key=value");
+            if (eq == std::string::npos) {
+                err = "fault option '" + fields[i] +
+                      "' is not key=value";
+                return std::nullopt;
+            }
             std::string key = fields[i].substr(0, eq);
             std::string val = fields[i].substr(eq + 1);
+            std::optional<double> num;
             if (key == "node") {
-                ev.node =
-                    static_cast<NodeId>(parseNum(val, "node"));
+                if (!(num = parseNum(val, "node", err)))
+                    return std::nullopt;
+                ev.node = static_cast<NodeId>(*num);
             } else if (key == "factor") {
-                ev.factor = parseNum(val, "factor");
+                if (!(num = parseNum(val, "factor", err)))
+                    return std::nullopt;
+                ev.factor = *num;
             } else if (key == "dur") {
-                ev.duration = parseNum(val, "duration");
+                if (!(num = parseNum(val, "duration", err)))
+                    return std::nullopt;
+                ev.duration = *num;
             } else {
-                CHAMELEON_PANIC("unknown fault option '", key,
-                                "' (want node|factor|dur)");
+                err = "unknown fault option '" + key +
+                      "' (want node|factor|dur)";
+                return std::nullopt;
             }
         }
         out.events.push_back(ev);
@@ -116,6 +135,28 @@ FaultSchedule::parse(const std::string &spec)
                          return a.at < b.at;
                      });
     return out;
+}
+
+} // namespace
+
+FaultSchedule
+FaultSchedule::parse(const std::string &spec)
+{
+    std::string err;
+    auto parsed = parseImpl(spec, err);
+    if (!parsed)
+        CHAMELEON_PANIC("bad fault spec: ", err);
+    return *parsed;
+}
+
+std::optional<FaultSchedule>
+FaultSchedule::tryParse(const std::string &spec, std::string *error)
+{
+    std::string err;
+    auto parsed = parseImpl(spec, err);
+    if (!parsed && error)
+        *error = err;
+    return parsed;
 }
 
 std::string

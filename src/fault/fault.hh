@@ -19,6 +19,7 @@
 #define CHAMELEON_FAULT_FAULT_HH_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,8 @@ struct FaultEvent
     /** Fault duration; 0 = permanent (a crash never rejoins, a
      * throttle never lifts, a blackout never ends). */
     SimTime duration = 0.0;
+
+    bool operator==(const FaultEvent &) const = default;
 };
 
 /**
@@ -83,8 +86,18 @@ struct FaultSchedule
     /** Parses the spec grammar above; panics on malformed input. */
     static FaultSchedule parse(const std::string &spec);
 
+    /**
+     * Non-panicking parse for untrusted input (scenario files).
+     * @param error receives a description on failure when non-null.
+     * @return nullopt on malformed input.
+     */
+    static std::optional<FaultSchedule>
+    tryParse(const std::string &spec, std::string *error = nullptr);
+
     /** Round-trips back to the spec grammar. */
     std::string str() const;
+
+    bool operator==(const FaultSchedule &) const = default;
 };
 
 /** Rates and shapes for chaos schedule generation. */

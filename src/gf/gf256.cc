@@ -15,7 +15,9 @@ namespace {
 using detail::kTables;
 
 /** Bytes pushed through each region entry point, for codec-throughput
- * accounting in exported metric snapshots. Handles resolve once. */
+ * accounting in exported metric snapshots. Handles resolve once, in
+ * the process-wide registry: they outlive any per-run registry and
+ * are shared by every concurrent run (Counter is atomic). */
 struct RegionCounters
 {
     telemetry::Counter &mulAdd;
@@ -24,10 +26,12 @@ struct RegionCounters
     telemetry::Counter &multi;
 
     RegionCounters()
-        : mulAdd(telemetry::metrics().counter("gf.bytes.muladd")),
-          mul(telemetry::metrics().counter("gf.bytes.mul")),
-          add(telemetry::metrics().counter("gf.bytes.add")),
-          multi(telemetry::metrics().counter("gf.bytes.muladd_multi"))
+        : mulAdd(telemetry::processMetrics()
+                     .counter("gf.bytes.muladd")),
+          mul(telemetry::processMetrics().counter("gf.bytes.mul")),
+          add(telemetry::processMetrics().counter("gf.bytes.add")),
+          multi(telemetry::processMetrics()
+                    .counter("gf.bytes.muladd_multi"))
     {
     }
 };

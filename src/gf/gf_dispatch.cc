@@ -22,6 +22,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
@@ -130,14 +131,19 @@ kernels(Isa isa)
 Isa
 activeIsa()
 {
-    static const Isa isa = [] {
-        Isa chosen = selectIsa();
-        telemetry::metrics()
+    // call_once rather than a magic static: selection may be raced
+    // by sweep workers, and the marker counter must resolve in the
+    // process-wide registry — never a worker's per-run registry,
+    // which would be destroyed with its Runtime.
+    static std::once_flag once;
+    static Isa isa = Isa::kScalar;
+    std::call_once(once, [] {
+        isa = selectIsa();
+        telemetry::processMetrics()
             .counter(std::string("gf.kernel.selected.") +
-                     isaName(chosen))
+                     isaName(isa))
             .add();
-        return chosen;
-    }();
+    });
     return isa;
 }
 

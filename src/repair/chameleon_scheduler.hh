@@ -70,6 +70,8 @@ struct ChameleonConfig
     int maxRetries = 5;
     /** Delay before a crash-aborted chunk is re-planned. */
     SimTime retryBackoff = 1.0;
+
+    bool operator==(const ChameleonConfig &) const = default;
 };
 
 /** The coordinator; see file comment. */

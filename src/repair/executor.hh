@@ -84,6 +84,8 @@ struct ExecutorConfig
      * the configured slice size.
      */
     SimTime relayOverheadPerMiB = 0.010;
+
+    bool operator==(const ExecutorConfig &) const = default;
 };
 
 /** Observable state of one edge, consumed by the SAR scheduler. */

@@ -46,6 +46,8 @@ struct SessionConfig
     /** Delay before a crash-aborted chunk is re-planned, so one
      * crash's burst of aborts settles before replacements launch. */
     SimTime retryBackoff = 1.0;
+
+    bool operator==(const SessionConfig &) const = default;
 };
 
 /** Windowed baseline repair runner; see file comment. */

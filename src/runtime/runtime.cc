@@ -1,4 +1,4 @@
-#include "analysis/experiment.hh"
+#include "runtime/runtime.hh"
 
 #include <algorithm>
 
@@ -10,48 +10,7 @@
 #include "util/logging.hh"
 
 namespace chameleon {
-namespace analysis {
-
-ExperimentConfig::ExperimentConfig()
-{
-    code = ec::makeRs(10, 4);
-    // The paper's m5.xlarge instances are rated "up to 10 Gb/s" but
-    // sustain far less; the cluster-wide transfer rates the paper
-    // reports (~0.7 Gb/s per node during repair) imply an effective
-    // sustained rate of a few Gb/s. We default to 2.5 Gb/s, which
-    // reproduces the paper's absolute repair-throughput range;
-    // Exp#7/Exp#13 sweep this value explicitly.
-    cluster.uplinkBw = 2.5 * units::Gbps;
-    cluster.downlinkBw = 2.5 * units::Gbps;
-}
-
-std::string
-algorithmName(Algorithm algorithm)
-{
-    switch (algorithm) {
-      case Algorithm::kNone:
-        return "None";
-      case Algorithm::kCr:
-        return "CR";
-      case Algorithm::kPpr:
-        return "PPR";
-      case Algorithm::kEcpipe:
-        return "ECPipe";
-      case Algorithm::kRbCr:
-        return "RB+CR";
-      case Algorithm::kRbPpr:
-        return "RB+PPR";
-      case Algorithm::kRbEcpipe:
-        return "RB+ECPipe";
-      case Algorithm::kEtrp:
-        return "ETRP";
-      case Algorithm::kChameleon:
-        return "ChameleonEC";
-      case Algorithm::kChameleonIo:
-        return "ChameleonEC-IO";
-    }
-    CHAMELEON_PANIC("unknown algorithm");
-}
+namespace runtime {
 
 namespace {
 
@@ -89,14 +48,41 @@ isRepairBoost(Algorithm a)
 
 } // namespace
 
-ExperimentResult
-runExperiment(Algorithm algorithm, const ExperimentConfig &config,
-              const ExperimentHooks &hooks)
+Runtime::Runtime(Algorithm algorithm, ExperimentConfig config,
+                 RuntimeOptions options)
+    : algorithm_(algorithm), config_(std::move(config)),
+      options_(options)
 {
-    CHAMELEON_ASSERT(config.code != nullptr, "config lacks a code");
-    CHAMELEON_ASSERT(config.failedNodes >= 1 &&
-                     config.failedNodes <= config.cluster.numNodes,
+    if (options_.isolateTelemetry)
+        telem_ = std::make_unique<telemetry::RunTelemetry>();
+}
+
+Runtime::Runtime(const ScenarioSpec &scenario, RuntimeOptions options)
+    : Runtime(scenario.algorithm, scenario.toConfig(), options)
+{
+}
+
+Runtime::~Runtime() = default;
+
+ExperimentResult
+Runtime::run(const ExperimentHooks &hooks)
+{
+    CHAMELEON_ASSERT(!ran_, "Runtime is single-use");
+    ran_ = true;
+    CHAMELEON_ASSERT(config_.code != nullptr, "config lacks a code");
+    CHAMELEON_ASSERT(config_.failedNodes >= 1 &&
+                     config_.failedNodes <= config_.cluster.numNodes,
                      "bad failed node count");
+
+    const Algorithm algorithm = algorithm_;
+    const ExperimentConfig &config = config_;
+
+    // Isolated runs record into their private context; otherwise
+    // instrumentation lands in the process-wide tracer/registry
+    // exactly as the sequential harness always did.
+    std::optional<telemetry::ScopedTelemetry> scope;
+    if (telem_)
+        scope.emplace(*telem_);
 
     // Each experiment is its own process row in the exported trace;
     // sim time restarts at 0 per run, so runs must not share a pid.
@@ -438,5 +424,5 @@ runExperiment(Algorithm algorithm, const ExperimentConfig &config,
     return result;
 }
 
-} // namespace analysis
+} // namespace runtime
 } // namespace chameleon

@@ -1,0 +1,687 @@
+#include "runtime/scenario.hh"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "ec/factory.hh"
+#include "telemetry/json.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace runtime {
+
+namespace {
+
+using telemetry::JsonValue;
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t next = s.find(sep, pos);
+        if (next == std::string::npos)
+            next = s.size();
+        out.push_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return out;
+}
+
+std::optional<double>
+parseNum(const std::string &s)
+{
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(s, &used);
+    } catch (...) {
+        return std::nullopt;
+    }
+    if (used != s.size() || s.empty())
+        return std::nullopt;
+    return v;
+}
+
+std::optional<int>
+parsePositiveInt(const std::string &s)
+{
+    auto v = parseNum(s);
+    if (!v || *v != std::floor(*v) || *v < 1 || *v > 1e9)
+        return std::nullopt;
+    return static_cast<int>(*v);
+}
+
+const char *
+priorityKey(repair::RepairPriority p)
+{
+    switch (p) {
+      case repair::RepairPriority::kSequential:
+        return "sequential";
+      case repair::RepairPriority::kMostFailedFirst:
+        return "most-failed-first";
+      case repair::RepairPriority::kShortestFirst:
+        return "shortest-first";
+    }
+    return "sequential";
+}
+
+std::optional<repair::RepairPriority>
+priorityFromKey(const std::string &key)
+{
+    if (key == "sequential")
+        return repair::RepairPriority::kSequential;
+    if (key == "most-failed-first")
+        return repair::RepairPriority::kMostFailedFirst;
+    if (key == "shortest-first")
+        return repair::RepairPriority::kShortestFirst;
+    return std::nullopt;
+}
+
+// ---- JSON reading helpers. Absent keys keep the field's default;
+// present keys must have the right type and pass validation.
+
+bool
+checkKeys(const JsonValue &obj, const char *where,
+          std::initializer_list<const char *> allowed,
+          std::string &err)
+{
+    if (!obj.isObject()) {
+        err = std::string(where) + " is not an object";
+        return false;
+    }
+    for (const auto &[key, value] : obj.object) {
+        bool known = false;
+        for (const char *a : allowed)
+            if (key == a)
+                known = true;
+        if (!known) {
+            err = std::string("unknown key '") + key + "' in " +
+                  where;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+readNum(const JsonValue &obj, const char *key, double *out,
+        std::string &err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return true;
+    if (!v->isNumber()) {
+        err = std::string("'") + key + "' must be a number";
+        return false;
+    }
+    *out = v->number;
+    return true;
+}
+
+bool
+readInt(const JsonValue &obj, const char *key, int *out,
+        std::string &err)
+{
+    double num = *out;
+    if (!readNum(obj, key, &num, err))
+        return false;
+    if (num != std::floor(num) || std::abs(num) > 2e9) {
+        err = std::string("'") + key + "' must be an integer";
+        return false;
+    }
+    *out = static_cast<int>(num);
+    return true;
+}
+
+bool
+readU64(const JsonValue &obj, const char *key, uint64_t *out,
+        std::string &err)
+{
+    double num = static_cast<double>(*out);
+    if (!readNum(obj, key, &num, err))
+        return false;
+    if (num != std::floor(num) || num < 0) {
+        err = std::string("'") + key +
+              "' must be a non-negative integer";
+        return false;
+    }
+    *out = static_cast<uint64_t>(num);
+    return true;
+}
+
+bool
+readBool(const JsonValue &obj, const char *key, bool *out,
+         std::string &err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return true;
+    if (v->type != JsonValue::Type::kBool) {
+        err = std::string("'") + key + "' must be a boolean";
+        return false;
+    }
+    *out = v->boolean;
+    return true;
+}
+
+bool
+readStr(const JsonValue &obj, const char *key, std::string *out,
+        std::string &err)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return true;
+    if (!v->isString()) {
+        err = std::string("'") + key + "' must be a string";
+        return false;
+    }
+    *out = v->string;
+    return true;
+}
+
+// ---- JSON writing helpers (same escaping as the telemetry sinks).
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+void
+writeKeyNum(std::ostream &os, const char *key, double v,
+            const char *sep = ",\n")
+{
+    os << "  \"" << key << "\": " << formatDouble(v) << sep;
+}
+
+} // namespace
+
+ScenarioSpec::ScenarioSpec()
+{
+    // Mirror ExperimentConfig's constructor so a default ScenarioSpec
+    // materializes into a default ExperimentConfig.
+    cluster.uplinkBw = 2.5 * units::Gbps;
+    cluster.downlinkBw = 2.5 * units::Gbps;
+}
+
+std::optional<std::shared_ptr<const ec::ErasureCode>>
+tryParseCode(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &msg)
+        -> std::optional<std::shared_ptr<const ec::ErasureCode>> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+    if (spec == "butterfly")
+        return std::shared_ptr<const ec::ErasureCode>(
+            ec::makeButterfly());
+    auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        return fail("bad code spec '" + spec +
+                    "' (want rs:K,M | lrc:K,L,M | butterfly | rep:N)");
+    auto family = spec.substr(0, colon);
+    auto params = splitOn(spec.substr(colon + 1), ',');
+    std::vector<int> nums;
+    for (const auto &p : params) {
+        auto n = parsePositiveInt(p);
+        if (!n)
+            return fail("bad code parameter '" + p + "' in '" + spec +
+                        "'");
+        nums.push_back(*n);
+    }
+    if (family == "rs" && nums.size() == 2)
+        return std::shared_ptr<const ec::ErasureCode>(
+            ec::makeRs(nums[0], nums[1]));
+    if (family == "lrc" && nums.size() == 3)
+        return std::shared_ptr<const ec::ErasureCode>(
+            ec::makeLrc(nums[0], nums[1], nums[2]));
+    if (family == "rep" && nums.size() == 1)
+        return std::shared_ptr<const ec::ErasureCode>(
+            ec::makeReplicated(nums[0]));
+    return fail("bad code spec '" + spec +
+                "' (want rs:K,M | lrc:K,L,M | butterfly | rep:N)");
+}
+
+bool
+tryResolveTrace(const std::string &name,
+                std::optional<traffic::TraceProfile> *out,
+                std::string *error)
+{
+    if (name.empty() || name == "none") {
+        *out = std::nullopt;
+        return true;
+    }
+    if (name == "ycsb-a") {
+        *out = traffic::ycsbA();
+        return true;
+    }
+    if (name == "ibm") {
+        *out = traffic::ibmObjectStore();
+        return true;
+    }
+    if (name == "memcached") {
+        *out = traffic::memcachedCluster37();
+        return true;
+    }
+    if (name == "etc") {
+        *out = traffic::facebookEtc();
+        return true;
+    }
+    if (error)
+        *error = "unknown trace '" + name +
+                 "' (want ycsb-a|ibm|memcached|etc|none)";
+    return false;
+}
+
+std::optional<std::vector<StragglerEvent>>
+tryParseStragglers(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &msg)
+        -> std::optional<std::vector<StragglerEvent>> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+    std::vector<StragglerEvent> out;
+    for (const std::string &item : splitOn(spec, ';')) {
+        if (item.empty())
+            continue;
+        auto fields = splitOn(item, ':');
+        auto at = parseNum(fields[0]);
+        if (!at)
+            return fail("straggler event '" + item +
+                        "' lacks a start time");
+        StragglerEvent ev;
+        ev.at = *at;
+        ev.node = kInvalidNode; // default: auto-pick a participant
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+            auto eq = fields[i].find('=');
+            if (eq == std::string::npos)
+                return fail("straggler option '" + fields[i] +
+                            "' is not key=value");
+            std::string key = fields[i].substr(0, eq);
+            std::string val = fields[i].substr(eq + 1);
+            if (key == "node") {
+                auto n = parseNum(val);
+                if (!n || *n != std::floor(*n) || *n < 0)
+                    return fail("bad straggler node '" + val + "'");
+                ev.node = static_cast<NodeId>(*n);
+            } else if (key == "factor") {
+                auto f = parseNum(val);
+                if (!f)
+                    return fail("bad straggler factor '" + val + "'");
+                ev.factor = *f;
+            } else if (key == "dur") {
+                auto d = parseNum(val);
+                if (!d)
+                    return fail("bad straggler duration '" + val +
+                                "'");
+                ev.duration = *d;
+            } else if (key == "link") {
+                if (val == "up") {
+                    ev.uplink = true;
+                    ev.downlink = false;
+                } else if (val == "down") {
+                    ev.uplink = false;
+                    ev.downlink = true;
+                } else if (val == "both") {
+                    ev.uplink = ev.downlink = true;
+                } else {
+                    return fail("bad straggler link '" + val +
+                                "' (want up|down|both)");
+                }
+            } else {
+                return fail("unknown straggler option '" + key +
+                            "' (want node|factor|dur|link)");
+            }
+        }
+        out.push_back(ev);
+    }
+    return out;
+}
+
+std::vector<StragglerEvent>
+parseStragglers(const std::string &spec)
+{
+    std::string err;
+    auto parsed = tryParseStragglers(spec, &err);
+    if (!parsed)
+        CHAMELEON_PANIC("bad straggler spec: ", err);
+    return *parsed;
+}
+
+std::string
+stragglerSpecStr(const std::vector<StragglerEvent> &events)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const StragglerEvent &ev = events[i];
+        if (i)
+            os << ';';
+        os << formatDouble(ev.at);
+        if (ev.node != kInvalidNode)
+            os << ":node=" << ev.node;
+        os << ":factor=" << formatDouble(ev.factor);
+        os << ":dur=" << formatDouble(ev.duration);
+        if (ev.uplink != ev.downlink)
+            os << ":link=" << (ev.uplink ? "up" : "down");
+    }
+    return os.str();
+}
+
+std::optional<ScenarioSpec>
+ScenarioSpec::fromJson(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &msg)
+        -> std::optional<ScenarioSpec> {
+        if (error)
+            *error = msg;
+        return std::nullopt;
+    };
+    auto doc = telemetry::parseJson(text);
+    if (!doc)
+        return fail("scenario is not valid JSON");
+    std::string err;
+    if (!checkKeys(*doc, "scenario",
+                   {"name", "algorithm", "code", "trace", "cluster",
+                    "executor", "chunks_to_repair", "failed_nodes",
+                    "requests_per_client", "warmup", "chameleon",
+                    "session", "stragglers", "faults", "chaos",
+                    "seed", "sim_time_cap"},
+                   err))
+        return fail(err);
+
+    ScenarioSpec spec;
+    if (!readStr(*doc, "name", &spec.name, err))
+        return fail(err);
+
+    std::string algo = algorithmKey(spec.algorithm);
+    if (!readStr(*doc, "algorithm", &algo, err))
+        return fail(err);
+    auto parsed_algo = algorithmFromKey(algo);
+    if (!parsed_algo)
+        return fail("unknown algorithm '" + algo + "'");
+    spec.algorithm = *parsed_algo;
+
+    if (!readStr(*doc, "code", &spec.code, err))
+        return fail(err);
+    if (!tryParseCode(spec.code, &err))
+        return fail(err);
+
+    if (!readStr(*doc, "trace", &spec.trace, err))
+        return fail(err);
+    std::optional<traffic::TraceProfile> trace;
+    if (!tryResolveTrace(spec.trace, &trace, &err))
+        return fail(err);
+
+    if (const JsonValue *cl = doc->find("cluster")) {
+        if (!checkKeys(*cl, "cluster",
+                       {"nodes", "clients", "uplink_bw",
+                        "downlink_bw", "disk_bw", "usage_window",
+                        "racks", "rack_oversubscription"},
+                       err) ||
+            !readInt(*cl, "nodes", &spec.cluster.numNodes, err) ||
+            !readInt(*cl, "clients", &spec.cluster.numClients, err) ||
+            !readNum(*cl, "uplink_bw", &spec.cluster.uplinkBw, err) ||
+            !readNum(*cl, "downlink_bw", &spec.cluster.downlinkBw,
+                     err) ||
+            !readNum(*cl, "disk_bw", &spec.cluster.diskBw, err) ||
+            !readNum(*cl, "usage_window", &spec.cluster.usageWindow,
+                     err) ||
+            !readInt(*cl, "racks", &spec.cluster.racks, err) ||
+            !readNum(*cl, "rack_oversubscription",
+                     &spec.cluster.rackOversubscription, err))
+            return fail(err);
+    }
+    if (const JsonValue *ex = doc->find("executor")) {
+        double chunk = static_cast<double>(spec.exec.chunkSize);
+        double slice = static_cast<double>(spec.exec.sliceSize);
+        if (!checkKeys(*ex, "executor",
+                       {"chunk_size", "slice_size", "upload_slots",
+                        "download_slots", "relay_overhead_per_mib"},
+                       err) ||
+            !readNum(*ex, "chunk_size", &chunk, err) ||
+            !readNum(*ex, "slice_size", &slice, err) ||
+            !readInt(*ex, "upload_slots", &spec.exec.nodeUploadSlots,
+                     err) ||
+            !readInt(*ex, "download_slots",
+                     &spec.exec.nodeDownloadSlots, err) ||
+            !readNum(*ex, "relay_overhead_per_mib",
+                     &spec.exec.relayOverheadPerMiB, err))
+            return fail(err);
+        spec.exec.chunkSize = chunk;
+        spec.exec.sliceSize = slice;
+    }
+    if (const JsonValue *ch = doc->find("chameleon")) {
+        std::string prio = priorityKey(spec.chameleon.priority);
+        if (!checkKeys(*ch, "chameleon",
+                       {"t_phase", "check_period", "straggler_slack",
+                        "expectation_factor", "reorder_backoff",
+                        "reordering", "retuning", "priority",
+                        "max_retries", "retry_backoff"},
+                       err) ||
+            !readNum(*ch, "t_phase", &spec.chameleon.tPhase, err) ||
+            !readNum(*ch, "check_period",
+                     &spec.chameleon.checkPeriod, err) ||
+            !readNum(*ch, "straggler_slack",
+                     &spec.chameleon.stragglerSlack, err) ||
+            !readNum(*ch, "expectation_factor",
+                     &spec.chameleon.expectationFactor, err) ||
+            !readNum(*ch, "reorder_backoff",
+                     &spec.chameleon.reorderBackoff, err) ||
+            !readBool(*ch, "reordering",
+                      &spec.chameleon.enableReordering, err) ||
+            !readBool(*ch, "retuning",
+                      &spec.chameleon.enableRetuning, err) ||
+            !readStr(*ch, "priority", &prio, err) ||
+            !readInt(*ch, "max_retries", &spec.chameleon.maxRetries,
+                     err) ||
+            !readNum(*ch, "retry_backoff",
+                     &spec.chameleon.retryBackoff, err))
+            return fail(err);
+        auto parsed_prio = priorityFromKey(prio);
+        if (!parsed_prio)
+            return fail("unknown priority '" + prio + "'");
+        spec.chameleon.priority = *parsed_prio;
+    }
+    if (const JsonValue *se = doc->find("session")) {
+        if (!checkKeys(*se, "session",
+                       {"max_in_flight", "max_retries",
+                        "retry_backoff"},
+                       err) ||
+            !readInt(*se, "max_in_flight",
+                     &spec.session.maxInFlight, err) ||
+            !readInt(*se, "max_retries", &spec.session.maxRetries,
+                     err) ||
+            !readNum(*se, "retry_backoff",
+                     &spec.session.retryBackoff, err))
+            return fail(err);
+    }
+    if (const JsonValue *chaos = doc->find("chaos")) {
+        if (!checkKeys(*chaos, "chaos", {"rate", "seed", "horizon"},
+                       err) ||
+            !readNum(*chaos, "rate", &spec.chaosRate, err) ||
+            !readU64(*chaos, "seed", &spec.chaosSeed, err) ||
+            !readNum(*chaos, "horizon", &spec.chaosHorizon, err))
+            return fail(err);
+    }
+
+    if (!readInt(*doc, "chunks_to_repair", &spec.chunksToRepair,
+                 err) ||
+        !readInt(*doc, "failed_nodes", &spec.failedNodes, err) ||
+        !readU64(*doc, "requests_per_client",
+                 &spec.requestsPerClient, err) ||
+        !readNum(*doc, "warmup", &spec.warmup, err) ||
+        !readU64(*doc, "seed", &spec.seed, err) ||
+        !readNum(*doc, "sim_time_cap", &spec.simTimeCap, err))
+        return fail(err);
+
+    std::string stragglers;
+    if (!readStr(*doc, "stragglers", &stragglers, err))
+        return fail(err);
+    if (!stragglers.empty()) {
+        auto parsed = tryParseStragglers(stragglers, &err);
+        if (!parsed)
+            return fail(err);
+        spec.stragglers = std::move(*parsed);
+    }
+    std::string faults;
+    if (!readStr(*doc, "faults", &faults, err))
+        return fail(err);
+    if (!faults.empty()) {
+        auto parsed = fault::FaultSchedule::tryParse(faults, &err);
+        if (!parsed)
+            return fail(err);
+        spec.faults = std::move(*parsed);
+    }
+
+    // Dimension sanity (the asserts Runtime would otherwise hit).
+    if (spec.cluster.numNodes < 1)
+        return fail("cluster.nodes must be >= 1");
+    if (spec.cluster.numClients < 0)
+        return fail("cluster.clients must be >= 0");
+    if (spec.cluster.uplinkBw <= 0 || spec.cluster.downlinkBw <= 0 ||
+        spec.cluster.diskBw <= 0)
+        return fail("cluster bandwidths must be positive");
+    if (spec.exec.chunkSize <= 0 || spec.exec.sliceSize <= 0 ||
+        spec.exec.sliceSize > spec.exec.chunkSize)
+        return fail("executor sizes must satisfy "
+                    "0 < slice_size <= chunk_size");
+    if (spec.chunksToRepair < 1)
+        return fail("chunks_to_repair must be >= 1");
+    if (spec.failedNodes < 1 ||
+        spec.failedNodes > spec.cluster.numNodes)
+        return fail("failed_nodes must be in [1, cluster.nodes]");
+    if (spec.chaosRate < 0)
+        return fail("chaos.rate must be >= 0");
+    if (spec.warmup < 0 || spec.simTimeCap <= 0)
+        return fail("warmup must be >= 0 and sim_time_cap > 0");
+    return spec;
+}
+
+std::string
+ScenarioSpec::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"name\": ";
+    writeString(os, name);
+    os << ",\n  \"algorithm\": ";
+    writeString(os, algorithmKey(algorithm));
+    os << ",\n  \"code\": ";
+    writeString(os, code);
+    os << ",\n  \"trace\": ";
+    writeString(os, trace.empty() ? "none" : trace);
+    os << ",\n  \"cluster\": {\"nodes\": " << cluster.numNodes
+       << ", \"clients\": " << cluster.numClients
+       << ", \"uplink_bw\": " << formatDouble(cluster.uplinkBw)
+       << ", \"downlink_bw\": " << formatDouble(cluster.downlinkBw)
+       << ", \"disk_bw\": " << formatDouble(cluster.diskBw)
+       << ", \"usage_window\": " << formatDouble(cluster.usageWindow)
+       << ", \"racks\": " << cluster.racks
+       << ", \"rack_oversubscription\": "
+       << formatDouble(cluster.rackOversubscription) << "},\n";
+    os << "  \"executor\": {\"chunk_size\": "
+       << formatDouble(static_cast<double>(exec.chunkSize))
+       << ", \"slice_size\": "
+       << formatDouble(static_cast<double>(exec.sliceSize))
+       << ", \"upload_slots\": " << exec.nodeUploadSlots
+       << ", \"download_slots\": " << exec.nodeDownloadSlots
+       << ", \"relay_overhead_per_mib\": "
+       << formatDouble(exec.relayOverheadPerMiB) << "},\n";
+    writeKeyNum(os, "chunks_to_repair", chunksToRepair);
+    writeKeyNum(os, "failed_nodes", failedNodes);
+    writeKeyNum(os, "requests_per_client",
+                static_cast<double>(requestsPerClient));
+    writeKeyNum(os, "warmup", warmup);
+    os << "  \"chameleon\": {\"t_phase\": "
+       << formatDouble(chameleon.tPhase) << ", \"check_period\": "
+       << formatDouble(chameleon.checkPeriod)
+       << ", \"straggler_slack\": "
+       << formatDouble(chameleon.stragglerSlack)
+       << ", \"expectation_factor\": "
+       << formatDouble(chameleon.expectationFactor)
+       << ", \"reorder_backoff\": "
+       << formatDouble(chameleon.reorderBackoff)
+       << ", \"reordering\": "
+       << (chameleon.enableReordering ? "true" : "false")
+       << ", \"retuning\": "
+       << (chameleon.enableRetuning ? "true" : "false")
+       << ", \"priority\": \"" << priorityKey(chameleon.priority)
+       << "\", \"max_retries\": " << chameleon.maxRetries
+       << ", \"retry_backoff\": "
+       << formatDouble(chameleon.retryBackoff) << "},\n";
+    os << "  \"session\": {\"max_in_flight\": "
+       << session.maxInFlight
+       << ", \"max_retries\": " << session.maxRetries
+       << ", \"retry_backoff\": "
+       << formatDouble(session.retryBackoff) << "},\n";
+    os << "  \"stragglers\": ";
+    writeString(os, stragglerSpecStr(stragglers));
+    os << ",\n  \"faults\": ";
+    writeString(os, faults.str());
+    os << ",\n  \"chaos\": {\"rate\": " << formatDouble(chaosRate)
+       << ", \"seed\": "
+       << formatDouble(static_cast<double>(chaosSeed))
+       << ", \"horizon\": " << formatDouble(chaosHorizon) << "},\n";
+    writeKeyNum(os, "seed", static_cast<double>(seed));
+    writeKeyNum(os, "sim_time_cap", simTimeCap, "\n");
+    os << "}\n";
+    return os.str();
+}
+
+ExperimentConfig
+ScenarioSpec::toConfig() const
+{
+    ExperimentConfig cfg;
+    std::string err;
+    auto parsed_code = tryParseCode(code, &err);
+    if (!parsed_code)
+        CHAMELEON_PANIC("scenario: ", err);
+    cfg.code = *parsed_code;
+    if (!tryResolveTrace(trace, &cfg.trace, &err))
+        CHAMELEON_PANIC("scenario: ", err);
+    cfg.cluster = cluster;
+    cfg.exec = exec;
+    cfg.chunksToRepair = chunksToRepair;
+    cfg.failedNodes = failedNodes;
+    cfg.requestsPerClient = requestsPerClient;
+    cfg.warmup = warmup;
+    cfg.chameleon = chameleon;
+    cfg.session = session;
+    cfg.stragglers = stragglers;
+    cfg.faults = faults;
+    cfg.chaosRate = chaosRate;
+    cfg.chaosSeed = chaosSeed;
+    cfg.chaosHorizon = chaosHorizon;
+    cfg.seed = seed;
+    cfg.simTimeCap = simTimeCap;
+    return cfg;
+}
+
+} // namespace runtime
+} // namespace chameleon

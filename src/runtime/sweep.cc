@@ -1,0 +1,107 @@
+#include "runtime/sweep.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/runtime.hh"
+#include "telemetry/telemetry.hh"
+
+namespace chameleon {
+namespace runtime {
+
+uint64_t
+deriveSeed(uint64_t base, uint64_t index)
+{
+    // splitmix64 over the (base, index) stream: statistically
+    // independent per-cell seeds that do not depend on execution
+    // order, so -j1 and -jN sweeps see identical workloads.
+    uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options)
+{
+    jobs_ = options.jobs;
+    if (jobs_ <= 0)
+        jobs_ = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<SweepCell> &cells,
+                 const Emit &emit)
+{
+    // Resolve per-cell seeds up front so derivation depends only on
+    // the cell table, never on scheduling.
+    std::vector<SweepCell> resolved = cells;
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        SweepCell &cell = resolved[i];
+        if (options_.baseSeed != 0 && cell.deriveSeed) {
+            uint64_t idx = cell.seedIndex >= 0
+                               ? static_cast<uint64_t>(cell.seedIndex)
+                               : static_cast<uint64_t>(i);
+            cell.config.seed = deriveSeed(options_.baseSeed, idx);
+        }
+    }
+
+    std::vector<ExperimentResult> results(resolved.size());
+    // Each cell's Runtime is kept alive until the caller thread has
+    // merged its isolated telemetry, then released in cell order.
+    std::vector<std::unique_ptr<Runtime>> runtimes(resolved.size());
+    std::vector<char> done(resolved.size(), 0);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= resolved.size())
+                return;
+            auto rt = std::make_unique<Runtime>(
+                resolved[i].algorithm, resolved[i].config,
+                RuntimeOptions{.isolateTelemetry = true});
+            ExperimentResult result = rt->run(resolved[i].hooks);
+            std::lock_guard<std::mutex> lock(mu);
+            results[i] = std::move(result);
+            runtimes[i] = std::move(rt);
+            done[i] = 1;
+            cv.notify_all();
+        }
+    };
+
+    int jobs = static_cast<int>(
+        std::min<std::size_t>(jobs_, std::max<std::size_t>(
+                                         1, resolved.size())));
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (int t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+
+    // Emit in cell order from the caller thread: telemetry merges
+    // and emit callbacks happen in the same sequence regardless of
+    // worker count, which keeps -j1 and -jN output byte-identical.
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done[i] != 0; });
+        std::unique_ptr<Runtime> rt = std::move(runtimes[i]);
+        lock.unlock();
+        if (options_.mergeTelemetry && rt->runTelemetry())
+            telemetry::mergeIntoProcess(*rt->runTelemetry());
+        if (emit)
+            emit(i, resolved[i], results[i]);
+        rt.reset();
+    }
+
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace runtime
+} // namespace chameleon

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SweepRunner: executes a declarative table of experiment cells on a
+ * thread pool with deterministic seeding and ordered emission.
+ *
+ * Every figure in the paper is a sweep of independent (algorithm,
+ * config) cells; SweepRunner is the one place that turns such a
+ * table into results. Determinism contract: `--jobs 1` and
+ * `--jobs N` produce byte-identical output, because
+ *
+ *   - each cell's seed is derived from (base seed, seed index) by
+ *     splitmix64, never from scheduling order;
+ *   - each cell runs in an isolated Runtime (private telemetry, no
+ *     shared mutable state);
+ *   - results are emitted on the caller's thread in cell order, and
+ *     per-run telemetry is merged into the process context in that
+ *     same order, regardless of completion order.
+ *
+ * Cells that must share a workload (e.g. every algorithm of one
+ * comparison group repairing under the same trace) share a
+ * `seedIndex`, so adding algorithms to a group never changes the
+ * workload any of them sees.
+ */
+
+#ifndef CHAMELEON_RUNTIME_SWEEP_HH_
+#define CHAMELEON_RUNTIME_SWEEP_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.hh"
+
+namespace chameleon {
+namespace runtime {
+
+/**
+ * splitmix64 of (base, index): the per-cell seed derivation rule.
+ * Documented in DESIGN.md §5e; changing it invalidates recorded
+ * sweep tables.
+ */
+uint64_t deriveSeed(uint64_t base, uint64_t index);
+
+/** One row of a sweep table. */
+struct SweepCell
+{
+    /** Row label for printing / --list. */
+    std::string label;
+    Algorithm algorithm = Algorithm::kChameleon;
+    ExperimentConfig config;
+    /** Per-cell hooks; must not share mutable state across cells. */
+    ExperimentHooks hooks;
+    /**
+     * Cells with equal seedIndex receive the same derived seed (same
+     * workload, different algorithm); -1 uses the cell's position.
+     */
+    int seedIndex = -1;
+    /**
+     * False pins config.seed as-is even when a base seed is set —
+     * smoke cells use this to keep historical fixed-seed results.
+     */
+    bool deriveSeed = true;
+};
+
+/** Runner knobs, normally filled from --jobs/--seed. */
+struct SweepOptions
+{
+    /** Worker threads; <= 0 selects the hardware concurrency. */
+    int jobs = 1;
+    /** Base seed for derivation; 0 keeps each cell's config.seed. */
+    uint64_t baseSeed = 0;
+    /**
+     * Publish each run's telemetry into the process-wide context in
+     * cell order (so --trace-out etc. capture the whole sweep, laid
+     * out as if the cells had run sequentially).
+     */
+    bool mergeTelemetry = true;
+};
+
+/** The executor; see file comment. */
+class SweepRunner
+{
+  public:
+    /** Called on the caller's thread, in cell order. */
+    using Emit = std::function<void(std::size_t index,
+                                    const SweepCell &cell,
+                                    const ExperimentResult &result)>;
+
+    explicit SweepRunner(SweepOptions options = {});
+
+    /**
+     * Runs every cell and returns results in cell order. `emit`
+     * fires per cell, in order, as soon as that cell and all its
+     * predecessors finish — printing interleaves with execution.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<SweepCell> &cells, const Emit &emit = {});
+
+    /** The resolved worker count. */
+    int jobs() const { return jobs_; }
+
+  private:
+    SweepOptions options_;
+    int jobs_;
+};
+
+} // namespace runtime
+} // namespace chameleon
+
+#endif // CHAMELEON_RUNTIME_SWEEP_HH_

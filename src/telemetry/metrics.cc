@@ -67,6 +67,21 @@ Histogram::percentile(double p) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    CHAMELEON_ASSERT(bounds_ == other.bounds_,
+                     "merging histograms with different bounds");
+    for (std::size_t b = 0; b < counts_.size(); ++b)
+        counts_[b] += other.counts_[b];
+    if (other.count_ > 0) {
+        min_ = count_ ? std::min(min_, other.min_) : other.min_;
+        max_ = count_ ? std::max(max_, other.max_) : other.max_;
+    }
+    sum_ += other.sum_;
+    count_ += other.count_;
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
@@ -246,6 +261,25 @@ MetricsRegistry::snapshot() const
         snap.samples.push_back(std::move(s));
     }
     return snap;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other)
+{
+    for (const auto &[name, inst] : other.instruments_) {
+        switch (inst.kind) {
+          case MetricSample::Kind::kCounter:
+            counter(name).add(inst.counter->value);
+            break;
+          case MetricSample::Kind::kGauge:
+            gauge(name).set(inst.gauge->value);
+            break;
+          case MetricSample::Kind::kHistogram:
+            histogram(name, inst.histogram->bounds())
+                .merge(*inst.histogram);
+            break;
+        }
+    }
 }
 
 void

@@ -9,11 +9,20 @@
  * update is a single arithmetic operation. snapshot() captures every
  * instrument's current value for reporting; reset() zeroes them so
  * one process can run several experiments with per-run metrics.
+ *
+ * Threading: a registry's name-resolution map and its gauge and
+ * histogram instruments are not synchronized — each registry is
+ * intended to be driven by one thread at a time (the per-run
+ * registries a Runtime installs satisfy this by construction).
+ * Counters alone are atomic, because a few process-lifetime handles
+ * (the GF kernel byte counters) are shared by every concurrently
+ * running experiment.
  */
 
 #ifndef CHAMELEON_TELEMETRY_METRICS_HH_
 #define CHAMELEON_TELEMETRY_METRICS_HH_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -24,12 +33,15 @@
 namespace chameleon {
 namespace telemetry {
 
-/** Monotonic event count. */
+/** Monotonic event count (atomic: see the file comment). */
 struct Counter
 {
-    int64_t value = 0;
+    std::atomic<int64_t> value = 0;
 
-    void add(int64_t delta = 1) { value += delta; }
+    void add(int64_t delta = 1)
+    {
+        value.fetch_add(delta, std::memory_order_relaxed);
+    }
 };
 
 /** Last-written scalar (levels: active flows, residual estimates). */
@@ -63,6 +75,9 @@ class Histogram
 
     /** Linear interpolation within the winning bucket. */
     double percentile(double p) const;
+
+    /** Folds another histogram in; bucket bounds must match. */
+    void merge(const Histogram &other);
 
     void reset();
 
@@ -124,6 +139,16 @@ class MetricsRegistry
                          std::vector<double> bounds);
 
     MetricsSnapshot snapshot() const;
+
+    /**
+     * Folds another registry's instruments into this one: counters
+     * accumulate, gauges take the other registry's (later) level,
+     * histograms merge bucket-wise. Used to publish a finished run's
+     * isolated registry into the process-wide one in emission order,
+     * which reproduces what sequential runs sharing one registry
+     * used to produce.
+     */
+    void mergeFrom(const MetricsRegistry &other);
 
     /** Zeroes every instrument (names and handles survive). */
     void reset();

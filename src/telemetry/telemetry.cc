@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.hh"
 
 #include <fstream>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -8,10 +9,13 @@ namespace chameleon {
 namespace telemetry {
 
 namespace detail {
-bool gEnabled = false;
+std::atomic<bool> gEnabled{false};
 } // namespace detail
 
 namespace {
+
+/** The thread's installed run context; null → process-wide. */
+thread_local RunTelemetry *tCurrent = nullptr;
 
 struct Outputs
 {
@@ -20,8 +24,20 @@ struct Outputs
     std::string phaseCsvPath;
     std::string metricsPath;
     bool hookInstalled = false;
-    bool flushing = false;
 };
+
+/**
+ * Serializes output registration, flush(), and mergeIntoProcess()
+ * against each other; any thread may flush (Simulator teardown runs
+ * on sweep workers). Recursive because a panic while the lock is held
+ * re-enters flush() via the crash hook on the same thread.
+ */
+std::recursive_mutex &
+sinkMutex()
+{
+    static std::recursive_mutex m;
+    return m;
+}
 
 Outputs &
 outputs()
@@ -45,26 +61,58 @@ installCrashFlush()
 void
 setEnabled(bool on)
 {
-    detail::gEnabled = on;
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+ScopedTelemetry::ScopedTelemetry(RunTelemetry &run)
+    : prev_(tCurrent)
+{
+    tCurrent = &run;
+}
+
+ScopedTelemetry::~ScopedTelemetry()
+{
+    tCurrent = prev_;
 }
 
 Tracer &
 tracer()
+{
+    return tCurrent ? tCurrent->tracer : processTracer();
+}
+
+MetricsRegistry &
+metrics()
+{
+    return tCurrent ? tCurrent->metrics : processMetrics();
+}
+
+Tracer &
+processTracer()
 {
     static Tracer t;
     return t;
 }
 
 MetricsRegistry &
-metrics()
+processMetrics()
 {
     static MetricsRegistry r;
     return r;
 }
 
 void
+mergeIntoProcess(const RunTelemetry &run)
+{
+    std::lock_guard<std::recursive_mutex> lock(sinkMutex());
+    processTracer().mergeFrom(run.tracer);
+    processMetrics().mergeFrom(run.metrics);
+}
+
+void
 setTraceOutput(std::string path)
 {
+    std::lock_guard<std::recursive_mutex> lock(sinkMutex());
     outputs().tracePath = std::move(path);
     installCrashFlush();
     setEnabled(true);
@@ -73,6 +121,7 @@ setTraceOutput(std::string path)
 void
 setJsonlOutput(std::string path)
 {
+    std::lock_guard<std::recursive_mutex> lock(sinkMutex());
     outputs().jsonlPath = std::move(path);
     installCrashFlush();
     setEnabled(true);
@@ -81,6 +130,7 @@ setJsonlOutput(std::string path)
 void
 setPhaseCsvOutput(std::string path)
 {
+    std::lock_guard<std::recursive_mutex> lock(sinkMutex());
     outputs().phaseCsvPath = std::move(path);
     installCrashFlush();
     setEnabled(true);
@@ -89,6 +139,7 @@ setPhaseCsvOutput(std::string path)
 void
 setMetricsOutput(std::string path)
 {
+    std::lock_guard<std::recursive_mutex> lock(sinkMutex());
     outputs().metricsPath = std::move(path);
     installCrashFlush();
 }
@@ -96,31 +147,38 @@ setMetricsOutput(std::string path)
 void
 flush()
 {
-    auto &out = outputs();
-    if (out.flushing)
+    // Thread-local so a panic mid-flush cannot recurse on this
+    // thread, while other threads' flushes still serialize normally
+    // on the sink mutex.
+    thread_local bool flushing = false;
+    if (flushing)
         return;
-    out.flushing = true;
-    if (!out.tracePath.empty()) {
-        std::ofstream os(out.tracePath);
-        if (os)
-            tracer().writeChromeTrace(os);
+    flushing = true;
+    {
+        std::lock_guard<std::recursive_mutex> lock(sinkMutex());
+        auto &out = outputs();
+        if (!out.tracePath.empty()) {
+            std::ofstream os(out.tracePath);
+            if (os)
+                processTracer().writeChromeTrace(os);
+        }
+        if (!out.jsonlPath.empty()) {
+            std::ofstream os(out.jsonlPath);
+            if (os)
+                processTracer().writeJsonl(os);
+        }
+        if (!out.phaseCsvPath.empty()) {
+            std::ofstream os(out.phaseCsvPath);
+            if (os)
+                processTracer().writePhaseCsv(os);
+        }
+        if (!out.metricsPath.empty()) {
+            std::ofstream os(out.metricsPath);
+            if (os)
+                processMetrics().snapshot().writeJson(os);
+        }
     }
-    if (!out.jsonlPath.empty()) {
-        std::ofstream os(out.jsonlPath);
-        if (os)
-            tracer().writeJsonl(os);
-    }
-    if (!out.phaseCsvPath.empty()) {
-        std::ofstream os(out.phaseCsvPath);
-        if (os)
-            tracer().writePhaseCsv(os);
-    }
-    if (!out.metricsPath.empty()) {
-        std::ofstream os(out.metricsPath);
-        if (os)
-            metrics().snapshot().writeJson(os);
-    }
-    out.flushing = false;
+    flushing = false;
 }
 
 } // namespace telemetry

@@ -1,7 +1,7 @@
 /**
  * @file
- * Process-wide telemetry access and the guarded instrumentation
- * macro.
+ * Telemetry access — per-run contexts over process-wide defaults —
+ * and the guarded instrumentation macro.
  *
  * Instrumentation sites throughout the simulator use
  * CHAMELEON_TELEM(...) to record events; the wrapped statements run
@@ -10,6 +10,14 @@
  * compiled out with -DCHAMELEON_TELEMETRY_DISABLED). Metric handles
  * (Counter/Gauge/Histogram references) are live regardless — an
  * increment is cheaper than the branch would be worth.
+ *
+ * tracer()/metrics() resolve to the calling thread's current context:
+ * normally the process-wide tracer and registry, but while a
+ * ScopedTelemetry is alive on the thread they resolve to that run's
+ * isolated instances instead. This is how a Runtime keeps concurrent
+ * experiments from interleaving events and counters without touching
+ * any instrumentation site. Handles that must span runs (the GF
+ * kernel byte counters) resolve explicitly through processMetrics().
  *
  * Output sinks are registered once (setTraceOutput/setMetricsOutput)
  * and flushed by flush(). flush() is also invoked from the
@@ -20,6 +28,7 @@
 #ifndef CHAMELEON_TELEMETRY_TELEMETRY_HH_
 #define CHAMELEON_TELEMETRY_TELEMETRY_HH_
 
+#include <atomic>
 #include <string>
 
 #include "telemetry/metrics.hh"
@@ -30,20 +39,70 @@ namespace telemetry {
 
 namespace detail {
 /** Runtime gate, read inline on every instrumented hot path. */
-extern bool gEnabled;
+extern std::atomic<bool> gEnabled;
 } // namespace detail
 
 /** True when event tracing is on. */
-inline bool enabled() { return detail::gEnabled; }
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
 
 /** Turns event tracing on/off (metrics always accumulate). */
 void setEnabled(bool on);
 
-/** The process-wide tracer. */
+/**
+ * One run's isolated telemetry: a private tracer and metrics
+ * registry. A Runtime owns one per experiment and installs it with
+ * ScopedTelemetry for the duration of the run, then publishes it with
+ * mergeIntoProcess() once results are emitted.
+ */
+struct RunTelemetry
+{
+    Tracer tracer;
+    MetricsRegistry metrics;
+};
+
+/**
+ * RAII installation of a RunTelemetry as the calling thread's current
+ * context: while alive, tracer()/metrics() on this thread resolve to
+ * it instead of the process-wide instances. Scopes nest (destruction
+ * restores the previous context); the RunTelemetry must outlive the
+ * scope. Thread-local: installing on a sweep worker never affects
+ * other workers or the caller.
+ */
+class ScopedTelemetry
+{
+  public:
+    explicit ScopedTelemetry(RunTelemetry &run);
+    ~ScopedTelemetry();
+    ScopedTelemetry(const ScopedTelemetry &) = delete;
+    ScopedTelemetry &operator=(const ScopedTelemetry &) = delete;
+
+  private:
+    RunTelemetry *prev_;
+};
+
+/** The calling thread's tracer (run context if installed). */
 Tracer &tracer();
 
-/** The process-wide metrics registry. */
+/** The calling thread's metrics registry (run context if installed). */
 MetricsRegistry &metrics();
+
+/** The process-wide tracer, ignoring any installed run context. */
+Tracer &processTracer();
+
+/** The process-wide registry, ignoring any installed run context. */
+MetricsRegistry &processMetrics();
+
+/**
+ * Publishes a finished run's isolated telemetry into the process-wide
+ * tracer and registry (serialized against flush() and other merges).
+ * Call in a deterministic order — cell order, not completion order —
+ * so the merged output is independent of worker scheduling.
+ */
+void mergeIntoProcess(const RunTelemetry &run);
 
 /**
  * Registers `path` as the Chrome-trace output and installs the
@@ -61,10 +120,10 @@ void setPhaseCsvOutput(std::string path);
 void setMetricsOutput(std::string path);
 
 /**
- * Writes every configured output from the current buffer state.
+ * Writes every configured output from the process-wide buffers.
  * Idempotent (rewrites whole files), cheap when nothing is
- * configured, and re-entrancy guarded so a panic mid-flush cannot
- * recurse.
+ * configured, safe to call from any thread, and re-entrancy guarded
+ * so a panic mid-flush cannot recurse.
  */
 void flush();
 

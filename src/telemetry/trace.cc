@@ -277,6 +277,38 @@ Tracer::clear()
 }
 
 void
+Tracer::mergeFrom(const Tracer &other)
+{
+    const auto evs = other.events();
+    // An untouched tracer contributes nothing (merging it must not
+    // burn a pid on the anonymous "run-0").
+    if (evs.empty() && other.dropped_ == 0 &&
+        other.runNames_.size() == 1 && other.runNames_[0] == "run-0")
+        return;
+    std::vector<int> pidMap(other.runNames_.size(), 0);
+    for (std::size_t p = 0; p < other.runNames_.size(); ++p) {
+        // Mirror beginRun()'s lazy pid-0 claim so merging isolated
+        // tracers in completion order reproduces the pid layout of
+        // sequential runs sharing one tracer.
+        if (p == 0 && events_.empty() && runNames_.size() == 1 &&
+            runNames_[0] == "run-0") {
+            runNames_[0] = other.runNames_[0];
+            pidMap[0] = 0;
+        } else {
+            ++pid_;
+            runNames_.push_back(other.runNames_[p]);
+            pidMap[p] = pid_;
+        }
+    }
+    for (const auto &ev : evs) {
+        TraceEvent copy = ev;
+        copy.pid = pidMap[static_cast<std::size_t>(ev.pid)];
+        push(std::move(copy));
+    }
+    dropped_ += other.dropped_;
+}
+
+void
 Tracer::writeChromeTrace(std::ostream &os) const
 {
     auto evs = events();

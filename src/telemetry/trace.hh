@@ -134,6 +134,15 @@ class Tracer
     void clear();
 
     /**
+     * Appends another tracer's runs and events, remapping their pids
+     * onto fresh runs here (the same lazy pid-0 claim beginRun()
+     * uses, so merging run-isolated tracers in completion order
+     * reproduces the pid layout sequential runs sharing one tracer
+     * would have produced). Drop counts accumulate.
+     */
+    void mergeFrom(const Tracer &other);
+
+    /**
      * Chrome trace format (the JSON object form, which Perfetto and
      * chrome://tracing both load): {"traceEvents": [...]} including
      * process/thread-name metadata for every (pid, track) seen.

@@ -1,0 +1,30 @@
+#include "util/format.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chameleon {
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+    char buf[40];
+    // Integral values print without an exponent or fraction.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    // Shortest precision that survives a parse round-trip.
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+} // namespace chameleon

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Number formatting for serialized specs: the shortest decimal text
+ * that parses back to exactly the same double, so spec grammars and
+ * scenario JSON stay human-readable ("0.2", not
+ * "0.20000000000000001") while round-tripping losslessly.
+ */
+
+#ifndef CHAMELEON_UTIL_FORMAT_HH_
+#define CHAMELEON_UTIL_FORMAT_HH_
+
+#include <string>
+
+namespace chameleon {
+
+/** Shortest exact decimal representation of `v`; see file comment. */
+std::string formatDouble(double v);
+
+} // namespace chameleon
+
+#endif // CHAMELEON_UTIL_FORMAT_HH_

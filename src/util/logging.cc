@@ -2,12 +2,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <utility>
 
 namespace chameleon {
 namespace detail {
 
 namespace {
+
+std::mutex &
+panicHookMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::function<void()> &
 panicHook()
@@ -16,16 +24,25 @@ panicHook()
     return hook;
 }
 
-/** Runs the registered hook once; guards against re-entrant panics. */
+/**
+ * Runs the registered hook once; guards against re-entrant panics on
+ * the same thread (thread_local, so one worker's panic never
+ * suppresses another's crash flush).
+ */
 void
 runPanicHook()
 {
-    static bool running = false;
+    thread_local bool running = false;
     if (running)
         return;
     running = true;
-    if (panicHook())
-        panicHook()();
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(panicHookMutex());
+        hook = panicHook();
+    }
+    if (hook)
+        hook();
     running = false;
 }
 
@@ -34,6 +51,7 @@ runPanicHook()
 void
 setPanicHook(std::function<void()> hook)
 {
+    std::lock_guard<std::mutex> lock(panicHookMutex());
     panicHook() = std::move(hook);
 }
 

@@ -27,6 +27,8 @@ struct LatencySummary
     double p50 = 0.0;
     double p99 = 0.0;
     double max = 0.0;
+
+    bool operator==(const LatencySummary &) const = default;
 };
 
 /** Accumulates scalar samples and answers percentile queries. */

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Runtime-layer tests: ScenarioSpec JSON round-trips and rejection of
+ * malformed input, splitmix seed derivation, SweepRunner determinism
+ * (-j1 == -j8, the byte-identical-tables contract), ordered emission,
+ * and per-run telemetry scoping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "runtime/scenario.hh"
+#include "runtime/sweep.hh"
+#include "telemetry/telemetry.hh"
+
+using namespace chameleon;
+using namespace chameleon::runtime;
+
+namespace {
+
+/** A cheap config: few chunks, default cluster, optional trace. */
+ExperimentConfig
+tinyConfig(bool with_trace)
+{
+    ExperimentConfig cfg;
+    cfg.chunksToRepair = 2;
+    cfg.seed = 42;
+    if (with_trace) {
+        std::optional<traffic::TraceProfile> profile;
+        EXPECT_TRUE(tryResolveTrace("ycsb-a", &profile));
+        cfg.trace = profile;
+    } else {
+        cfg.trace.reset();
+    }
+    return cfg;
+}
+
+void
+expectRejected(const std::string &json, const std::string &needle)
+{
+    std::string err;
+    auto spec = ScenarioSpec::fromJson(json, &err);
+    EXPECT_FALSE(spec.has_value()) << json;
+    EXPECT_NE(err.find(needle), std::string::npos)
+        << "error '" << err << "' lacks '" << needle << "' for "
+        << json;
+}
+
+// --- ScenarioSpec round-trip --------------------------------------
+
+TEST(Scenario, DefaultRoundTrips)
+{
+    ScenarioSpec spec;
+    std::string err;
+    auto back = ScenarioSpec::fromJson(spec.toJson(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*back, spec);
+}
+
+TEST(Scenario, EveryFieldRoundTrips)
+{
+    ScenarioSpec spec;
+    spec.name = "kitchen sink \"quoted\"\n";
+    spec.algorithm = Algorithm::kRbPpr;
+    spec.code = "lrc:10,2,2";
+    spec.trace = "ibm";
+    spec.cluster.numNodes = 31;
+    spec.cluster.numClients = 7;
+    spec.cluster.uplinkBw = 1.25 * units::Gbps;
+    spec.cluster.downlinkBw = 5.0 * units::Gbps;
+    spec.cluster.diskBw = 217.0 * units::MBps;
+    spec.cluster.usageWindow = 7.5;
+    spec.cluster.racks = 4;
+    spec.cluster.rackOversubscription = 1.0 / 3.0;
+    spec.exec.chunkSize = 48 * units::MiB;
+    spec.exec.sliceSize = 3 * units::MiB;
+    spec.exec.nodeUploadSlots = 3;
+    spec.exec.nodeDownloadSlots = 9;
+    spec.exec.relayOverheadPerMiB = 0.0125;
+    spec.chunksToRepair = 17;
+    spec.failedNodes = 2;
+    spec.requestsPerClient = 12345;
+    spec.warmup = 3.25;
+    spec.chameleon.tPhase = 12.5;
+    spec.chameleon.checkPeriod = 0.7;
+    spec.chameleon.stragglerSlack = 1.1;
+    spec.chameleon.expectationFactor = 2.0 / 7.0;
+    spec.chameleon.reorderBackoff = 4.5;
+    spec.chameleon.enableReordering = false;
+    spec.chameleon.enableRetuning = false;
+    spec.chameleon.priority =
+        repair::RepairPriority::kMostFailedFirst;
+    spec.chameleon.maxRetries = 9;
+    spec.chameleon.retryBackoff = 0.25;
+    spec.session.maxInFlight = 17;
+    spec.session.maxRetries = 2;
+    spec.session.retryBackoff = 1.5;
+    spec.stragglers = {
+        StragglerEvent{5.0, kInvalidNode, 0.05, 15.0, true, true},
+        StragglerEvent{10.5, 3, 1.0 / 3.0, 2.5, true, false},
+    };
+    spec.faults = fault::FaultSchedule::parse(
+        "crash@5:dur=40;linkdeg@10:factor=0.2:dur=15");
+    spec.chaosRate = 0.3;
+    spec.chaosSeed = 777;
+    spec.chaosHorizon = 64.0;
+    spec.seed = 123456789;
+    spec.simTimeCap = 5000.0;
+
+    std::string err;
+    auto back = ScenarioSpec::fromJson(spec.toJson(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*back, spec);
+    // And the round-tripped spec serializes identically.
+    EXPECT_EQ(back->toJson(), spec.toJson());
+}
+
+TEST(Scenario, DoublesRoundTripExactly)
+{
+    // Values with no short decimal form must survive the trip.
+    ScenarioSpec spec;
+    spec.chameleon.expectationFactor = 1.0 / 3.0;
+    spec.cluster.uplinkBw = 2.5 * units::Gbps * (1.0 / 7.0);
+    spec.cluster.downlinkBw = spec.cluster.uplinkBw;
+    auto back = ScenarioSpec::fromJson(spec.toJson());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->chameleon.expectationFactor,
+              spec.chameleon.expectationFactor);
+    EXPECT_EQ(back->cluster.uplinkBw, spec.cluster.uplinkBw);
+}
+
+TEST(Scenario, EmptyObjectYieldsDefaults)
+{
+    auto spec = ScenarioSpec::fromJson("{}");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(*spec, ScenarioSpec{});
+}
+
+TEST(Scenario, ToConfigMaterializes)
+{
+    ScenarioSpec spec;
+    spec.code = "lrc:8,2,2";
+    spec.trace = "memcached";
+    spec.chunksToRepair = 11;
+    spec.seed = 9;
+    auto cfg = spec.toConfig();
+    EXPECT_EQ(cfg.code->name(), "LRC(8,2,2)");
+    ASSERT_TRUE(cfg.trace.has_value());
+    EXPECT_EQ(cfg.chunksToRepair, 11);
+    EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(Scenario, NoneTraceDisablesForeground)
+{
+    ScenarioSpec spec;
+    spec.trace = "none";
+    EXPECT_FALSE(spec.toConfig().trace.has_value());
+    spec.trace = "";
+    EXPECT_FALSE(spec.toConfig().trace.has_value());
+}
+
+// --- ScenarioSpec rejection ---------------------------------------
+
+TEST(Scenario, RejectsMalformedJson)
+{
+    expectRejected("{", "");
+    expectRejected("42", "");
+    expectRejected("", "");
+}
+
+TEST(Scenario, RejectsUnknownKeys)
+{
+    expectRejected(R"({"bogus": 1})", "bogus");
+    expectRejected(R"({"cluster": {"nodez": 3}})", "nodez");
+    expectRejected(R"({"chameleon": {"tphase": 1}})", "tphase");
+    expectRejected(R"({"chaos": {"speed": 1}})", "speed");
+}
+
+TEST(Scenario, RejectsBadNames)
+{
+    expectRejected(R"({"algorithm": "warp"})", "algorithm");
+    expectRejected(R"({"code": "rs:banana"})", "code");
+    expectRejected(R"({"trace": "tpc-c"})", "trace");
+    expectRejected(R"({"chameleon": {"priority": "fastest"}})",
+                   "priority");
+}
+
+TEST(Scenario, RejectsBadSchedules)
+{
+    expectRejected(R"({"stragglers": "soon"})", "straggler");
+    expectRejected(R"({"faults": "meteor@5"})", "fault");
+}
+
+TEST(Scenario, RejectsBadDimensions)
+{
+    expectRejected(R"({"cluster": {"nodes": 0}})", "nodes");
+    expectRejected(R"({"cluster": {"uplink_bw": -1}})",
+                   "bandwidths");
+    expectRejected(R"({"chunks_to_repair": 0})", "chunks");
+    expectRejected(R"({"failed_nodes": 40})", "failed");
+    expectRejected(
+        R"({"executor": {"chunk_size": 4, "slice_size": 8}})",
+        "slice");
+    expectRejected(R"({"chaos": {"rate": -0.5}})", "rate");
+    expectRejected(R"({"sim_time_cap": 0})", "cap");
+}
+
+TEST(Scenario, RejectsWrongTypes)
+{
+    expectRejected(R"({"seed": "forty-two"})", "seed");
+    expectRejected(R"({"cluster": "big"})", "cluster");
+    expectRejected(R"({"chameleon": {"reordering": 3}})",
+                   "reordering");
+}
+
+// --- helper parsers -----------------------------------------------
+
+TEST(Scenario, CodeSpecs)
+{
+    EXPECT_TRUE(tryParseCode("rs:10,4").has_value());
+    EXPECT_TRUE(tryParseCode("lrc:10,2,2").has_value());
+    EXPECT_TRUE(tryParseCode("butterfly").has_value());
+    EXPECT_TRUE(tryParseCode("rep:3").has_value());
+    std::string err;
+    EXPECT_FALSE(tryParseCode("rs:10", &err).has_value());
+    EXPECT_FALSE(tryParseCode("xor:2", &err).has_value());
+    EXPECT_FALSE(tryParseCode("", &err).has_value());
+}
+
+TEST(Scenario, StragglerGrammarRoundTrips)
+{
+    std::vector<StragglerEvent> events = {
+        StragglerEvent{5.0, kInvalidNode, 0.05, 15.0, true, true},
+        StragglerEvent{1.25, 7, 0.5, 3.0, true, false},
+        StragglerEvent{2.0, 4, 0.9, 1.0, false, true},
+    };
+    auto spec = stragglerSpecStr(events);
+    auto back = tryParseStragglers(spec);
+    ASSERT_TRUE(back.has_value()) << spec;
+    EXPECT_EQ(*back, events);
+
+    EXPECT_FALSE(tryParseStragglers("nope").has_value());
+    EXPECT_FALSE(tryParseStragglers("5:node=x").has_value());
+    EXPECT_FALSE(tryParseStragglers("5:link=sideways").has_value());
+}
+
+// --- seed derivation ----------------------------------------------
+
+TEST(DeriveSeed, DeterministicAndWellSpread)
+{
+    EXPECT_EQ(deriveSeed(42, 0), deriveSeed(42, 0));
+    std::vector<uint64_t> seen;
+    for (uint64_t i = 0; i < 64; ++i) {
+        uint64_t s = deriveSeed(42, i);
+        EXPECT_NE(s, 42u);
+        for (uint64_t prev : seen)
+            EXPECT_NE(s, prev) << "collision at index " << i;
+        seen.push_back(s);
+    }
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(43, 0));
+}
+
+// --- SweepRunner --------------------------------------------------
+
+std::vector<SweepCell>
+determinismCells()
+{
+    std::vector<SweepCell> cells;
+    int group = 0;
+    for (bool with_trace : {true, false}) {
+        for (auto algo : {Algorithm::kCr, Algorithm::kEcpipe,
+                          Algorithm::kChameleon}) {
+            SweepCell cell;
+            cell.label = algorithmName(algo);
+            cell.algorithm = algo;
+            cell.config = tinyConfig(with_trace);
+            cell.seedIndex = group;
+            cells.push_back(std::move(cell));
+        }
+        ++group;
+    }
+    return cells;
+}
+
+TEST(Sweep, SameResultsAtJobs1AndJobs8)
+{
+    auto cells = determinismCells();
+    auto run = [&](int jobs) {
+        SweepOptions so;
+        so.jobs = jobs;
+        so.baseSeed = 42;
+        so.mergeTelemetry = false;
+        return SweepRunner(so).run(cells);
+    };
+    auto serial = run(1);
+    auto parallel = run(8);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << cells[i].label;
+}
+
+TEST(Sweep, EmitsInCellOrder)
+{
+    auto cells = determinismCells();
+    SweepOptions so;
+    so.jobs = 8;
+    so.mergeTelemetry = false;
+    std::vector<std::size_t> order;
+    SweepRunner(so).run(
+        cells, [&](std::size_t i, const SweepCell &,
+                   const ExperimentResult &) { order.push_back(i); });
+    ASSERT_EQ(order.size(), cells.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Sweep, SharedSeedIndexMeansSharedWorkload)
+{
+    // Two cells in the same comparison group (same algorithm here, so
+    // results are comparable) must see the same derived seed; a third
+    // with another seedIndex must not.
+    SweepCell a;
+    a.algorithm = Algorithm::kCr;
+    a.config = tinyConfig(true);
+    a.seedIndex = 0;
+    SweepCell b = a;
+    SweepCell c = a;
+    c.seedIndex = 1;
+    SweepOptions so;
+    so.jobs = 2;
+    so.baseSeed = 1234;
+    so.mergeTelemetry = false;
+    auto results = SweepRunner(so).run({a, b, c});
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0], results[1]);
+    EXPECT_NE(results[0], results[2]);
+}
+
+TEST(Sweep, PinnedSeedSkipsDerivation)
+{
+    SweepCell pinned;
+    pinned.algorithm = Algorithm::kCr;
+    pinned.config = tinyConfig(false);
+    pinned.config.seed = 7;
+    pinned.deriveSeed = false;
+    SweepCell derived = pinned;
+    derived.deriveSeed = true;
+
+    SweepOptions so;
+    so.baseSeed = 99;
+    so.mergeTelemetry = false;
+    auto with_base = SweepRunner(so).run({pinned});
+    auto no_base = SweepRunner({.jobs = 1, .baseSeed = 0,
+                                .mergeTelemetry = false})
+                       .run({pinned});
+    // Pinned cell ignores the base seed entirely.
+    EXPECT_EQ(with_base[0], no_base[0]);
+}
+
+TEST(Sweep, JobsZeroResolvesToHardwareConcurrency)
+{
+    SweepOptions so;
+    so.jobs = 0;
+    EXPECT_GE(SweepRunner(so).jobs(), 1);
+}
+
+// --- telemetry scoping --------------------------------------------
+
+TEST(TelemetryScope, ScopedRunIsIsolated)
+{
+    const std::string name = "runtime_test.scoped.counter";
+    telemetry::RunTelemetry run;
+    {
+        telemetry::ScopedTelemetry scope(run);
+        telemetry::metrics().counter(name).add(3);
+    }
+    auto run_snap = run.metrics.snapshot();
+    ASSERT_NE(run_snap.find(name), nullptr);
+    EXPECT_EQ(run_snap.find(name)->value, 3.0);
+    // The process registry never saw the counter.
+    auto proc_snap = telemetry::metrics().snapshot();
+    EXPECT_EQ(proc_snap.find(name), nullptr);
+}
+
+TEST(TelemetryScope, MergePublishesIntoProcess)
+{
+    const std::string name = "runtime_test.merge.counter";
+    telemetry::RunTelemetry run;
+    {
+        telemetry::ScopedTelemetry scope(run);
+        telemetry::metrics().counter(name).add(2);
+    }
+    telemetry::mergeIntoProcess(run);
+    auto snap = telemetry::metrics().snapshot();
+    const auto *merged = snap.find(name);
+    ASSERT_NE(merged, nullptr);
+    EXPECT_EQ(merged->value, 2.0);
+}
+
+TEST(TelemetryScope, RuntimeCapturesIsolatedTelemetry)
+{
+    Runtime plain(Algorithm::kCr, tinyConfig(false));
+    EXPECT_EQ(plain.runTelemetry(), nullptr);
+
+    RuntimeOptions opts;
+    opts.isolateTelemetry = true;
+    Runtime isolated(Algorithm::kCr, tinyConfig(false), opts);
+    ASSERT_NE(isolated.runTelemetry(), nullptr);
+    isolated.run();
+    // The run recorded something, and it stayed out of the process
+    // registry (no "sim." instruments appear there from this run —
+    // checked indirectly: the captured registry is non-empty).
+    EXPECT_FALSE(
+        isolated.runTelemetry()->metrics.snapshot().samples.empty());
+}
+
+} // namespace

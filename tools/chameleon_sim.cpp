@@ -4,26 +4,37 @@
  * foreground trace (built-in profile or a trace file), pick repair
  * algorithms, and get the paper's metrics — without writing C++.
  *
+ * The configuration lives in a runtime::ScenarioSpec, so a run is
+ * round-trippable: --dump-scenario prints the effective scenario as
+ * JSON, --scenario loads one back (later flags override it), and
+ * --jobs N executes the algorithm list concurrently through
+ * runtime::SweepRunner with output identical to --jobs 1.
+ *
  *   chameleon_sim --algo cr,chameleon --trace ycsb-a --chunks 60
  *   chameleon_sim --code lrc:10,2,2 --link-gbps 5 --disk-mbps 250
  *   chameleon_sim --trace-file my.trace --straggler 5:0.05:15
+ *   chameleon_sim --scenario examples/scenarios/sweep.json --jobs 4
+ *   chameleon_sim --dump-scenario > my_scenario.json
  *   chameleon_sim --help
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "analysis/experiment.hh"
-#include "ec/factory.hh"
 #include "fault/fault.hh"
+#include "runtime/runtime.hh"
+#include "runtime/scenario.hh"
+#include "runtime/sweep.hh"
 #include "telemetry/telemetry.hh"
 #include "traffic/trace_file.hh"
 
 using namespace chameleon;
-using namespace chameleon::analysis;
+using namespace chameleon::runtime;
 
 namespace {
 
@@ -36,7 +47,13 @@ Options (defaults in brackets):
   --algo LIST        comma list of cr,ppr,ecpipe,rb-cr,rb-ppr,
                      rb-ecpipe,etrp,chameleon,chameleon-io
                      [cr,ppr,ecpipe,chameleon]
-  --code SPEC        rs:K,M | lrc:K,L,M | butterfly  [rs:10,4]
+  --scenario PATH    load a scenario JSON file (see --dump-scenario);
+                     flags after --scenario override its fields
+  --dump-scenario    print the effective scenario as JSON and exit
+  --jobs N           run the algorithm list on N sweep workers
+                     (0 = hardware concurrency); output is identical
+                     to --jobs 1  [1]
+  --code SPEC        rs:K,M | lrc:K,L,M | butterfly | rep:N  [rs:10,4]
   --trace NAME       ycsb-a|ibm|memcached|etc|none  [ycsb-a]
   --trace-file PATH  replay a '<op> <key> <bytes>' trace file
   --chunks N         chunks to repair  [60]
@@ -94,116 +111,12 @@ splitList(const std::string &arg, char sep)
 Algorithm
 parseAlgorithm(const std::string &name)
 {
-    if (name == "cr")
-        return Algorithm::kCr;
-    if (name == "ppr")
-        return Algorithm::kPpr;
-    if (name == "ecpipe")
-        return Algorithm::kEcpipe;
-    if (name == "rb-cr")
-        return Algorithm::kRbCr;
-    if (name == "rb-ppr")
-        return Algorithm::kRbPpr;
-    if (name == "rb-ecpipe")
-        return Algorithm::kRbEcpipe;
-    if (name == "etrp")
-        return Algorithm::kEtrp;
-    if (name == "chameleon")
-        return Algorithm::kChameleon;
-    if (name == "chameleon-io")
-        return Algorithm::kChameleonIo;
-    std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
-    usage(2);
-}
-
-std::shared_ptr<const ec::ErasureCode>
-parseCode(const std::string &spec)
-{
-    if (spec == "butterfly")
-        return ec::makeButterfly();
-    auto colon = spec.find(':');
-    if (colon == std::string::npos) {
-        std::fprintf(stderr, "bad code spec '%s'\n", spec.c_str());
+    auto algo = algorithmFromKey(name);
+    if (!algo) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
         usage(2);
     }
-    auto family = spec.substr(0, colon);
-    auto params = splitList(spec.substr(colon + 1), ',');
-    if (family == "rs" && params.size() == 2)
-        return ec::makeRs(std::stoi(params[0]), std::stoi(params[1]));
-    if (family == "lrc" && params.size() == 3)
-        return ec::makeLrc(std::stoi(params[0]), std::stoi(params[1]),
-                           std::stoi(params[2]));
-    std::fprintf(stderr, "bad code spec '%s'\n", spec.c_str());
-    usage(2);
-}
-
-std::optional<traffic::TraceProfile>
-parseTraceName(const std::string &name)
-{
-    if (name == "none")
-        return std::nullopt;
-    if (name == "ycsb-a")
-        return traffic::ycsbA();
-    if (name == "ibm")
-        return traffic::ibmObjectStore();
-    if (name == "memcached")
-        return traffic::memcachedCluster37();
-    if (name == "etc")
-        return traffic::facebookEtc();
-    std::fprintf(stderr, "unknown trace '%s'\n", name.c_str());
-    usage(2);
-}
-
-/** Metric-name segment for one algorithm (CLI spelling). */
-std::string
-algoKey(Algorithm algo)
-{
-    switch (algo) {
-      case Algorithm::kNone:
-        return "none";
-      case Algorithm::kCr:
-        return "cr";
-      case Algorithm::kPpr:
-        return "ppr";
-      case Algorithm::kEcpipe:
-        return "ecpipe";
-      case Algorithm::kRbCr:
-        return "rb-cr";
-      case Algorithm::kRbPpr:
-        return "rb-ppr";
-      case Algorithm::kRbEcpipe:
-        return "rb-ecpipe";
-      case Algorithm::kEtrp:
-        return "etrp";
-      case Algorithm::kChameleon:
-        return "chameleon";
-      case Algorithm::kChameleonIo:
-        return "chameleon-io";
-    }
-    return "unknown";
-}
-
-/**
- * Publishes one experiment's results as `experiment.<algo>.*` gauges
- * so --metrics-out emits a machine-readable results table alongside
- * the internal instrumentation counters.
- */
-void
-publishResult(Algorithm algo, const ExperimentResult &r)
-{
-    auto &reg = telemetry::metrics();
-    const std::string base = "experiment." + algoKey(algo) + ".";
-    reg.gauge(base + "repair_mbps").set(r.repairThroughput / 1e6);
-    reg.gauge(base + "repair_time_s").set(r.repairTime);
-    reg.gauge(base + "chunks").set(r.chunksRepaired);
-    reg.gauge(base + "p99_ms").set(r.p99LatencyMs);
-    reg.gauge(base + "mean_ms").set(r.meanLatencyMs);
-    reg.gauge(base + "phases").set(r.phases);
-    reg.gauge(base + "retunes").set(r.retunes);
-    reg.gauge(base + "reorders").set(r.reorders);
-    reg.gauge(base + "unrecoverable").set(r.chunksUnrecoverable);
-    reg.gauge(base + "crash_replans").set(r.crashReplans);
-    reg.gauge(base + "faults_injected").set(r.faultsInjected);
+    return *algo;
 }
 
 StragglerEvent
@@ -224,20 +137,77 @@ parseStraggler(const std::string &spec)
     return ev;
 }
 
+/**
+ * Publishes one experiment's results as `experiment.<algo>.*` gauges
+ * so --metrics-out emits a machine-readable results table alongside
+ * the internal instrumentation counters.
+ */
+void
+publishResult(Algorithm algo, const ExperimentResult &r)
+{
+    auto &reg = telemetry::metrics();
+    const std::string base = "experiment." + algorithmKey(algo) + ".";
+    reg.gauge(base + "repair_mbps").set(r.repairThroughput / 1e6);
+    reg.gauge(base + "repair_time_s").set(r.repairTime);
+    reg.gauge(base + "chunks").set(r.chunksRepaired);
+    reg.gauge(base + "p99_ms").set(r.p99LatencyMs);
+    reg.gauge(base + "mean_ms").set(r.meanLatencyMs);
+    reg.gauge(base + "phases").set(r.phases);
+    reg.gauge(base + "retunes").set(r.retunes);
+    reg.gauge(base + "reorders").set(r.reorders);
+    reg.gauge(base + "unrecoverable").set(r.chunksUnrecoverable);
+    reg.gauge(base + "crash_replans").set(r.crashReplans);
+    reg.gauge(base + "faults_injected").set(r.faultsInjected);
+}
+
+/** Prints one result row from the published metrics snapshot so the
+ * table and --metrics-out can never disagree. */
+void
+printResultRow(Algorithm algo, const ExperimentConfig &cfg,
+               const ExperimentResult &r)
+{
+    auto snap = telemetry::metrics().snapshot();
+    const std::string base = "experiment." + algorithmKey(algo) + ".";
+    auto value = [&](const char *leaf) {
+        const auto *s = snap.find(base + leaf);
+        return s ? s->value : 0.0;
+    };
+    std::printf("%-14s repair %7.1f MB/s in %7.1f s",
+                algorithmName(algo).c_str(), value("repair_mbps"),
+                value("repair_time_s"));
+    if (cfg.trace)
+        std::printf("   P99 %8.1f ms", value("p99_ms"));
+    if (r.phases)
+        std::printf("   phases %.0f retunes %.0f reorders %.0f",
+                    value("phases"), value("retunes"),
+                    value("reorders"));
+    if (r.faultsInjected)
+        std::printf("   faults %.0f replans %.0f unrecoverable %.0f",
+                    value("faults_injected"), value("crash_replans"),
+                    value("unrecoverable"));
+    std::printf("\n");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    ExperimentConfig cfg;
-    cfg.chunksToRepair = 60;
-    cfg.exec.sliceSize = 2 * units::MiB;
-    cfg.trace = traffic::ycsbA();
-    cfg.seed = 42;
+    ScenarioSpec spec;
+    spec.chunksToRepair = 60;
+    spec.exec.sliceSize = 2 * units::MiB;
+    spec.trace = "ycsb-a";
+    spec.seed = 42;
     std::vector<Algorithm> algos = {Algorithm::kCr, Algorithm::kPpr,
                                     Algorithm::kEcpipe,
                                     Algorithm::kChameleon};
+    bool algos_from_flag = false;
     bool quiet = false;
+    bool dump_scenario = false;
+    int jobs = 1;
+    // --trace-file profiles have no scenario-JSON spelling; the
+    // override is applied after the spec materializes.
+    std::optional<traffic::TraceProfile> trace_file_override;
 
     auto need_value = [&](int i) -> const char * {
         if (i + 1 >= argc) {
@@ -255,74 +225,111 @@ main(int argc, char **argv)
             algos.clear();
             for (const auto &name : splitList(need_value(i), ','))
                 algos.push_back(parseAlgorithm(name));
+            algos_from_flag = true;
+            ++i;
+        } else if (flag == "--scenario") {
+            std::ifstream in(need_value(i));
+            if (!in) {
+                std::fprintf(stderr, "cannot read scenario '%s'\n",
+                             need_value(i));
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            std::string err;
+            auto loaded = ScenarioSpec::fromJson(text.str(), &err);
+            if (!loaded) {
+                std::fprintf(stderr, "bad scenario '%s': %s\n",
+                             need_value(i), err.c_str());
+                return 2;
+            }
+            spec = *loaded;
+            if (!algos_from_flag)
+                algos = {spec.algorithm};
+            ++i;
+        } else if (flag == "--dump-scenario") {
+            dump_scenario = true;
+        } else if (flag == "--jobs") {
+            jobs = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--code") {
-            cfg.code = parseCode(need_value(i));
+            spec.code = need_value(i);
+            std::string err;
+            if (!tryParseCode(spec.code, &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                usage(2);
+            }
             ++i;
         } else if (flag == "--trace") {
-            cfg.trace = parseTraceName(need_value(i));
+            spec.trace = need_value(i);
+            std::optional<traffic::TraceProfile> probe;
+            std::string err;
+            if (!tryResolveTrace(spec.trace, &probe, &err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                usage(2);
+            }
             ++i;
         } else if (flag == "--trace-file") {
-            cfg.trace = traffic::profileFromRecords(
+            trace_file_override = traffic::profileFromRecords(
                 need_value(i),
                 traffic::loadTraceFile(need_value(i)));
             ++i;
         } else if (flag == "--chunks") {
-            cfg.chunksToRepair = std::stoi(need_value(i));
+            spec.chunksToRepair = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--nodes") {
-            cfg.cluster.numNodes = std::stoi(need_value(i));
+            spec.cluster.numNodes = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--clients") {
-            cfg.cluster.numClients = std::stoi(need_value(i));
+            spec.cluster.numClients = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--failed") {
-            cfg.failedNodes = std::stoi(need_value(i));
+            spec.failedNodes = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--racks") {
-            cfg.cluster.racks = std::stoi(need_value(i));
+            spec.cluster.racks = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--oversub") {
-            cfg.cluster.rackOversubscription =
+            spec.cluster.rackOversubscription =
                 std::stod(need_value(i));
             ++i;
         } else if (flag == "--link-gbps") {
-            cfg.cluster.uplinkBw = std::stod(need_value(i)) *
-                                   units::Gbps;
-            cfg.cluster.downlinkBw = cfg.cluster.uplinkBw;
+            spec.cluster.uplinkBw = std::stod(need_value(i)) *
+                                    units::Gbps;
+            spec.cluster.downlinkBw = spec.cluster.uplinkBw;
             ++i;
         } else if (flag == "--disk-mbps") {
-            cfg.cluster.diskBw = std::stod(need_value(i)) *
-                                 units::MBps;
+            spec.cluster.diskBw = std::stod(need_value(i)) *
+                                  units::MBps;
             ++i;
         } else if (flag == "--chunk-mib") {
-            cfg.exec.chunkSize = std::stod(need_value(i)) *
-                                 units::MiB;
+            spec.exec.chunkSize = std::stod(need_value(i)) *
+                                  units::MiB;
             ++i;
         } else if (flag == "--slice-mib") {
-            cfg.exec.sliceSize = std::stod(need_value(i)) *
-                                 units::MiB;
+            spec.exec.sliceSize = std::stod(need_value(i)) *
+                                  units::MiB;
             ++i;
         } else if (flag == "--tphase") {
-            cfg.chameleon.tPhase = std::stod(need_value(i));
+            spec.chameleon.tPhase = std::stod(need_value(i));
             ++i;
         } else if (flag == "--straggler") {
-            cfg.stragglers.push_back(parseStraggler(need_value(i)));
+            spec.stragglers.push_back(parseStraggler(need_value(i)));
             ++i;
         } else if (flag == "--faults") {
-            cfg.faults = fault::FaultSchedule::parse(need_value(i));
+            spec.faults = fault::FaultSchedule::parse(need_value(i));
             ++i;
         } else if (flag == "--chaos-rate") {
-            cfg.chaosRate = std::stod(need_value(i));
+            spec.chaosRate = std::stod(need_value(i));
             ++i;
         } else if (flag == "--chaos-seed") {
-            cfg.chaosSeed = std::stoull(need_value(i));
+            spec.chaosSeed = std::stoull(need_value(i));
             ++i;
         } else if (flag == "--chaos-horizon") {
-            cfg.chaosHorizon = std::stod(need_value(i));
+            spec.chaosHorizon = std::stod(need_value(i));
             ++i;
         } else if (flag == "--seed") {
-            cfg.seed = std::stoull(need_value(i));
+            spec.seed = std::stoull(need_value(i));
             ++i;
         } else if (flag == "--trace-out") {
             telemetry::setTraceOutput(need_value(i));
@@ -344,6 +351,17 @@ main(int argc, char **argv)
         }
     }
 
+    if (dump_scenario) {
+        if (algos.size() == 1)
+            spec.algorithm = algos[0];
+        std::fputs(spec.toJson().c_str(), stdout);
+        return 0;
+    }
+
+    ExperimentConfig cfg = spec.toConfig();
+    if (trace_file_override)
+        cfg.trace = trace_file_override;
+
     if (!quiet) {
         std::printf("cluster: %d nodes, %d clients, %.2f Gb/s links, "
                     "%.0f MB/s disks; code %s; %d chunks x %.0f MiB; "
@@ -357,34 +375,37 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(cfg.seed));
     }
 
-    for (auto algo : algos) {
-        auto r = runExperiment(algo, cfg);
-        publishResult(algo, r);
-        if (quiet)
-            continue;
-        // Print the row from the published snapshot so the table and
-        // --metrics-out can never disagree.
-        auto snap = telemetry::metrics().snapshot();
-        const std::string base = "experiment." + algoKey(algo) + ".";
-        auto value = [&](const char *leaf) {
-            const auto *s = snap.find(base + leaf);
-            return s ? s->value : 0.0;
-        };
-        std::printf("%-14s repair %7.1f MB/s in %7.1f s",
-                    algorithmName(algo).c_str(), value("repair_mbps"),
-                    value("repair_time_s"));
-        if (cfg.trace)
-            std::printf("   P99 %8.1f ms", value("p99_ms"));
-        if (r.phases)
-            std::printf("   phases %.0f retunes %.0f reorders %.0f",
-                        value("phases"), value("retunes"),
-                        value("reorders"));
-        if (r.faultsInjected)
-            std::printf("   faults %.0f replans %.0f unrecoverable %.0f",
-                        value("faults_injected"),
-                        value("crash_replans"),
-                        value("unrecoverable"));
-        std::printf("\n");
+    if (jobs == 1) {
+        // Single-worker path: run in the process-default telemetry
+        // context, exactly as before the sweep executor existed.
+        for (auto algo : algos) {
+            auto r = runExperiment(algo, cfg);
+            publishResult(algo, r);
+            if (!quiet)
+                printResultRow(algo, cfg, r);
+        }
+    } else {
+        // Sweep path: isolated per-run telemetry contexts, merged
+        // into the process context in cell order, so the table and
+        // every --*-out file match the --jobs 1 run byte for byte.
+        std::vector<SweepCell> cells;
+        for (auto algo : algos) {
+            SweepCell cell;
+            cell.label = algorithmName(algo);
+            cell.algorithm = algo;
+            cell.config = cfg;
+            cell.seedIndex = 0; // one workload, many algorithms
+            cells.push_back(std::move(cell));
+        }
+        SweepOptions so;
+        so.jobs = jobs;
+        SweepRunner runner(so);
+        runner.run(cells, [&](std::size_t, const SweepCell &cell,
+                              const ExperimentResult &r) {
+            publishResult(cell.algorithm, r);
+            if (!quiet)
+                printResultRow(cell.algorithm, cfg, r);
+        });
     }
     telemetry::flush();
     return 0;
