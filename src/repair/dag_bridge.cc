@@ -1,0 +1,31 @@
+#include "repair/dag_bridge.hh"
+
+namespace chameleon {
+namespace repair {
+
+std::vector<dag::DagSource>
+toDagSources(const std::vector<PlanSource> &sources)
+{
+    std::vector<dag::DagSource> out;
+    out.reserve(sources.size());
+    for (const auto &src : sources)
+        out.push_back({src.node, src.chunk, src.coeff, src.fraction});
+    return out;
+}
+
+dag::EcDag
+fromTree(const ChunkRepairPlan &plan)
+{
+    plan.validate();
+    std::vector<int> parents;
+    parents.reserve(plan.sources.size());
+    for (const auto &src : plan.sources)
+        parents.push_back(src.parent);
+    return dag::dagFromParents(plan.stripe, plan.failedChunk,
+                               plan.destination,
+                               toDagSources(plan.sources), parents,
+                               plan.combinable);
+}
+
+} // namespace repair
+} // namespace chameleon

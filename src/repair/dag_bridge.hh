@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Lossless lowering from ChunkRepairPlan in-trees to EcDag form.
+ *
+ * Every tree the planners emit (star, PPR binomial, ECPipe chain,
+ * Chameleon Algorithm-1 trees) lowers into a DAG whose evaluateDag
+ * result is byte-identical to evaluatePlan on the original tree, so
+ * the DAG executor can run any existing plan — and topologies a
+ * parent-array cannot express — behind one execution path.
+ */
+
+#ifndef CHAMELEON_REPAIR_DAG_BRIDGE_HH_
+#define CHAMELEON_REPAIR_DAG_BRIDGE_HH_
+
+#include <vector>
+
+#include "dag/dag.hh"
+#include "repair/plan.hh"
+
+namespace chameleon {
+namespace repair {
+
+/** Converts plan sources to DAG sources (drops the parent links). */
+std::vector<dag::DagSource>
+toDagSources(const std::vector<PlanSource> &sources);
+
+/**
+ * Lowers a validated plan tree into an EcDag: a source with children
+ * becomes leaf + co-located combine vertex; a childless source's leaf
+ * feeds its parent directly, keeping star edges plain disk-to-network
+ * transfers. Non-combinable plans (stars by construction) lower to
+ * direct leaf->root edges with combinable = false.
+ */
+dag::EcDag fromTree(const ChunkRepairPlan &plan);
+
+} // namespace repair
+} // namespace chameleon
+
+#endif // CHAMELEON_REPAIR_DAG_BRIDGE_HH_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
@@ -32,12 +33,25 @@ RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
           telemetry::metrics().counter("repair.exec.codec_bytes")),
       metCombinedSlices_(telemetry::metrics().counter(
           "repair.exec.combined_slices")),
-      metAborts_(telemetry::metrics().counter("repair.exec.aborts"))
+      metAborts_(telemetry::metrics().counter("repair.exec.aborts")),
+      metDagChunks_(
+          telemetry::metrics().counter("repair.exec.dag.chunks")),
+      metDagSlices_(
+          telemetry::metrics().counter("repair.exec.dag.slices")),
+      metDagLocalSlices_(telemetry::metrics().counter(
+          "repair.exec.dag.local_slices")),
+      metDagPipelineDepth_(telemetry::metrics().histogram(
+          "repair.exec.dag.pipeline_depth",
+          {1, 2, 4, 8, 16, 32, 64, 128})),
+      metDagOccupancy_(telemetry::metrics().histogram(
+          "repair.exec.dag.occupancy",
+          {0.5, 1, 2, 4, 8, 16, 32}))
 {
     CHAMELEON_ASSERT(config_.chunkSize > 0 && config_.sliceSize > 0,
                      "sizes must be positive");
     CHAMELEON_ASSERT(config_.sliceSize <= config_.chunkSize,
                      "slice larger than chunk");
+    CHAMELEON_ASSERT(config_.slices >= 0, "negative slice count");
     slots_.resize(static_cast<std::size_t>(cluster_.numNodes()));
 }
 
@@ -52,8 +66,13 @@ RepairExecutor::wake(std::vector<std::pair<RepairId, int>> &waiters)
         cluster_.simulator().scheduleAfter(
             0.0, [this, id = id, edge_index = edge_index] {
                 auto it = active_.find(id);
-                if (it != active_.end())
+                if (it != active_.end()) {
                     tryLaunchEdge(it->second, edge_index);
+                    return;
+                }
+                auto dit = dagActive_.find(id);
+                if (dit != dagActive_.end())
+                    tryLaunchDagEdge(dit->second, edge_index);
             });
     }
 }
@@ -73,7 +92,8 @@ RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done,
     chunk.onDone = std::move(on_done);
     chunk.onFail = std::move(on_fail);
     chunk.launchTime = cluster_.simulator().now();
-    chunk.chunkSlices = sliceCount(config_.chunkSize, config_.sliceSize);
+    const Bytes slice = config_.effectiveSliceSize();
+    chunk.chunkSlices = sliceCount(config_.chunkSize, slice);
 
     const int nsrc = static_cast<int>(plan.sources.size());
     for (int i = 0; i < nsrc; ++i) {
@@ -83,7 +103,7 @@ RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done,
         edge.slicesTotal = sliceCount(
             plan.sources[static_cast<std::size_t>(i)].fraction *
                 config_.chunkSize,
-            config_.sliceSize);
+            slice);
         edge.payload.assign(
             static_cast<std::size_t>(edge.slicesTotal), 0);
         chunk.edges.push_back(std::move(edge));
@@ -114,7 +134,7 @@ RepairExecutor::launch(const ChunkRepairPlan &plan, ChunkDone on_done,
 bool
 RepairExecutor::chunkActive(RepairId id) const
 {
-    return active_.count(id) > 0;
+    return active_.count(id) > 0 || dagActive_.count(id) > 0;
 }
 
 const RepairExecutor::ChunkExec &
@@ -136,7 +156,13 @@ RepairExecutor::get(RepairId id)
 const ChunkRepairPlan &
 RepairExecutor::plan(RepairId id) const
 {
-    return get(id).plan;
+    auto it = active_.find(id);
+    if (it != active_.end())
+        return it->second.plan;
+    auto dit = dagActive_.find(id);
+    CHAMELEON_ASSERT(dit != dagActive_.end(), "repair ", id,
+                     " not active");
+    return dit->second.plan;
 }
 
 std::vector<EdgeStatus>
@@ -308,6 +334,15 @@ RepairExecutor::activeEdgesTouching(NodeId node) const
                 ++count;
         }
     }
+    for (const auto &[id, chunk] : dagActive_) {
+        for (const DagEdge &edge : chunk.edges) {
+            if (edge.delivered >= edge.slicesTotal || edge.local)
+                continue;
+            if (chunk.dag.vertex(edge.from).node == node ||
+                chunk.dag.vertex(edge.to).node == node)
+                ++count;
+        }
+    }
     return count;
 }
 
@@ -387,9 +422,9 @@ RepairExecutor::tryLaunchEdge(ChunkExec &chunk, int edge_index)
         edge.inFlightMask != ownMask(edge.source);
     if (combined && config_.relayOverheadPerMiB > 0) {
         const Bytes total = src.fraction * config_.chunkSize;
+        const Bytes slice = config_.effectiveSliceSize();
         const Bytes slice_bytes = std::min(
-            config_.sliceSize,
-            total - static_cast<double>(s) * config_.sliceSize);
+            slice, total - static_cast<double>(s) * slice);
         cluster_.simulator().scheduleAfter(
             config_.relayOverheadPerMiB * slice_bytes / units::MiB,
             [this, id, edge_index] {
@@ -446,9 +481,9 @@ RepairExecutor::beginSliceFlow(ChunkExec &chunk, int edge_index)
                                       /*read_disk=*/true,
                                       /*write_disk=*/false);
     const Bytes total = src.fraction * config_.chunkSize;
-    const Bytes bytes =
-        std::min(config_.sliceSize,
-                 total - static_cast<double>(s) * config_.sliceSize);
+    const Bytes slice = config_.effectiveSliceSize();
+    const Bytes bytes = std::min(
+        slice, total - static_cast<double>(s) * slice);
     CHAMELEON_ASSERT(bytes > 0, "empty slice");
     // The no-dead-node invariant: crashes abort every affected chunk
     // synchronously, so a launch can never involve a down node.
@@ -465,22 +500,28 @@ RepairExecutor::beginSliceFlow(ChunkExec &chunk, int edge_index)
 }
 
 void
-RepairExecutor::releaseSlots(Edge &edge)
+RepairExecutor::releaseHeldSlots(NodeId &hold_up, NodeId &hold_down)
 {
-    if (edge.holdUp != kInvalidNode) {
-        auto &s = slots_[static_cast<std::size_t>(edge.holdUp)];
+    if (hold_up != kInvalidNode) {
+        auto &s = slots_[static_cast<std::size_t>(hold_up)];
         CHAMELEON_ASSERT(s.upActive > 0, "slot underflow");
         s.upActive -= 1;
         wake(s.upWaiters);
-        edge.holdUp = kInvalidNode;
+        hold_up = kInvalidNode;
     }
-    if (edge.holdDown != kInvalidNode) {
-        auto &s = slots_[static_cast<std::size_t>(edge.holdDown)];
+    if (hold_down != kInvalidNode) {
+        auto &s = slots_[static_cast<std::size_t>(hold_down)];
         CHAMELEON_ASSERT(s.downActive > 0, "slot underflow");
         s.downActive -= 1;
         wake(s.downWaiters);
-        edge.holdDown = kInvalidNode;
+        hold_down = kInvalidNode;
     }
+}
+
+void
+RepairExecutor::releaseSlots(Edge &edge)
+{
+    releaseHeldSlots(edge.holdUp, edge.holdDown);
 }
 
 int
@@ -516,7 +557,26 @@ RepairExecutor::abortChunksTouching(NodeId node)
     }
     for (RepairId id : doomed)
         abortChunk(id, node);
-    return static_cast<int>(doomed.size());
+
+    std::vector<RepairId> dag_doomed;
+    for (const auto &[id, chunk] : dagActive_) {
+        if (chunk.dag.destination() == node) {
+            dag_doomed.push_back(id);
+            continue;
+        }
+        for (const DagEdge &edge : chunk.edges) {
+            if (edge.delivered >= edge.slicesTotal)
+                continue; // data already delivered; node not needed
+            if (chunk.dag.vertex(edge.from).node == node ||
+                chunk.dag.vertex(edge.to).node == node) {
+                dag_doomed.push_back(id);
+                break;
+            }
+        }
+    }
+    for (RepairId id : dag_doomed)
+        abortDagChunk(id, node);
+    return static_cast<int>(doomed.size() + dag_doomed.size());
 }
 
 void
@@ -590,9 +650,9 @@ RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
                                   .sources[static_cast<std::size_t>(
                                       edge.source)];
             const Bytes total = src.fraction * config_.chunkSize;
+            const Bytes slice = config_.effectiveSliceSize();
             const Bytes slice_bytes = std::min(
-                config_.sliceSize,
-                total - static_cast<double>(s) * config_.sliceSize);
+                slice, total - static_cast<double>(s) * slice);
             metCodecBytes_.add(static_cast<int64_t>(slice_bytes));
             if (mask != ownMask(edge.source))
                 metCombinedSlices_.add();
@@ -607,10 +667,10 @@ RepairExecutor::onSliceDelivered(RepairId id, int edge_index)
                 (Mask(1) << chunk.plan.sources.size()) - 1;
             if (dm == full) {
                 // Slice fully reconstructed: persist it.
+                const Bytes slice = config_.effectiveSliceSize();
                 Bytes bytes = std::min(
-                    config_.sliceSize,
-                    config_.chunkSize -
-                        static_cast<double>(s) * config_.sliceSize);
+                    slice, config_.chunkSize -
+                               static_cast<double>(s) * slice);
                 issueDestWrite(chunk, bytes);
             }
         } else {
@@ -707,6 +767,426 @@ RepairExecutor::checkChunkDone(RepairId id)
     active_.erase(it);
     if (done)
         done(plan_copy, now);
+}
+
+RepairId
+RepairExecutor::launchDag(const dag::EcDag &d,
+                          const ChunkRepairPlan &plan,
+                          ChunkDone on_done, ChunkFail on_fail)
+{
+    d.validate();
+    const int nsrc = static_cast<int>(d.sources().size());
+    CHAMELEON_ASSERT(nsrc >= 1 && nsrc <= 31,
+                     "DAG too wide for contribution tracking");
+    CHAMELEON_ASSERT(!d.vertex(d.root()).isLeaf(),
+                     "DAG root must combine at least one input");
+
+    RepairId id = nextId_++;
+    DagExec chunk;
+    chunk.id = id;
+    chunk.dag = d;
+    chunk.plan = plan;
+    chunk.onDone = std::move(on_done);
+    chunk.onFail = std::move(on_fail);
+    chunk.launchTime = cluster_.simulator().now();
+    const Bytes slice = config_.effectiveSliceSize();
+    chunk.chunkSlices = sliceCount(config_.chunkSize, slice);
+
+    const int nv = d.vertexCount();
+    chunk.inEdges.assign(static_cast<std::size_t>(nv), {});
+    chunk.outEdges.assign(static_cast<std::size_t>(nv), {});
+    for (dag::VertexId v = 0; v < nv; ++v) {
+        const auto &vert = d.vertex(v);
+        for (dag::VertexId f : vert.in) {
+            const auto &fv = d.vertex(f);
+            DagEdge edge;
+            edge.from = f;
+            edge.to = v;
+            edge.fromLeaf = fv.isLeaf();
+            const double fraction =
+                edge.fromLeaf
+                    ? d.sources()[static_cast<std::size_t>(fv.source)]
+                          .fraction
+                    : 1.0;
+            edge.slicesTotal =
+                sliceCount(fraction * config_.chunkSize, slice);
+            edge.local = (fv.node == vert.node);
+            const int ei = static_cast<int>(chunk.edges.size());
+            chunk.edges.push_back(edge);
+            chunk.inEdges[static_cast<std::size_t>(v)].push_back(ei);
+            chunk.outEdges[static_cast<std::size_t>(f)].push_back(ei);
+        }
+    }
+    // Execution streams each vertex's result to exactly one consumer
+    // so every helper contribution reaches the root exactly once —
+    // the DAG generalizes *topology* (bounded fan-in, co-located
+    // hops, local reads), not contribution sharing.
+    for (dag::VertexId v = 0; v < nv; ++v) {
+        if (v == d.root())
+            continue;
+        CHAMELEON_ASSERT(
+            chunk.outEdges[static_cast<std::size_t>(v)].size() == 1,
+            "vertex ", v, " feeds ",
+            chunk.outEdges[static_cast<std::size_t>(v)].size(),
+            " consumers; the executor requires exactly one");
+    }
+
+    const int nedges = static_cast<int>(chunk.edges.size());
+    dagActive_.emplace(id, std::move(chunk));
+
+    // Defer initial launches through the event loop so launchDag()
+    // is safe to call from any context.
+    for (int i = 0; i < nedges; ++i) {
+        cluster_.simulator().scheduleAfter(0.0, [this, id, i] {
+            auto it = dagActive_.find(id);
+            if (it != dagActive_.end())
+                tryLaunchDagEdge(it->second, i);
+        });
+    }
+    return id;
+}
+
+int
+RepairExecutor::dagReadySlices(const DagExec &chunk,
+                               dag::VertexId v) const
+{
+    const auto &vert = chunk.dag.vertex(v);
+    // A leaf's slices all sit on disk from the start; an internal
+    // vertex holds slice s only once every input delivered slice s.
+    if (vert.isLeaf())
+        return std::numeric_limits<int>::max();
+    int ready = std::numeric_limits<int>::max();
+    for (int ei : chunk.inEdges[static_cast<std::size_t>(v)])
+        ready = std::min(
+            ready, chunk.edges[static_cast<std::size_t>(ei)].delivered);
+    return ready;
+}
+
+Bytes
+RepairExecutor::dagEdgeSliceBytes(const DagExec &chunk,
+                                  const DagEdge &edge, int s) const
+{
+    double fraction = 1.0;
+    if (edge.fromLeaf) {
+        const auto &fv = chunk.dag.vertex(edge.from);
+        fraction = chunk.dag
+                       .sources()[static_cast<std::size_t>(fv.source)]
+                       .fraction;
+    }
+    const Bytes total = fraction * config_.chunkSize;
+    const Bytes slice = config_.effectiveSliceSize();
+    return std::min(slice, total - static_cast<double>(s) * slice);
+}
+
+void
+RepairExecutor::tryLaunchDagEdge(DagExec &chunk, int edge_index)
+{
+    DagEdge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+    if (edge.activeFlow != sim::kInvalidFlow ||
+        edge.nextSlice >= edge.slicesTotal ||
+        dagReadySlices(chunk, edge.from) <= edge.nextSlice) {
+        // Do not sit on slots while unable to send.
+        if (edge.activeFlow == sim::kInvalidFlow)
+            releaseHeldSlots(edge.holdUp, edge.holdDown);
+        return;
+    }
+
+    const int s = edge.nextSlice;
+    const NodeId from_node = chunk.dag.vertex(edge.from).node;
+    const NodeId to_node = chunk.dag.vertex(edge.to).node;
+    const RepairId id = chunk.id;
+
+    if (edge.local) {
+        // Same-node hop, no network slots: a leaf input is a local
+        // disk read (slice by slice, sharing the disk with every
+        // other flow); an internal input is an in-memory handoff.
+        edge.activeFlow = kLaunchingFlow;
+        if (edge.fromLeaf) {
+            CHAMELEON_ASSERT(!cluster_.nodeDown(from_node),
+                             "repair slice reads from dead node ",
+                             from_node);
+            const Bytes bytes = dagEdgeSliceBytes(chunk, edge, s);
+            CHAMELEON_ASSERT(bytes > 0, "empty slice");
+            edge.sliceStart = cluster_.simulator().now();
+            edge.activeFlow = cluster_.network().startFlow(
+                {cluster_.disk(from_node)}, bytes,
+                sim::FlowTag::kRepair,
+                sim::FlowLabel{id, edge.from, s},
+                [this, id, edge_index] {
+                    onDagSliceDelivered(id, edge_index);
+                });
+        } else {
+            cluster_.simulator().scheduleAfter(
+                0.0, [this, id, edge_index] {
+                    // No-op if a crash aborted the chunk meanwhile.
+                    if (dagActive_.count(id))
+                        onDagSliceDelivered(id, edge_index);
+                });
+        }
+        return;
+    }
+
+    // Per-node repair slots (bounded reconstruction streams), with
+    // the same task-continuity semantics as tree edges.
+    if (edge.holdUp == kInvalidNode) {
+        auto &src_slots = slots_[static_cast<std::size_t>(from_node)];
+        auto &dst_slots = slots_[static_cast<std::size_t>(to_node)];
+        if (src_slots.upActive >= config_.nodeUploadSlots) {
+            src_slots.upWaiters.emplace_back(chunk.id, edge_index);
+            return;
+        }
+        if (dst_slots.downActive >= config_.nodeDownloadSlots) {
+            dst_slots.downWaiters.emplace_back(chunk.id, edge_index);
+            return;
+        }
+        src_slots.upActive += 1;
+        dst_slots.downActive += 1;
+        edge.holdUp = from_node;
+        edge.holdDown = to_node;
+    }
+
+    edge.activeFlow = kLaunchingFlow;
+
+    // An internal vertex's upload carries a partial decode: GF
+    // combination and turnaround cost at the relay before the slice
+    // can leave. Leaf uploads (raw chunks) skip it, exactly like
+    // direct transfers on the tree path.
+    if (!edge.fromLeaf && config_.relayOverheadPerMiB > 0) {
+        const Bytes slice_bytes = dagEdgeSliceBytes(chunk, edge, s);
+        cluster_.simulator().scheduleAfter(
+            config_.relayOverheadPerMiB * slice_bytes / units::MiB,
+            [this, id, edge_index] {
+                auto it = dagActive_.find(id);
+                if (it != dagActive_.end())
+                    beginDagSliceFlow(it->second, edge_index);
+            });
+    } else {
+        beginDagSliceFlow(chunk, edge_index);
+    }
+}
+
+void
+RepairExecutor::beginDagSliceFlow(DagExec &chunk, int edge_index)
+{
+    DagEdge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+    CHAMELEON_ASSERT(edge.activeFlow == kLaunchingFlow,
+                     "beginDagSliceFlow on an edge with no pending "
+                     "slice");
+    const int s = edge.nextSlice;
+    const NodeId from_node = chunk.dag.vertex(edge.from).node;
+    const NodeId to_node = chunk.dag.vertex(edge.to).node;
+    // A leaf's upload reads the helper chunk from disk in-path; an
+    // internal vertex forwards a partial decode held in memory.
+    auto path = cluster_.transferPath(from_node, to_node,
+                                      /*read_disk=*/edge.fromLeaf,
+                                      /*write_disk=*/false);
+    const Bytes bytes = dagEdgeSliceBytes(chunk, edge, s);
+    CHAMELEON_ASSERT(bytes > 0, "empty slice");
+    // The no-dead-node invariant: crashes abort every affected chunk
+    // synchronously, so a launch can never involve a down node.
+    CHAMELEON_ASSERT(!cluster_.nodeDown(from_node),
+                     "repair slice reads from dead node ", from_node);
+    CHAMELEON_ASSERT(!cluster_.nodeDown(to_node),
+                     "repair slice sends to dead node ", to_node);
+
+    const RepairId id = chunk.id;
+    edge.sliceStart = cluster_.simulator().now();
+    chunk.activeNetFlows += 1;
+    chunk.maxActiveNetFlows =
+        std::max(chunk.maxActiveNetFlows, chunk.activeNetFlows);
+    edge.activeFlow = cluster_.network().startFlow(
+        std::move(path), bytes, sim::FlowTag::kRepair,
+        sim::FlowLabel{id, edge.from, s}, [this, id, edge_index] {
+            onDagSliceDelivered(id, edge_index);
+        });
+}
+
+void
+RepairExecutor::onDagSliceDelivered(RepairId id, int edge_index)
+{
+    auto it = dagActive_.find(id);
+    CHAMELEON_ASSERT(it != dagActive_.end(),
+                     "slice delivery for inactive repair ", id);
+    DagExec &chunk = it->second;
+    DagEdge &edge = chunk.edges[static_cast<std::size_t>(edge_index)];
+
+    const int s = edge.nextSlice;
+    const Bytes bytes = dagEdgeSliceBytes(chunk, edge, s);
+    const SimTime now = cluster_.simulator().now();
+    edge.activeFlow = sim::kInvalidFlow;
+    edge.delivered = s + 1;
+    edge.nextSlice = s + 1;
+    metDagSlices_.add();
+    metSlices_.add();
+    if (edge.local) {
+        metDagLocalSlices_.add();
+    } else {
+        chunk.activeNetFlows -= 1;
+        chunk.netFlowSeconds += now - edge.sliceStart;
+        // Task-queue semantics: keep the slots while the next slice
+        // is immediately sendable, yield when done or blocked.
+        const bool continues =
+            edge.nextSlice < edge.slicesTotal &&
+            dagReadySlices(chunk, edge.from) > edge.nextSlice;
+        if (!continues)
+            releaseHeldSlots(edge.holdUp, edge.holdDown);
+    }
+    // The consuming vertex folds this slice into its partial result
+    // (a mulAddRegionMulti's worth of codec work per delivery).
+    if (chunk.dag.combinable) {
+        metCodecBytes_.add(static_cast<int64_t>(bytes));
+        if (!edge.fromLeaf)
+            metCombinedSlices_.add();
+    }
+
+    // Combinable root: a slice is reconstructed once every root
+    // input delivered it; persist slices as the watermark rises.
+    const dag::VertexId to = edge.to;
+    if (to == chunk.dag.root() && chunk.dag.combinable) {
+        int watermark = std::numeric_limits<int>::max();
+        for (int ei : chunk.inEdges[static_cast<std::size_t>(to)])
+            watermark = std::min(
+                watermark,
+                chunk.edges[static_cast<std::size_t>(ei)].delivered);
+        const Bytes slice = config_.effectiveSliceSize();
+        while (chunk.destWatermark < watermark) {
+            const int ws = chunk.destWatermark++;
+            issueDagDestWrite(
+                chunk,
+                std::min(slice, config_.chunkSize -
+                                    static_cast<double>(ws) * slice));
+        }
+    }
+
+    // Defer follow-up launches so this callback stays re-entrant
+    // safe with respect to the flow network's dispatch loop.
+    cluster_.simulator().scheduleAfter(
+        0.0, [this, id, edge_index, to] {
+            auto lit = dagActive_.find(id);
+            if (lit == dagActive_.end())
+                return;
+            tryLaunchDagEdge(lit->second, edge_index);
+            const auto &out =
+                lit->second.outEdges[static_cast<std::size_t>(to)];
+            for (int oe : out)
+                tryLaunchDagEdge(lit->second, oe);
+        });
+
+    checkDagChunkDone(id);
+}
+
+void
+RepairExecutor::issueDagDestWrite(DagExec &chunk, Bytes bytes)
+{
+    const NodeId dest = chunk.dag.destination();
+    CHAMELEON_ASSERT(!cluster_.nodeDown(dest),
+                     "destination write on dead node ", dest);
+    chunk.writesIssued += 1;
+    const RepairId id = chunk.id;
+    sim::FlowId flow = cluster_.network().startFlow(
+        {cluster_.disk(dest)}, bytes, sim::FlowTag::kRepair,
+        [this, id] {
+            auto it = dagActive_.find(id);
+            CHAMELEON_ASSERT(it != dagActive_.end(),
+                             "write completion for inactive repair");
+            it->second.writesDone += 1;
+            checkDagChunkDone(id);
+        });
+    // Track the write so a destination crash can invalidate it;
+    // completed writes are pruned lazily at the next issue/abort.
+    std::erase_if(chunk.destWrites, [this](sim::FlowId f) {
+        return !cluster_.network().flowActive(f);
+    });
+    chunk.destWrites.push_back(flow);
+}
+
+void
+RepairExecutor::checkDagChunkDone(RepairId id)
+{
+    auto it = dagActive_.find(id);
+    if (it == dagActive_.end())
+        return;
+    DagExec &chunk = it->second;
+    for (const DagEdge &edge : chunk.edges) {
+        if (edge.delivered < edge.slicesTotal)
+            return;
+    }
+    // Non-combinable codes reconstruct from sub-chunks after all
+    // transfers arrive, then persist the whole chunk.
+    if (!chunk.dag.combinable && chunk.writesIssued == 0)
+        issueDagDestWrite(chunk, config_.chunkSize);
+    if (chunk.writesDone < chunk.writesIssued ||
+        chunk.writesIssued == 0)
+        return;
+    if (chunk.dag.combinable) {
+        // Every slice of the reconstructed chunk must have been
+        // persisted exactly once via the root watermark.
+        CHAMELEON_ASSERT(chunk.destWatermark == chunk.chunkSlices,
+                         "repair ", id, " persisted ",
+                         chunk.destWatermark, " of ",
+                         chunk.chunkSlices, " slices");
+    }
+    ++completedChunks_;
+    metChunks_.add();
+    metDagChunks_.add();
+    metDagPipelineDepth_.observe(
+        static_cast<double>(chunk.maxActiveNetFlows));
+    const SimTime now = cluster_.simulator().now();
+    const SimTime makespan = now - chunk.launchTime;
+    if (makespan > 0)
+        metDagOccupancy_.observe(chunk.netFlowSeconds / makespan);
+    CHAMELEON_TELEM(telemetry::tracer().complete(
+        chunk.launchTime, makespan, telemetry::kTrackExecutor,
+        "repair", "chunk",
+        {{"stripe", chunk.dag.stripe},
+         {"chunk", chunk.dag.failedChunk},
+         {"dest", chunk.dag.destination()},
+         {"sources", chunk.dag.sources().size()},
+         {"dag_depth", chunk.dag.depth()},
+         {"slices", chunk.chunkSlices},
+         {"pipeline_depth", chunk.maxActiveNetFlows},
+         {"gf_kernel", gf::kernelName()}}));
+    auto plan_copy = chunk.plan;
+    auto done = std::move(chunk.onDone);
+    dagActive_.erase(it);
+    if (done)
+        done(plan_copy, now);
+}
+
+void
+RepairExecutor::abortDagChunk(RepairId id, NodeId cause)
+{
+    auto it = dagActive_.find(id);
+    CHAMELEON_ASSERT(it != dagActive_.end(),
+                     "abort of inactive repair ", id);
+    DagExec &chunk = it->second;
+    auto &net = cluster_.network();
+    for (DagEdge &edge : chunk.edges) {
+        // kLaunchingFlow edges have a deferred continuation in the
+        // event queue; it no-ops once the chunk leaves dagActive_.
+        if (edge.activeFlow != sim::kInvalidFlow &&
+            edge.activeFlow != kLaunchingFlow)
+            net.cancelFlow(edge.activeFlow);
+        edge.activeFlow = sim::kInvalidFlow;
+        releaseHeldSlots(edge.holdUp, edge.holdDown);
+    }
+    for (sim::FlowId write : chunk.destWrites) {
+        if (net.flowActive(write))
+            net.cancelFlow(write);
+    }
+    metAborts_.add();
+    const SimTime now = cluster_.simulator().now();
+    CHAMELEON_TELEM(telemetry::tracer().instant(
+        now, telemetry::kTrackFault, "fault", "abort",
+        {{"stripe", chunk.dag.stripe},
+         {"chunk", chunk.dag.failedChunk},
+         {"dest", chunk.dag.destination()},
+         {"cause_node", cause}}));
+    auto plan_copy = chunk.plan;
+    auto on_fail = std::move(chunk.onFail);
+    dagActive_.erase(it);
+    if (on_fail)
+        on_fail(plan_copy, cause, now);
 }
 
 } // namespace repair

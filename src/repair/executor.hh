@@ -30,6 +30,14 @@
  * Correctness is checked continuously: each payload carries the set
  * of helper contributions it folds in, and the destination asserts
  * that every slice receives each helper's contribution exactly once.
+ *
+ * Besides parent-array trees, the executor runs explicit EcDag plans
+ * (launchDag): the chunk streams through the DAG as S configurable
+ * slices (ExecutorConfig::slices), each edge shipping slice s as
+ * soon as its tail vertex holds it, so a chain of k hops repairs a
+ * chunk in (k + S - 1)/S chunk transfer times instead of k. See
+ * dag/dag.hh for the representation and launchDag for the execution
+ * semantics.
  */
 
 #ifndef CHAMELEON_REPAIR_EXECUTOR_HH_
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "dag/dag.hh"
 #include "repair/plan.hh"
 #include "telemetry/metrics.hh"
 #include "util/types.hh"
@@ -84,6 +93,22 @@ struct ExecutorConfig
      * the configured slice size.
      */
     SimTime relayOverheadPerMiB = 0.010;
+    /**
+     * Number of slices a chunk splits into for pipelined execution.
+     * 0 (the default) derives the count from sliceSize; a positive
+     * value overrides it with exactly chunkSize / slices bytes per
+     * slice, the knob the pipelining experiments sweep (S = 1 is
+     * whole-chunk store-and-forward, large S approaches one slice
+     * per hop in flight).
+     */
+    int slices = 0;
+
+    /** The slice size execution actually uses; see `slices`. */
+    Bytes effectiveSliceSize() const
+    {
+        return slices > 0 ? chunkSize / static_cast<double>(slices)
+                          : sliceSize;
+    }
 
     bool operator==(const ExecutorConfig &) const = default;
 };
@@ -131,6 +156,31 @@ class RepairExecutor
     /** Starts executing `plan`; returns a handle for control calls. */
     RepairId launch(const ChunkRepairPlan &plan, ChunkDone on_done,
                     ChunkFail on_fail = nullptr);
+
+    /**
+     * Starts executing an explicit repair DAG (lowered from `plan`
+     * by repair::fromTree, or built fresh by a topology override).
+     * The chunk streams through the DAG as slices: an edge ships
+     * slice s as soon as the vertex it reads from holds slice s, so
+     * consecutive slices occupy consecutive hops simultaneously.
+     *
+     * Edge semantics: a leaf's upload reads the helper chunk from
+     * disk in-path and pays no relay overhead; an internal vertex's
+     * upload carries a partial decode and pays relayOverheadPerMiB
+     * per slice; co-located hops use the local disk (leaf inputs) or
+     * an in-memory handoff (internal inputs) and never hold network
+     * slots. The executor requires every non-root vertex to feed
+     * exactly one consumer so each helper contribution reaches the
+     * root exactly once.
+     *
+     * `plan` is retained as provenance for the completion/failure
+     * callbacks and telemetry; it is not re-executed. DAG repairs
+     * share the RepairId space and node slot pool with tree repairs
+     * but do not support pause/resume/retune.
+     */
+    RepairId launchDag(const dag::EcDag &dag,
+                       const ChunkRepairPlan &plan, ChunkDone on_done,
+                       ChunkFail on_fail = nullptr);
 
     /**
      * Aborts every active chunk whose destination is `node` or with
@@ -256,6 +306,67 @@ class RepairExecutor
     const ChunkExec &get(RepairId id) const;
     ChunkExec &get(RepairId id);
 
+    /** One DAG edge: ships the from-vertex's result slice by slice
+     * to the consuming vertex. */
+    struct DagEdge
+    {
+        dag::VertexId from = dag::kInvalidVertex;
+        dag::VertexId to = dag::kInvalidVertex;
+        int slicesTotal = 0;
+        int nextSlice = 0; // next slice index to launch
+        int delivered = 0; // slices fully delivered so far
+        /** Same-node hop: local disk read (leaf) or in-memory
+         * handoff (internal); holds no network slots. */
+        bool local = false;
+        /** From-vertex is a leaf: raw chunk read from disk in-path,
+         * no relay overhead. */
+        bool fromLeaf = false;
+        sim::FlowId activeFlow = sim::kInvalidFlow;
+        NodeId holdUp = kInvalidNode;
+        NodeId holdDown = kInvalidNode;
+        /** Launch instant of the in-flight slice (occupancy). */
+        SimTime sliceStart = 0.0;
+    };
+
+    /** State of one DAG-executed chunk repair. */
+    struct DagExec
+    {
+        RepairId id = kInvalidRepair;
+        dag::EcDag dag;
+        /** Provenance plan for callbacks and telemetry. */
+        ChunkRepairPlan plan;
+        std::vector<DagEdge> edges;
+        /** Per-vertex indices into `edges` (to == v / from == v). */
+        std::vector<std::vector<int>> inEdges;
+        std::vector<std::vector<int>> outEdges;
+        int chunkSlices = 0; // slices of a full chunk
+        /** Root slices already persisted (combinable DAGs write each
+         * reconstructed slice as the min in-edge watermark rises). */
+        int destWatermark = 0;
+        int writesIssued = 0;
+        int writesDone = 0;
+        ChunkDone onDone;
+        ChunkFail onFail;
+        std::vector<sim::FlowId> destWrites;
+        SimTime launchTime = 0.0;
+        /** Pipeline telemetry: concurrent network slice flows. */
+        int activeNetFlows = 0;
+        int maxActiveNetFlows = 0;
+        /** Total network flow-seconds (occupancy numerator). */
+        double netFlowSeconds = 0.0;
+    };
+
+    void tryLaunchDagEdge(DagExec &chunk, int edge_index);
+    void beginDagSliceFlow(DagExec &chunk, int edge_index);
+    void onDagSliceDelivered(RepairId id, int edge_index);
+    /** Slices of `v`'s result available to ship right now. */
+    int dagReadySlices(const DagExec &chunk, dag::VertexId v) const;
+    Bytes dagEdgeSliceBytes(const DagExec &chunk, const DagEdge &edge,
+                            int s) const;
+    void issueDagDestWrite(DagExec &chunk, Bytes bytes);
+    void checkDagChunkDone(RepairId id);
+    void abortDagChunk(RepairId id, NodeId cause);
+
     /** Per-node repair slice slots; see file comment. */
     struct NodeSlots
     {
@@ -268,6 +379,8 @@ class RepairExecutor
 
     void wake(std::vector<std::pair<RepairId, int>> &waiters);
     void releaseSlots(Edge &edge);
+    /** Shared slot-release for tree and DAG edges. */
+    void releaseHeldSlots(NodeId &hold_up, NodeId &hold_down);
     void abortChunk(RepairId id, NodeId cause);
 
     cluster::Cluster &cluster_;
@@ -284,7 +397,16 @@ class RepairExecutor
     telemetry::Counter &metCombinedSlices_;
     /** Chunk repairs aborted by node crashes. */
     telemetry::Counter &metAborts_;
+    /** DAG-path metrics: chunks, slice deliveries (local = same-node
+     * hops), per-chunk peak concurrent network slice flows, and
+     * network occupancy (flow-seconds / repair makespan). */
+    telemetry::Counter &metDagChunks_;
+    telemetry::Counter &metDagSlices_;
+    telemetry::Counter &metDagLocalSlices_;
+    telemetry::Histogram &metDagPipelineDepth_;
+    telemetry::Histogram &metDagOccupancy_;
     std::unordered_map<RepairId, ChunkExec> active_;
+    std::unordered_map<RepairId, DagExec> dagActive_;
     std::vector<NodeSlots> slots_;
     RepairId nextId_ = 0;
     int64_t completedChunks_ = 0;

@@ -87,8 +87,14 @@ buildPprPlan(StripeId stripe, ChunkIndex failed, NodeId destination,
              std::vector<PlanSource> sources);
 
 /**
- * ECPipe-style chain: s0 -> s1 -> ... -> s(k-1) -> destination, with
- * slices pipelined along the chain for O(1) amortized repair time.
+ * ECPipe-style chain: s0 -> s1 -> ... -> s(k-1) -> destination. The
+ * plan only fixes the topology; repair time depends on the slicing
+ * mode the executor runs it under (ExecutorConfig): split into S
+ * slices that pipeline hop-by-hop, a chunk repairs in
+ * (k + S - 1)/S chunk transfer times — O(k) at S = 1 (whole-chunk
+ * store-and-forward), approaching one chunk time (O(1) amortized)
+ * only as S grows. See dag/dag.hh for the slice-pipelined execution
+ * model and bench/exp15_pipelining for the measured curve.
  */
 ChunkRepairPlan
 buildChainPlan(StripeId stripe, ChunkIndex failed, NodeId destination,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "repair/dag_bridge.hh"
 #include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
@@ -18,6 +19,14 @@ RepairSession::RepairSession(cluster::StripeManager &stripes,
                      "window must be at least 1");
     CHAMELEON_ASSERT(config_.maxRetries >= 0, "negative retry budget");
     CHAMELEON_ASSERT(planFn_ != nullptr, "null plan factory");
+}
+
+void
+RepairSession::setDagTopology(const dag::TopologySpec &spec)
+{
+    CHAMELEON_ASSERT(!started_,
+                     "topology override after session start");
+    topology_ = spec;
 }
 
 void
@@ -138,14 +147,25 @@ RepairSession::pump()
         res.insert(plan.destination);
 
         ++inFlight_;
-        executor_.launch(
-            plan,
-            [this](const ChunkRepairPlan &p, SimTime t) {
-                onChunkDone(p, t);
-            },
-            [this](const ChunkRepairPlan &p, NodeId cause, SimTime t) {
-                onChunkFailed(p, cause, t);
-            });
+        auto on_done = [this](const ChunkRepairPlan &p, SimTime t) {
+            onChunkDone(p, t);
+        };
+        auto on_fail = [this](const ChunkRepairPlan &p, NodeId cause,
+                              SimTime t) { onChunkFailed(p, cause, t); };
+        if (topology_.kind != dag::RepairTopology::kAuto) {
+            // Topology override: keep the planner's source set (and
+            // coefficients) but execute it in the requested DAG
+            // shape, slice-pipelined.
+            dag::EcDag d = dag::buildTopologyDag(
+                topology_, plan.stripe, plan.failedChunk,
+                plan.destination, toDagSources(plan.sources),
+                plan.combinable);
+            executor_.launchDag(d, plan, std::move(on_done),
+                                std::move(on_fail));
+        } else {
+            executor_.launch(plan, std::move(on_done),
+                             std::move(on_fail));
+        }
     }
     checkFinished(executor_.cluster().simulator().now());
 }

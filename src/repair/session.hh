@@ -67,6 +67,19 @@ class RepairSession
                   RepairExecutor &executor, PlanFn plan_fn,
                   SessionConfig config = {});
 
+    /**
+     * Overrides every chunk's execution topology: instead of running
+     * the planner's tree directly, the session rebuilds the plan's
+     * source set into `spec`'s DAG shape (chain, PPR, MLF, star) and
+     * executes it slice-pipelined via RepairExecutor::launchDag.
+     * kAuto (the default) keeps the planner's native tree execution.
+     * Non-combinable plans always degrade to the star. Call before
+     * start().
+     */
+    void setDagTopology(const dag::TopologySpec &spec);
+
+    const dag::TopologySpec &dagTopology() const { return topology_; }
+
     /** Begins repairing `pending` (FIFO order). */
     void start(std::vector<cluster::FailedChunk> pending);
 
@@ -123,6 +136,8 @@ class RepairSession
     RepairExecutor &executor_;
     PlanFn planFn_;
     SessionConfig config_;
+    /** Execution-topology override; kAuto = native tree path. */
+    dag::TopologySpec topology_;
     std::deque<cluster::FailedChunk> pending_;
     /** Chunks that currently cannot be planned (no free destination);
      * retried when a repair completes or the cluster changes. */

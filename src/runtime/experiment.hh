@@ -91,6 +91,15 @@ struct ExperimentConfig
     SimTime warmup = 16.0;
     repair::ChameleonConfig chameleon;
     repair::SessionConfig session;
+    /**
+     * Execution-topology override for session algorithms (CR/PPR/
+     * ECPipe families): rebuilds each plan's source set into the
+     * requested DAG shape (chain, PPR, MLF, star) and executes it
+     * slice-pipelined. kAuto keeps native tree execution. Not
+     * applicable to the Chameleon family, whose dispatcher owns its
+     * tree shapes.
+     */
+    dag::TopologySpec topology;
     std::vector<StragglerEvent> stragglers;
     /** Mid-repair fault schedule, armed at the failure instant
      * (event times are relative to it). */

@@ -196,6 +196,11 @@ Runtime::run(const ExperimentHooks &hooks)
     if (algorithm == Algorithm::kNone) {
         // trace-only run
     } else if (isChameleonFamily(algorithm)) {
+        CHAMELEON_ASSERT(
+            config.topology.kind == dag::RepairTopology::kAuto,
+            "topology override does not apply to ",
+            algorithmName(algorithm),
+            ": the Chameleon dispatcher owns its tree shapes");
         repair::ChameleonConfig ccfg = config.chameleon;
         if (algorithm == Algorithm::kEtrp) {
             ccfg.enableReordering = false;
@@ -226,6 +231,8 @@ Runtime::run(const ExperimentHooks &hooks)
         }
         session = std::make_unique<repair::RepairSession>(
             stripes, executor, std::move(plan_fn), config.session);
+        if (config.topology.kind != dag::RepairTopology::kAuto)
+            session->setDagTopology(config.topology);
         session->start(pending);
     }
 

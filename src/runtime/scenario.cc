@@ -410,8 +410,8 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
                    {"name", "algorithm", "code", "trace", "cluster",
                     "executor", "chunks_to_repair", "failed_nodes",
                     "requests_per_client", "warmup", "chameleon",
-                    "session", "stragglers", "faults", "chaos",
-                    "seed", "sim_time_cap"},
+                    "session", "topology", "stragglers", "faults",
+                    "chaos", "seed", "sim_time_cap"},
                    err))
         return fail(err);
 
@@ -461,11 +461,13 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
         double chunk = static_cast<double>(spec.exec.chunkSize);
         double slice = static_cast<double>(spec.exec.sliceSize);
         if (!checkKeys(*ex, "executor",
-                       {"chunk_size", "slice_size", "upload_slots",
-                        "download_slots", "relay_overhead_per_mib"},
+                       {"chunk_size", "slice_size", "slices",
+                        "upload_slots", "download_slots",
+                        "relay_overhead_per_mib"},
                        err) ||
             !readNum(*ex, "chunk_size", &chunk, err) ||
             !readNum(*ex, "slice_size", &slice, err) ||
+            !readInt(*ex, "slices", &spec.exec.slices, err) ||
             !readInt(*ex, "upload_slots", &spec.exec.nodeUploadSlots,
                      err) ||
             !readInt(*ex, "download_slots",
@@ -521,6 +523,14 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
                      &spec.session.retryBackoff, err))
             return fail(err);
     }
+    std::string topo = dag::topologyKey(spec.topology);
+    if (!readStr(*doc, "topology", &topo, err))
+        return fail(err);
+    auto parsed_topo = dag::topologyFromKey(topo, &err);
+    if (!parsed_topo)
+        return fail(err);
+    spec.topology = *parsed_topo;
+
     if (const JsonValue *chaos = doc->find("chaos")) {
         if (!checkKeys(*chaos, "chaos", {"rate", "seed", "horizon"},
                        err) ||
@@ -571,6 +581,24 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
         spec.exec.sliceSize > spec.exec.chunkSize)
         return fail("executor sizes must satisfy "
                     "0 < slice_size <= chunk_size");
+    if (spec.exec.slices < 0 || spec.exec.slices > 16384)
+        return fail("executor.slices must be in [0, 16384] "
+                    "(0 = derive from slice_size)");
+    if (spec.topology.kind != dag::RepairTopology::kAuto) {
+        bool session_algo =
+            spec.algorithm == Algorithm::kCr ||
+            spec.algorithm == Algorithm::kPpr ||
+            spec.algorithm == Algorithm::kEcpipe ||
+            spec.algorithm == Algorithm::kRbCr ||
+            spec.algorithm == Algorithm::kRbPpr ||
+            spec.algorithm == Algorithm::kRbEcpipe;
+        if (!session_algo)
+            return fail("topology '" + topo +
+                        "' only applies to session algorithms "
+                        "(cr|ppr|ecpipe|rb-*); '" +
+                        algorithmKey(spec.algorithm) +
+                        "' owns its own plan shapes");
+    }
     if (spec.chunksToRepair < 1)
         return fail("chunks_to_repair must be >= 1");
     if (spec.failedNodes < 1 ||
@@ -609,6 +637,7 @@ ScenarioSpec::toJson() const
        << formatDouble(static_cast<double>(exec.chunkSize))
        << ", \"slice_size\": "
        << formatDouble(static_cast<double>(exec.sliceSize))
+       << ", \"slices\": " << exec.slices
        << ", \"upload_slots\": " << exec.nodeUploadSlots
        << ", \"download_slots\": " << exec.nodeDownloadSlots
        << ", \"relay_overhead_per_mib\": "
@@ -640,6 +669,9 @@ ScenarioSpec::toJson() const
        << ", \"max_retries\": " << session.maxRetries
        << ", \"retry_backoff\": "
        << formatDouble(session.retryBackoff) << "},\n";
+    os << "  \"topology\": ";
+    writeString(os, dag::topologyKey(topology));
+    os << ",\n";
     os << "  \"stragglers\": ";
     writeString(os, stragglerSpecStr(stragglers));
     os << ",\n  \"faults\": ";
@@ -673,6 +705,7 @@ ScenarioSpec::toConfig() const
     cfg.warmup = warmup;
     cfg.chameleon = chameleon;
     cfg.session = session;
+    cfg.topology = topology;
     cfg.stragglers = stragglers;
     cfg.faults = faults;
     cfg.chaosRate = chaosRate;

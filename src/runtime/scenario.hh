@@ -46,6 +46,10 @@ struct ScenarioSpec
     SimTime warmup = 16.0;
     repair::ChameleonConfig chameleon;
     repair::SessionConfig session;
+    /** Execution-topology override ("auto"|"star"|"chain"|"ppr"|
+     * "mlf:F"); only meaningful for session algorithms — fromJson
+     * rejects non-auto values for the Chameleon family and kNone. */
+    dag::TopologySpec topology;
     std::vector<StragglerEvent> stragglers;
     fault::FaultSchedule faults;
     double chaosRate = 0.0;

@@ -46,6 +46,19 @@ FlowNetwork::traceFlowSpan(const Flow &flow, SimTime end,
     const auto track = flow.tag == FlowTag::kRepair
                            ? telemetry::kTrackRepairFlow
                            : telemetry::kTrackForeground;
+    if (!flow.label.empty()) {
+        // Labeled (per-slice) flows carry their provenance so trace
+        // consumers can reassemble a chunk's pipeline occupancy.
+        telemetry::tracer().complete(
+            flow.start, end - flow.start, track, "sim.flow", "flow",
+            {{"bytes", flow.size},
+             {"path", std::move(path)},
+             {"cancelled", cancelled ? 1 : 0},
+             {"group", flow.label.group},
+             {"vertex", flow.label.vertex},
+             {"slice", flow.label.slice}});
+        return;
+    }
     telemetry::tracer().complete(
         flow.start, end - flow.start, track, "sim.flow", "flow",
         {{"bytes", flow.size},
@@ -101,6 +114,15 @@ FlowId
 FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
                        FlowTag tag, std::function<void()> on_complete)
 {
+    return startFlow(std::move(path), size, tag, FlowLabel{},
+                     std::move(on_complete));
+}
+
+FlowId
+FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
+                       FlowTag tag, const FlowLabel &label,
+                       std::function<void()> on_complete)
+{
     CHAMELEON_ASSERT(size >= 0, "negative flow size");
     for (std::size_t i = 0; i < path.size(); ++i) {
         CHAMELEON_ASSERT(path[i] >= 0 &&
@@ -130,6 +152,7 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
     flow.onComplete = std::move(on_complete);
     flow.start = sim_.now();
     flow.size = size;
+    flow.label = label;
     // Insert first, then attach: the active lists hold pointers into
     // the map's (stable) nodes.
     Flow &stored = flows_.emplace(id, std::move(flow)).first->second;

@@ -54,6 +54,24 @@ enum class FlowTag : int {
 
 inline constexpr int kNumFlowTags = 2;
 
+/**
+ * Optional provenance attached to a flow for telemetry: which repair
+ * (group), which DAG vertex produced the payload, and which slice
+ * index it carries. Unset fields stay -1 and are omitted from the
+ * trace span, so unlabeled flows trace exactly as before.
+ */
+struct FlowLabel
+{
+    int64_t group = -1;
+    int32_t vertex = -1;
+    int32_t slice = -1;
+
+    bool empty() const
+    {
+        return group < 0 && vertex < 0 && slice < 0;
+    }
+};
+
 /** Max-min fair fluid network; see file comment. */
 class FlowNetwork
 {
@@ -85,6 +103,12 @@ class FlowNetwork
      */
     FlowId startFlow(std::vector<ResourceId> path, Bytes size,
                      FlowTag tag, std::function<void()> on_complete);
+
+    /** As above, tagging the flow's trace span with `label` (the
+     * slice-pipelined DAG executor labels every slice hop). */
+    FlowId startFlow(std::vector<ResourceId> path, Bytes size,
+                     FlowTag tag, const FlowLabel &label,
+                     std::function<void()> on_complete);
 
     /**
      * Cancels an active flow.
@@ -136,6 +160,8 @@ class FlowNetwork
         /** Telemetry: launch time and original size for flow spans. */
         SimTime start = 0.0;
         Bytes size = 0.0;
+        /** Optional per-slice provenance for the trace span. */
+        FlowLabel label;
     };
 
     struct Resource

@@ -66,6 +66,12 @@ Options (defaults in brackets):
   --disk-mbps X      disk bandwidth  [500]
   --chunk-mib X      chunk size  [64]
   --slice-mib X      slice size  [2]
+  --slices N         split each chunk into exactly N pipeline slices
+                     (overrides --slice-mib; 0 = derive from it)  [0]
+  --topology KEY     execution-topology override for the session
+                     algorithms (cr/ppr/ecpipe/rb-*): auto|star|
+                     chain|ppr|mlf:F, executed slice-pipelined
+                     through the repair DAG  [auto]
   --tphase X         ChameleonEC phase length (s)  [20]
   --straggler T:F:D  throttle a participating node to fraction F
                      for D seconds, T seconds after repair starts
@@ -106,6 +112,13 @@ splitList(const std::string &arg, char sep)
     }
     out.push_back(cur);
     return out;
+}
+
+bool
+isChameleonFamily(Algorithm a)
+{
+    return a == Algorithm::kEtrp || a == Algorithm::kChameleon ||
+           a == Algorithm::kChameleonIo;
 }
 
 Algorithm
@@ -310,6 +323,18 @@ main(int argc, char **argv)
             spec.exec.sliceSize = std::stod(need_value(i)) *
                                   units::MiB;
             ++i;
+        } else if (flag == "--slices") {
+            spec.exec.slices = std::stoi(need_value(i));
+            ++i;
+        } else if (flag == "--topology") {
+            std::string err;
+            auto topo = dag::topologyFromKey(need_value(i), &err);
+            if (!topo) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                usage(2);
+            }
+            spec.topology = *topo;
+            ++i;
         } else if (flag == "--tphase") {
             spec.chameleon.tPhase = std::stod(need_value(i));
             ++i;
@@ -356,6 +381,19 @@ main(int argc, char **argv)
             spec.algorithm = algos[0];
         std::fputs(spec.toJson().c_str(), stdout);
         return 0;
+    }
+
+    if (spec.topology.kind != dag::RepairTopology::kAuto) {
+        for (auto algo : algos) {
+            if (algo == Algorithm::kNone || isChameleonFamily(algo)) {
+                std::fprintf(stderr,
+                             "--topology %s does not apply to '%s' "
+                             "(session algorithms only)\n",
+                             dag::topologyKey(spec.topology).c_str(),
+                             algorithmKey(algo).c_str());
+                usage(2);
+            }
+        }
     }
 
     ExperimentConfig cfg = spec.toConfig();
