@@ -596,10 +596,10 @@ RepairExecutor::abortChunk(RepairId id, NodeId cause)
         edge.activeFlow = sim::kInvalidFlow;
         releaseSlots(edge);
     }
-    for (sim::FlowId write : chunk.destWrites) {
-        if (net.flowActive(write))
-            net.cancelFlow(write);
-    }
+    // Finished writes are a no-op cancel (no solve), so no
+    // flowActive pre-filter is needed.
+    for (sim::FlowId write : chunk.destWrites)
+        net.cancelFlow(write);
     metAborts_.add();
     const SimTime now = cluster_.simulator().now();
     CHAMELEON_TELEM(telemetry::tracer().instant(
@@ -1170,10 +1170,10 @@ RepairExecutor::abortDagChunk(RepairId id, NodeId cause)
         edge.activeFlow = sim::kInvalidFlow;
         releaseHeldSlots(edge.holdUp, edge.holdDown);
     }
-    for (sim::FlowId write : chunk.destWrites) {
-        if (net.flowActive(write))
-            net.cancelFlow(write);
-    }
+    // Finished writes are a no-op cancel (no solve), so no
+    // flowActive pre-filter is needed.
+    for (sim::FlowId write : chunk.destWrites)
+        net.cancelFlow(write);
     metAborts_.add();
     const SimTime now = cluster_.simulator().now();
     CHAMELEON_TELEM(telemetry::tracer().instant(

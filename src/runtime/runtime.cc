@@ -428,6 +428,12 @@ Runtime::run(const ExperimentHooks &hooks)
                 .fluctuationBetween(repair_start, window_end);
         result.downlinks.push_back(down);
     }
+    // Simulator-core load of the run, alongside the solver counters
+    // (sim.rate_recomputes, sim.rate_recompute_flow_visits,
+    // sim.solver.dirty_resource_visits) the FlowNetwork maintains.
+    telemetry::metrics()
+        .gauge("sim.events_executed")
+        .set(static_cast<double>(sim.eventsExecuted()));
     return result;
 }
 

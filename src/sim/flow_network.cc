@@ -1,6 +1,7 @@
 #include "sim/flow_network.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
 #include "telemetry/telemetry.hh"
@@ -28,9 +29,14 @@ FlowNetwork::FlowNetwork(Simulator &sim, SimTime usage_window)
           telemetry::metrics().counter("sim.rate_recomputes")),
       rateRecomputeVisits_(telemetry::metrics().counter(
           "sim.rate_recompute_flow_visits")),
+      dirtyResourceVisits_(telemetry::metrics().counter(
+          "sim.solver.dirty_resource_visits")),
       capacityChanges_(
           telemetry::metrics().counter("sim.capacity_changes"))
 {
+    if (const char *env =
+            std::getenv("CHAMELEON_SIM_REFERENCE_SOLVER"))
+        referenceSolver_ = env[0] != '\0' && env[0] != '0';
 }
 
 void
@@ -99,7 +105,6 @@ FlowNetwork::setCapacity(ResourceId id, Rate capacity)
                      static_cast<std::size_t>(id) < resources_.size(),
                      "bad resource id ", id);
     CHAMELEON_ASSERT(capacity >= 0, "negative capacity");
-    advanceProgress();
     resources_[static_cast<std::size_t>(id)].capacity = capacity;
     capacityChanges_.add();
     CHAMELEON_TELEM(telemetry::tracer().instant(
@@ -107,12 +112,13 @@ FlowNetwork::setCapacity(ResourceId id, Rate capacity)
         {{"resource",
           resources_[static_cast<std::size_t>(id)].name},
          {"capacity", capacity}}));
-    resolve();
+    seedScratch_.assign(1, id);
+    resolve(seedScratch_);
 }
 
 FlowId
 FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
-                       FlowTag tag, std::function<void()> on_complete)
+                       FlowTag tag, Callback on_complete)
 {
     return startFlow(std::move(path), size, tag, FlowLabel{},
                      std::move(on_complete));
@@ -121,7 +127,7 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
 FlowId
 FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
                        FlowTag tag, const FlowLabel &label,
-                       std::function<void()> on_complete)
+                       Callback on_complete)
 {
     CHAMELEON_ASSERT(size >= 0, "negative flow size");
     for (std::size_t i = 0; i < path.size(); ++i) {
@@ -134,13 +140,13 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
                              "duplicate resource in flow path");
     }
 
-    advanceProgress();
     FlowId id = nextFlowId_++;
     if (size <= kByteEps || path.empty()) {
-        // Degenerate flow: completes immediately.
+        // Degenerate flow: completes immediately. No rate can
+        // change, so skip the solve entirely.
         if (on_complete)
             pendingCallbacks_.push_back(std::move(on_complete));
-        resolve();
+        dispatchPending();
         return id;
     }
 
@@ -153,35 +159,45 @@ FlowNetwork::startFlow(std::vector<ResourceId> path, Bytes size,
     flow.start = sim_.now();
     flow.size = size;
     flow.label = label;
+    flow.syncTime = sim_.now();
     // Insert first, then attach: the active lists hold pointers into
     // the map's (stable) nodes.
     Flow &stored = flows_.emplace(id, std::move(flow)).first->second;
     for (ResourceId r : stored.path)
         resources_[static_cast<std::size_t>(r)].active.push_back(
             &stored);
+    heapUpdate(&stored); // eta = never until the solve rates it
     flowsStarted_.add();
     flowsActive_.set(static_cast<double>(flows_.size()));
-    resolve();
+    resolve(stored.path);
     return id;
 }
 
 Bytes
 FlowNetwork::cancelFlow(FlowId id)
 {
-    advanceProgress();
     auto it = flows_.find(id);
-    if (it == flows_.end()) {
-        resolve();
+    if (it == flows_.end())
+        return 0.0; // no-op: no rate can change, skip the solve
+    Flow &flow = it->second;
+    const SimTime end = integrateFlow(flow, sim_.now(), flow.rate);
+    seedScratch_.assign(flow.path.begin(), flow.path.end());
+    if (flow.rate > 0 && flow.remaining <= kByteEps) {
+        // The last byte arrived at (or before) this instant; the
+        // completion event just hasn't fired yet. Complete, don't
+        // cancel.
+        completeFlow(flow, end);
+        resolve(seedScratch_);
         return 0.0;
     }
-    Bytes remaining = it->second.remaining;
+    const Bytes remaining = flow.remaining;
     flowsCancelled_.add();
-    CHAMELEON_TELEM(traceFlowSpan(it->second, sim_.now(),
+    CHAMELEON_TELEM(traceFlowSpan(flow, sim_.now(),
                                   /*cancelled=*/true));
-    detachFlow(it->second);
+    detachFlow(flow);
     flows_.erase(it);
     flowsActive_.set(static_cast<double>(flows_.size()));
-    resolve();
+    resolve(seedScratch_);
     return remaining;
 }
 
@@ -196,10 +212,12 @@ FlowNetwork::flowRemaining(FlowId id) const
 {
     auto it = flows_.find(id);
     CHAMELEON_ASSERT(it != flows_.end(), "flow ", id, " not active");
-    // Note: progress since the last event is not yet integrated; the
-    // caller sees the state as of the last resolve, which is exact at
-    // event boundaries (where all scheduling decisions happen).
-    return it->second.remaining;
+    // Integrate-on-read: progress is tracked lazily, so bring this
+    // flow exactly up to now (rates are unaffected).
+    auto *self = const_cast<FlowNetwork *>(this);
+    auto &flow = const_cast<Flow &>(it->second);
+    self->integrateFlow(flow, sim_.now(), flow.rate);
+    return flow.remaining;
 }
 
 Rate
@@ -213,13 +231,24 @@ FlowNetwork::flowRate(FlowId id) const
 void
 FlowNetwork::sync()
 {
-    advanceProgress();
-    // Progress integration may have completed flows exactly at this
-    // instant; resolve to fire their callbacks and refresh rates.
-    if (!pendingCallbacks_.empty())
-        resolve();
-    else
-        scheduleNextCompletion();
+    const SimTime now = sim_.now();
+    seedScratch_.clear();
+    bool completed = false;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        Flow &flow = it->second;
+        ++it; // completeFlow erases the current node
+        const SimTime end = integrateFlow(flow, now, flow.rate);
+        if (flow.rate > 0 && flow.remaining <= kByteEps) {
+            // Finished exactly at this instant; fire its callback
+            // now rather than waiting for the completion event.
+            for (ResourceId r : flow.path)
+                seedScratch_.push_back(r);
+            completed = true;
+            completeFlow(flow, end);
+        }
+    }
+    if (completed)
+        resolve(seedScratch_);
 }
 
 Bytes
@@ -248,12 +277,8 @@ FlowNetwork::currentTagRate(ResourceId id, FlowTag tag) const
     CHAMELEON_ASSERT(id >= 0 &&
                      static_cast<std::size_t>(id) < resources_.size(),
                      "bad resource id ", id);
-    Rate acc = 0.0;
-    for (const Flow *f : resources_[static_cast<std::size_t>(id)].active) {
-        if (f->tag == tag)
-            acc += f->rate;
-    }
-    return acc;
+    return resources_[static_cast<std::size_t>(id)]
+        .tagRate[static_cast<int>(tag)];
 }
 
 std::size_t
@@ -265,50 +290,45 @@ FlowNetwork::activeFlowsOn(ResourceId id) const
     return resources_[static_cast<std::size_t>(id)].active.size();
 }
 
-void
-FlowNetwork::advanceProgress()
+SimTime
+FlowNetwork::integrateFlow(Flow &flow, SimTime now, Rate rate)
 {
-    const SimTime now = sim_.now();
-    CHAMELEON_ASSERT(now >= lastUpdate_, "time went backwards");
-    const SimTime dt = now - lastUpdate_;
-    if (dt > 0) {
-        std::vector<FlowId> finished;
-        for (auto &[id, flow] : flows_) {
-            if (flow.rate <= 0)
-                continue;
-            Bytes delivered = std::min(flow.rate * dt, flow.remaining);
-            SimTime end = lastUpdate_ + delivered / flow.rate;
-            flow.remaining -= delivered;
-            for (ResourceId r : flow.path) {
-                auto &res = resources_[static_cast<std::size_t>(r)];
-                res.taggedBytes[static_cast<int>(flow.tag)] += delivered;
-                res.usage[static_cast<int>(flow.tag)].addTransfer(
-                    lastUpdate_, end, delivered);
-            }
-            if (flow.remaining <= kByteEps) {
-                finished.push_back(id);
-                // `end` is the exact completion instant.
-                CHAMELEON_TELEM(traceFlowSpan(flow, end,
-                                              /*cancelled=*/false));
-            }
-        }
-        for (FlowId id : finished) {
-            auto it = flows_.find(id);
-            if (it->second.onComplete)
-                pendingCallbacks_.push_back(
-                    std::move(it->second.onComplete));
-            flowsCompleted_.add();
-            detachFlow(it->second);
-            flows_.erase(it);
-        }
-        flowsActive_.set(static_cast<double>(flows_.size()));
+    CHAMELEON_ASSERT(now >= flow.syncTime, "time went backwards");
+    const SimTime dt = now - flow.syncTime;
+    if (dt <= 0 || rate <= 0) {
+        flow.syncTime = now;
+        return now;
     }
-    lastUpdate_ = now;
+    const Bytes delivered = std::min(rate * dt, flow.remaining);
+    const SimTime end = flow.syncTime + delivered / rate;
+    flow.remaining -= delivered;
+    const int tag = static_cast<int>(flow.tag);
+    for (ResourceId r : flow.path) {
+        auto &res = resources_[static_cast<std::size_t>(r)];
+        res.taggedBytes[tag] += delivered;
+        res.usage[tag].addTransfer(flow.syncTime, end, delivered);
+    }
+    flow.syncTime = now;
+    return end;
 }
 
 void
-FlowNetwork::detachFlow(const Flow &flow)
+FlowNetwork::completeFlow(Flow &flow, SimTime end)
 {
+    CHAMELEON_TELEM(traceFlowSpan(flow, end, /*cancelled=*/false));
+    if (flow.onComplete)
+        pendingCallbacks_.push_back(std::move(flow.onComplete));
+    flowsCompleted_.add();
+    const FlowId id = flow.id;
+    detachFlow(flow);
+    flows_.erase(id);
+    flowsActive_.set(static_cast<double>(flows_.size()));
+}
+
+void
+FlowNetwork::detachFlow(Flow &flow)
+{
+    heapRemove(&flow);
     for (ResourceId r : flow.path) {
         auto &vec = resources_[static_cast<std::size_t>(r)].active;
         auto it = std::find(vec.begin(), vec.end(), &flow);
@@ -316,92 +336,212 @@ FlowNetwork::detachFlow(const Flow &flow)
         *it = vec.back();
         vec.pop_back();
     }
+    // Per-tag rate sums of the touched resources are refreshed by the
+    // resolve() that always follows a detach (the flow's path seeds
+    // the dirty set).
 }
 
 void
-FlowNetwork::computeRates()
+FlowNetwork::resolve(const std::vector<ResourceId> &seeds)
 {
+    const SimTime now = sim_.now();
     rateRecomputes_.add();
-    rateRecomputeVisits_.add(static_cast<int64_t>(flows_.size()));
-    // Progressive filling (Bertsekas & Gallager): repeatedly saturate
-    // the resource with the smallest fair share among its unfrozen
-    // flows; those flows are frozen at that share.
-    const std::size_t nres = resources_.size();
-    std::vector<Rate> residual(nres);
-    std::vector<std::size_t> unfrozen(nres, 0);
-    for (std::size_t r = 0; r < nres; ++r) {
-        residual[r] = resources_[r].capacity;
-        unfrozen[r] = resources_[r].active.size();
-    }
-    for (auto &[id, flow] : flows_)
-        flow.rate = -1.0; // marks unfrozen
+    dirtyRes_.clear();
+    dirtyFlows_.clear();
+    ++epoch_;
+    const uint64_t epoch = epoch_;
 
-    std::size_t remaining_flows = flows_.size();
+    if (referenceSolver_) {
+        // Oracle mode: the dirty set is the whole network, making
+        // this the classic from-scratch global solve. Everything
+        // downstream is shared with incremental mode, so the two
+        // modes differ only in dirty-set discovery.
+        for (auto &res : resources_)
+            dirtyRes_.push_back(&res);
+        for (auto &[id, flow] : flows_)
+            dirtyFlows_.push_back(&flow);
+    } else {
+        // Dirty-set discovery: the max-min allocation of a flow can
+        // only change if it shares a resource (transitively) with a
+        // changed one, so BFS over the flow<->resource bipartite
+        // graph from the seed resources bounds the re-solve to the
+        // affected connected component(s).
+        bfsStack_.clear();
+        for (ResourceId r : seeds) {
+            Resource &res = resources_[static_cast<std::size_t>(r)];
+            if (res.mark == epoch)
+                continue;
+            res.mark = epoch;
+            dirtyRes_.push_back(&res);
+            bfsStack_.push_back(&res);
+        }
+        while (!bfsStack_.empty()) {
+            Resource *res = bfsStack_.back();
+            bfsStack_.pop_back();
+            for (Flow *f : res->active) {
+                if (f->mark == epoch)
+                    continue;
+                f->mark = epoch;
+                dirtyFlows_.push_back(f);
+                for (ResourceId pr : f->path) {
+                    Resource &o =
+                        resources_[static_cast<std::size_t>(pr)];
+                    if (o.mark == epoch)
+                        continue;
+                    o.mark = epoch;
+                    dirtyRes_.push_back(&o);
+                    bfsStack_.push_back(&o);
+                }
+            }
+        }
+        // The bottleneck scan must visit resources in index order so
+        // its tie-break matches the reference solver's bit-for-bit
+        // (pointer order == index order: resources_ is contiguous).
+        std::sort(dirtyRes_.begin(), dirtyRes_.end());
+    }
+    dirtyResourceVisits_.add(
+        static_cast<int64_t>(dirtyRes_.size()));
+    rateRecomputeVisits_.add(
+        static_cast<int64_t>(dirtyFlows_.size()));
+
+    // Progressive filling (Bertsekas & Gallager) restricted to the
+    // dirty component: repeatedly saturate the resource with the
+    // smallest fair share among its unfrozen flows; those flows are
+    // frozen at that share. Restriction is exact, not approximate:
+    // flows outside the component share no resource with it, so the
+    // global solve would perform bit-identical arithmetic on the
+    // component and leave the rest untouched.
+    for (Resource *res : dirtyRes_) {
+        res->residual = res->capacity;
+        res->unfrozen = res->active.size();
+    }
+    for (Flow *f : dirtyFlows_) {
+        f->prevRate = f->rate;
+        f->rate = -1.0; // marks unfrozen
+    }
+
+    std::size_t remaining_flows = dirtyFlows_.size();
     while (remaining_flows > 0) {
         // Find the bottleneck resource.
         Rate best_fair = std::numeric_limits<Rate>::infinity();
-        std::size_t best_r = nres;
-        for (std::size_t r = 0; r < nres; ++r) {
-            if (unfrozen[r] == 0)
+        Resource *best = nullptr;
+        for (Resource *res : dirtyRes_) {
+            if (res->unfrozen == 0)
                 continue;
-            Rate fair = std::max(residual[r], 0.0) /
-                        static_cast<Rate>(unfrozen[r]);
+            Rate fair = std::max(res->residual, 0.0) /
+                        static_cast<Rate>(res->unfrozen);
             if (fair < best_fair) {
                 best_fair = fair;
-                best_r = r;
+                best = res;
             }
         }
-        CHAMELEON_ASSERT(best_r < nres,
+        CHAMELEON_ASSERT(best != nullptr,
                          "unfrozen flows but no active resource");
         // Freeze every unfrozen flow crossing the bottleneck.
         // Freezing mutates the fill bookkeeping only, never the
         // active lists, so iterating the list directly is safe —
         // and pointer-chasing-free (no per-flow hash lookup).
-        for (Flow *fp : resources_[best_r].active) {
+        for (Flow *fp : best->active) {
             Flow &flow = *fp;
             if (flow.rate >= 0)
                 continue; // already frozen
             flow.rate = best_fair;
             for (ResourceId pr : flow.path) {
-                auto p = static_cast<std::size_t>(pr);
-                residual[p] -= best_fair;
-                CHAMELEON_ASSERT(unfrozen[p] > 0, "bookkeeping error");
-                unfrozen[p] -= 1;
+                auto &p = resources_[static_cast<std::size_t>(pr)];
+                p.residual -= best_fair;
+                CHAMELEON_ASSERT(p.unfrozen > 0, "bookkeeping error");
+                p.unfrozen -= 1;
             }
             --remaining_flows;
         }
     }
+
+    // Apply pass, ordered by flow id so both solver modes touch
+    // flows in the same sequence: integrate each re-rated flow over
+    // the span its old rate covered, and re-key its predicted
+    // completion. Flows whose rate is bit-unchanged are skipped —
+    // their progress stays lazily pending and their heap entry is
+    // already correct.
+    std::sort(dirtyFlows_.begin(), dirtyFlows_.end(),
+              [](const Flow *a, const Flow *b) { return a->id < b->id; });
+    for (Flow *f : dirtyFlows_) {
+        if (f->rate == f->prevRate)
+            continue;
+        integrateFlow(*f, now, f->prevRate);
+        f->eta = f->rate > 0 ? now + f->remaining / f->rate
+                             : kTimeNever;
+        heapUpdate(f);
+    }
+
+    // Refresh the per-tag rate sums of the dirty resources from
+    // scratch (a left-to-right walk of each active list): O(component
+    // edges), same as one fill round, and — unlike += deltas — free
+    // of accumulated FP drift, so an idle link reads exactly 0.
+    for (Resource *res : dirtyRes_) {
+        Rate sums[kNumFlowTags] = {0.0, 0.0};
+        for (const Flow *f : res->active)
+            sums[static_cast<int>(f->tag)] += f->rate;
+        for (int t = 0; t < kNumFlowTags; ++t)
+            res->tagRate[t] = sums[t];
+    }
+
+    scheduleNextCompletion();
+    dispatchPending();
 }
 
 void
 FlowNetwork::scheduleNextCompletion()
 {
+    const SimTime target =
+        heap_.empty() ? kTimeNever : heap_.front()->eta;
+    if (target == completionEventAt_)
+        return; // already armed for exactly this instant
     completionEvent_.cancel();
-    SimTime horizon = kTimeNever;
-    for (const auto &[id, flow] : flows_) {
-        if (flow.rate > 0)
-            horizon = std::min(horizon, flow.remaining / flow.rate);
-    }
-    if (horizon == kTimeNever)
+    completionEventAt_ = target;
+    if (target == kTimeNever)
         return;
     completionEvent_ =
-        sim_.scheduleAfter(horizon, [this] { onCompletionEvent(); });
+        sim_.schedule(target, [this] { onCompletionEvent(); });
 }
 
 void
 FlowNetwork::onCompletionEvent()
 {
-    advanceProgress();
-    resolve();
+    completionEventAt_ = kTimeNever;
+    const SimTime now = sim_.now();
+    seedScratch_.clear();
+    while (!heap_.empty()) {
+        Flow *f = heap_.front();
+        if (f->eta > now)
+            break;
+        const SimTime end = integrateFlow(*f, now, f->rate);
+        if (f->remaining <= kByteEps) {
+            for (ResourceId r : f->path)
+                seedScratch_.push_back(r);
+            completeFlow(*f, end);
+            continue;
+        }
+        // Predicted completion passed but bytes remain (FP dust).
+        // Re-key; if the prediction cannot advance past `now`, the
+        // residue is sub-ulp — force completion to avoid a livelock.
+        const SimTime eta = now + f->remaining / f->rate;
+        if (eta <= now) {
+            for (ResourceId r : f->path)
+                seedScratch_.push_back(r);
+            completeFlow(*f, now);
+            continue;
+        }
+        f->eta = eta;
+        heapSiftDown(0);
+    }
+    resolve(seedScratch_);
 }
 
 void
-FlowNetwork::resolve()
+FlowNetwork::dispatchPending()
 {
-    computeRates();
-    scheduleNextCompletion();
-    // Dispatch staged completion callbacks; they may start new flows,
-    // which re-enters resolve() — the dispatching_ flag prevents a
+    // Staged completion callbacks may start new flows, which
+    // re-enters resolve() — the dispatching_ flag prevents a
     // recursive drain.
     if (dispatching_)
         return;
@@ -413,6 +553,74 @@ FlowNetwork::resolve()
             cb();
     }
     dispatching_ = false;
+}
+
+void
+FlowNetwork::heapSiftUp(std::size_t i)
+{
+    Flow *f = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        Flow *p = heap_[parent];
+        if (!heapLess(f, p))
+            break;
+        heap_[i] = p;
+        p->heapPos = static_cast<int32_t>(i);
+        i = parent;
+    }
+    heap_[i] = f;
+    f->heapPos = static_cast<int32_t>(i);
+}
+
+void
+FlowNetwork::heapSiftDown(std::size_t i)
+{
+    Flow *f = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heapLess(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!heapLess(heap_[child], f))
+            break;
+        heap_[i] = heap_[child];
+        heap_[i]->heapPos = static_cast<int32_t>(i);
+        i = child;
+    }
+    heap_[i] = f;
+    f->heapPos = static_cast<int32_t>(i);
+}
+
+void
+FlowNetwork::heapUpdate(Flow *flow)
+{
+    if (flow->heapPos < 0) {
+        flow->heapPos = static_cast<int32_t>(heap_.size());
+        heap_.push_back(flow);
+        heapSiftUp(static_cast<std::size_t>(flow->heapPos));
+        return;
+    }
+    heapSiftUp(static_cast<std::size_t>(flow->heapPos));
+    heapSiftDown(static_cast<std::size_t>(flow->heapPos));
+}
+
+void
+FlowNetwork::heapRemove(Flow *flow)
+{
+    if (flow->heapPos < 0)
+        return;
+    const std::size_t i = static_cast<std::size_t>(flow->heapPos);
+    flow->heapPos = -1;
+    Flow *last = heap_.back();
+    heap_.pop_back();
+    if (last == flow)
+        return; // it was the final leaf
+    heap_[i] = last;
+    last->heapPos = static_cast<int32_t>(i);
+    heapSiftUp(i);
+    heapSiftDown(i);
 }
 
 } // namespace sim

@@ -8,11 +8,21 @@
  * a chunk hop) is a Flow traversing an ordered set of resources. At
  * any instant, flow rates are the max-min fair allocation (progressive
  * filling), the standard fluid abstraction of TCP sharing on
- * datacenter links. Rates are piecewise constant between events; the
- * network integrates progress exactly and re-solves the allocation on
- * every flow arrival, completion, cancellation, or capacity change
- * (capacity changes model stragglers and wondershaper-style
- * throttling).
+ * datacenter links. Rates are piecewise constant between events.
+ *
+ * Rate maintenance is incremental (see DESIGN.md §5g): a flow start,
+ * finish, cancel, or capacity change re-solves only the connected
+ * component of resources reachable from the changed resources through
+ * shared flows — the only region whose bottleneck structure can
+ * change — while every other flow keeps its rate bit-for-bit. Flow
+ * progress is integrated lazily per flow (each flow remembers the
+ * last instant it was integrated and its rate is constant since), and
+ * completions come from an intrusive min-heap of predicted completion
+ * times instead of an all-flows scan. Setting the environment
+ * variable CHAMELEON_SIM_REFERENCE_SOLVER=1 (or calling
+ * setReferenceSolver(true)) forces the from-scratch global solve on
+ * every event as a differential oracle; both modes produce
+ * byte-identical rates, event orders, and experiment output.
  *
  * Per-resource, per-tag byte accounting feeds the paper's
  * measurements: foreground-bandwidth fluctuation (Fig. 5), most/least
@@ -24,7 +34,6 @@
 #define CHAMELEON_SIM_FLOW_NETWORK_HH_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,6 +85,9 @@ struct FlowLabel
 class FlowNetwork
 {
   public:
+    /** Flow-completion callback; small captures stay inline. */
+    using Callback = Simulator::Callback;
+
     /**
      * @param sim           the owning event loop.
      * @param usage_window  window for per-resource bandwidth
@@ -90,7 +102,8 @@ class FlowNetwork
     const std::string &resourceName(ResourceId id) const;
     Rate capacity(ResourceId id) const;
 
-    /** Changes capacity (straggler/throttle injection); re-solves. */
+    /** Changes capacity (straggler/throttle injection); re-solves
+     * the affected component. */
     void setCapacity(ResourceId id, Rate capacity);
 
     /**
@@ -102,23 +115,25 @@ class FlowNetwork
      * @return the flow id (valid until completion/cancellation).
      */
     FlowId startFlow(std::vector<ResourceId> path, Bytes size,
-                     FlowTag tag, std::function<void()> on_complete);
+                     FlowTag tag, Callback on_complete);
 
     /** As above, tagging the flow's trace span with `label` (the
      * slice-pipelined DAG executor labels every slice hop). */
     FlowId startFlow(std::vector<ResourceId> path, Bytes size,
                      FlowTag tag, const FlowLabel &label,
-                     std::function<void()> on_complete);
+                     Callback on_complete);
 
     /**
-     * Cancels an active flow.
+     * Cancels an active flow. Cancelling an id that is not active
+     * (already completed or never started) is a cheap no-op.
      * @return bytes that had not yet been transferred.
      */
     Bytes cancelFlow(FlowId id);
 
     bool flowActive(FlowId id) const;
 
-    /** Remaining bytes of an active flow. */
+    /** Remaining bytes of an active flow, exact at the current
+     * instant (the flow is lazily integrated on read). */
     Bytes flowRemaining(FlowId id) const;
 
     /** Current allocated rate of an active flow (bytes/s). */
@@ -128,11 +143,12 @@ class FlowNetwork
     std::size_t activeFlowCount() const { return flows_.size(); }
 
     /**
-     * Integrates flow progress up to the current simulator time.
+     * Integrates all flow progress up to the current simulator time.
      *
-     * Rates only change at flow events, so queries made from an
-     * unrelated event (e.g. a monitor tick) should call sync() first
-     * to observe exact byte counts.
+     * Per-flow progress is integrated lazily (only when a flow's
+     * rate changes), so queries of per-resource byte counters made
+     * from an unrelated event (e.g. a monitor tick) should call
+     * sync() first to observe exact byte counts.
      */
     void sync();
 
@@ -142,11 +158,21 @@ class FlowNetwork
     /** Windowed usage recorder for (resource, tag). */
     const WindowedUsage &usage(ResourceId id, FlowTag tag) const;
 
-    /** Instantaneous aggregate rate of `tag` flows through `id`. */
+    /** Instantaneous aggregate rate of `tag` flows through `id`;
+     * O(1) via incrementally maintained per-tag sums. */
     Rate currentTagRate(ResourceId id, FlowTag tag) const;
 
     /** Count of active flows through `id`. */
     std::size_t activeFlowsOn(ResourceId id) const;
+
+    /**
+     * Forces the from-scratch global max-min solve on every event
+     * (the debug oracle the incremental solver is differentially
+     * tested against). Also enabled by the environment variable
+     * CHAMELEON_SIM_REFERENCE_SOLVER=1 at construction.
+     */
+    void setReferenceSolver(bool on) { referenceSolver_ = on; }
+    bool referenceSolver() const { return referenceSolver_; }
 
   private:
     struct Flow
@@ -156,12 +182,24 @@ class FlowNetwork
         Bytes remaining;
         Rate rate = 0.0;
         FlowTag tag;
-        std::function<void()> onComplete;
+        Callback onComplete;
         /** Telemetry: launch time and original size for flow spans. */
         SimTime start = 0.0;
         Bytes size = 0.0;
         /** Optional per-slice provenance for the trace span. */
         FlowLabel label;
+        /** Progress is integrated up to here; the rate has been
+         * constant since (lazy integration). */
+        SimTime syncTime = 0.0;
+        /** Rate before the current solve (scratch). */
+        Rate prevRate = 0.0;
+        /** Predicted completion instant (completion-heap key);
+         * kTimeNever while stalled. */
+        SimTime eta = kTimeNever;
+        /** Position in the completion heap; -1 = not enqueued. */
+        int32_t heapPos = -1;
+        /** Dirty-set traversal epoch (solve-internal). */
+        uint64_t mark = 0;
     };
 
     struct Resource
@@ -170,11 +208,21 @@ class FlowNetwork
         Rate capacity;
         /** Flows currently crossing this resource. Pointers into
          * flows_ (stable: unordered_map never moves nodes), so the
-         * progressive-filling loop and per-tag rate queries walk
-         * flows directly instead of hashing ids per visit. */
+         * progressive-filling loop walks flows directly instead of
+         * hashing ids per visit. */
         std::vector<Flow *> active;
         Bytes taggedBytes[kNumFlowTags] = {0.0, 0.0};
         WindowedUsage usage[kNumFlowTags];
+        /** Incrementally maintained per-tag rate sums and flow
+         * counts; the sum snaps to exactly 0 when the count does,
+         * so FP dust never accumulates on idle links. */
+        Rate tagRate[kNumFlowTags] = {0.0, 0.0};
+        int32_t tagCount[kNumFlowTags] = {0, 0};
+        /** Dirty-set traversal epoch (solve-internal). */
+        uint64_t mark = 0;
+        /** Progressive-filling scratch (solve-internal). */
+        Rate residual = 0.0;
+        std::size_t unfrozen = 0;
 
         Resource(std::string n, Rate c, SimTime window)
             : name(std::move(n)), capacity(c),
@@ -183,19 +231,47 @@ class FlowNetwork
         }
     };
 
-    /** Integrates all flow progress from lastUpdate_ to now. */
-    void advanceProgress();
+    /**
+     * Integrates one flow's progress over [flow.syncTime, now] at
+     * `rate` (its rate over that interval) and advances syncTime.
+     * @return the instant the last integrated byte arrived (used as
+     *         the exact completion time for trace spans).
+     */
+    SimTime integrateFlow(Flow &flow, SimTime now, Rate rate);
 
-    /** Re-solves rates and reschedules the next completion event. */
-    void resolve();
+    /**
+     * Re-solves the max-min allocation of the connected component(s)
+     * reachable from `seeds`, lazily integrating and re-keying every
+     * flow whose rate actually changed, then reschedules the next
+     * completion and dispatches staged callbacks. In reference-solver
+     * mode the dirty set is the whole network.
+     */
+    void resolve(const std::vector<ResourceId> &seeds);
 
-    /** Progressive-filling max-min fair allocation. */
-    void computeRates();
+    /** Stages the completion of a finished flow: callback, counters,
+     * trace span, detach, erase. `flow` is dead afterwards. */
+    void completeFlow(Flow &flow, SimTime end);
+
+    /** Removes the flow from its resources' active lists and per-tag
+     * sums, and from the completion heap. */
+    void detachFlow(Flow &flow);
 
     void scheduleNextCompletion();
     void onCompletionEvent();
+    void dispatchPending();
 
-    void detachFlow(const Flow &flow);
+    /** Completion-heap primitives (binary heap ordered by (eta, id),
+     * positions tracked intrusively in Flow::heapPos). */
+    bool heapLess(const Flow *a, const Flow *b) const
+    {
+        if (a->eta != b->eta)
+            return a->eta < b->eta;
+        return a->id < b->id;
+    }
+    void heapSiftUp(std::size_t i);
+    void heapSiftDown(std::size_t i);
+    void heapUpdate(Flow *flow);
+    void heapRemove(Flow *flow);
 
     /** Emits the Chrome-trace span of a finished/cancelled flow. */
     void traceFlowSpan(const Flow &flow, SimTime end, bool cancelled);
@@ -209,15 +285,27 @@ class FlowNetwork
     telemetry::Gauge &flowsActive_;
     telemetry::Counter &rateRecomputes_;
     telemetry::Counter &rateRecomputeVisits_;
+    telemetry::Counter &dirtyResourceVisits_;
     telemetry::Counter &capacityChanges_;
     std::vector<Resource> resources_;
     std::unordered_map<FlowId, Flow> flows_;
     FlowId nextFlowId_ = 0;
-    SimTime lastUpdate_ = 0.0;
     EventHandle completionEvent_;
-    /** Completion callbacks staged during advanceProgress(). */
-    std::vector<std::function<void()>> pendingCallbacks_;
+    /** Absolute time the pending completion event targets. */
+    SimTime completionEventAt_ = kTimeNever;
+    /** Completion callbacks staged during integration. */
+    std::vector<Callback> pendingCallbacks_;
     bool dispatching_ = false;
+    bool referenceSolver_ = false;
+    /** Dirty-set traversal epoch; bumped per solve. */
+    uint64_t epoch_ = 0;
+    /** Min-heap of active flows by predicted completion time. */
+    std::vector<Flow *> heap_;
+    /** Solve scratch, reused across solves (allocation-light). */
+    std::vector<Resource *> dirtyRes_;
+    std::vector<Flow *> dirtyFlows_;
+    std::vector<Resource *> bfsStack_;
+    std::vector<ResourceId> seedScratch_;
 };
 
 } // namespace sim

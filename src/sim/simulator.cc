@@ -14,94 +14,118 @@ Simulator::~Simulator()
 bool
 EventHandle::pending() const
 {
-    return state_ && !state_->cancelled && !state_->fired;
+    return sim_ && sim_->slotPending(slot_, gen_);
 }
 
 void
 EventHandle::cancel()
 {
-    if (state_)
-        state_->cancelled = true;
+    if (!sim_ || !sim_->slotPending(slot_, gen_))
+        return;
+    // Freeing bumps the generation, so the queue entry (and any other
+    // handle copies) referring to this occupant become inert; the
+    // entry itself is popped lazily when it reaches the top.
+    sim_->freeSlot(slot_);
+    CHAMELEON_ASSERT(sim_->live_ > 0, "live-event underflow");
+    --sim_->live_;
+}
+
+uint32_t
+Simulator::allocSlot()
+{
+    if (!freeSlots_.empty()) {
+        uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void
+Simulator::freeSlot(uint32_t slot)
+{
+    Slot &s = slots_[slot];
+    s.fn.reset();
+    ++s.gen;
+    freeSlots_.push_back(slot);
 }
 
 EventHandle
-Simulator::schedule(SimTime when, std::function<void()> fn)
+Simulator::schedule(SimTime when, Callback fn)
 {
     CHAMELEON_ASSERT(when >= now_, "scheduling into the past: ", when,
                      " < ", now_);
+    const uint32_t slot = allocSlot();
+    slots_[slot].fn = std::move(fn);
     EventHandle handle;
-    handle.state_ = std::make_shared<EventHandle::State>();
-    handle.state_->fn = std::move(fn);
-    queue_.push(QueueEntry{when, seq_++, handle.state_});
+    handle.sim_ = this;
+    handle.slot_ = slot;
+    handle.gen_ = slots_[slot].gen;
+    queue_.push(QueueEntry{when, seq_++, slot, handle.gen_});
+    ++live_;
     return handle;
 }
 
 EventHandle
-Simulator::scheduleAfter(SimTime delay, std::function<void()> fn)
+Simulator::scheduleAfter(SimTime delay, Callback fn)
 {
     CHAMELEON_ASSERT(delay >= 0, "negative delay: ", delay);
     return schedule(now_ + delay, std::move(fn));
 }
 
+bool
+Simulator::compactTop()
+{
+    while (!queue_.empty()) {
+        const QueueEntry &top = queue_.top();
+        if (slotPending(top.slot, top.gen))
+            return true;
+        queue_.pop();
+    }
+    return false;
+}
+
 std::size_t
 Simulator::run(SimTime until)
 {
-    std::size_t executed = 0;
-    while (!queue_.empty()) {
+    std::size_t ran = 0;
+    while (compactTop()) {
         const QueueEntry &top = queue_.top();
         if (top.when > until)
             break;
         QueueEntry entry = top;
         queue_.pop();
-        if (entry.state->cancelled)
-            continue;
         now_ = entry.when;
-        entry.state->fired = true;
-        // Move the callback out so self-rescheduling is safe.
-        auto fn = std::move(entry.state->fn);
+        // Move the callback out and free the slot first, so the
+        // callback can freely schedule new events (possibly reusing
+        // this very slot) and handles to this event read not-pending
+        // while it runs.
+        Callback fn = std::move(slots_[entry.slot].fn);
+        freeSlot(entry.slot);
+        --live_;
         fn();
-        ++executed;
+        ++ran;
+        ++executed_;
     }
     if (until != kTimeNever && until > now_)
         now_ = until;
-    return executed;
+    return ran;
 }
 
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        QueueEntry entry = queue_.top();
-        queue_.pop();
-        if (entry.state->cancelled)
-            continue;
-        now_ = entry.when;
-        entry.state->fired = true;
-        auto fn = std::move(entry.state->fn);
-        fn();
-        return true;
-    }
-    return false;
-}
-
-bool
-Simulator::idle() const
-{
-    // Cancelled entries may linger in the heap; treat them as absent.
-    // (The queue is copied lazily: we cannot pop from a const method,
-    // so conservatively report non-idle only if a live entry exists.)
-    if (queue_.empty())
-        return true;
-    // Cheap path: if the top is live, we are busy.
-    if (!queue_.top().state->cancelled)
+    if (!compactTop())
         return false;
-    // Rare path: scan a copy.
-    auto copy = queue_;
-    while (!copy.empty()) {
-        if (!copy.top().state->cancelled)
-            return false;
-        copy.pop();
-    }
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    Callback fn = std::move(slots_[entry.slot].fn);
+    freeSlot(entry.slot);
+    --live_;
+    fn();
+    ++executed_;
     return true;
 }
 

@@ -7,23 +7,39 @@
  * so same-time events run deterministically in scheduling order.
  * Events can be cancelled (used by the fluid-flow network to
  * invalidate stale completion predictions when rates change).
+ *
+ * The event core is allocation-light: callbacks live in a slab of
+ * reusable slots (small-buffer SmallFunction storage, so typical
+ * lambda captures never touch the heap) and handles are plain
+ * (slot, generation) pairs — scheduling an event performs no heap
+ * allocation beyond amortized slab/queue growth. A live-event
+ * counter makes idle() O(1) even when cancelled entries linger in
+ * the heap; dead entries are popped lazily as they surface.
  */
 
 #ifndef CHAMELEON_SIM_SIMULATOR_HH_
 #define CHAMELEON_SIM_SIMULATOR_HH_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
+#include "util/small_function.hh"
 #include "util/types.hh"
 
 namespace chameleon {
 namespace sim {
 
-/** Handle used to cancel a scheduled event. */
+class Simulator;
+
+/**
+ * Handle used to cancel a scheduled event.
+ *
+ * A plain (slot, generation) reference into the simulator's event
+ * slab: copyable, trivially destructible, and safe to hold after the
+ * event ran or was cancelled (the generation check makes stale
+ * handles inert). Handles must not outlive the Simulator.
+ */
 class EventHandle
 {
   public:
@@ -37,19 +53,18 @@ class EventHandle
 
   private:
     friend class Simulator;
-    struct State
-    {
-        std::function<void()> fn;
-        bool cancelled = false;
-        bool fired = false;
-    };
-    std::shared_ptr<State> state_;
+    Simulator *sim_ = nullptr;
+    uint32_t slot_ = 0;
+    uint64_t gen_ = 0;
 };
 
 /** The event loop; see file comment. */
 class Simulator
 {
   public:
+    /** Event callback; captures up to 48 bytes stay inline. */
+    using Callback = util::SmallFunction<void()>;
+
     Simulator() = default;
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -65,10 +80,10 @@ class Simulator
      * Schedules fn at absolute time `when` (>= now()).
      * @return a handle that can cancel the event.
      */
-    EventHandle schedule(SimTime when, std::function<void()> fn);
+    EventHandle schedule(SimTime when, Callback fn);
 
     /** Schedules fn after a relative delay (>= 0). */
-    EventHandle scheduleAfter(SimTime delay, std::function<void()> fn);
+    EventHandle scheduleAfter(SimTime delay, Callback fn);
 
     /**
      * Runs events until the queue is empty or `until` is reached.
@@ -81,15 +96,33 @@ class Simulator
     /** Executes exactly one event if any is pending. */
     bool step();
 
-    /** True if no events are pending. */
-    bool idle() const;
+    /** True if no events are pending; O(1) via the live counter. */
+    bool idle() const { return live_ == 0; }
+
+    /** Events pending (scheduled, not yet run or cancelled). */
+    std::size_t pendingEvents() const { return live_; }
+
+    /** Total events executed over the simulator's lifetime. */
+    uint64_t eventsExecuted() const { return executed_; }
 
   private:
+    friend class EventHandle;
+
+    /** One slab entry; freed slots recycle through freeSlots_ with a
+     * bumped generation, so queue entries and handles referring to
+     * the old occupant become inert automatically. */
+    struct Slot
+    {
+        Callback fn;
+        uint64_t gen = 0;
+    };
+
     struct QueueEntry
     {
         SimTime when;
         uint64_t seq;
-        std::shared_ptr<EventHandle::State> state;
+        uint32_t slot;
+        uint64_t gen;
 
         bool operator>(const QueueEntry &o) const
         {
@@ -99,8 +132,24 @@ class Simulator
         }
     };
 
+    bool slotPending(uint32_t slot, uint64_t gen) const
+    {
+        return slot < slots_.size() && slots_[slot].gen == gen;
+    }
+
+    uint32_t allocSlot();
+    void freeSlot(uint32_t slot);
+
+    /** Pops dead (cancelled/stale) entries off the queue top; returns
+     * false when the queue is exhausted. */
+    bool compactTop();
+
     SimTime now_ = 0.0;
     uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> freeSlots_;
     std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                         std::greater<>> queue_;
 };

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Move-only callable wrapper with small-buffer storage.
+ *
+ * The simulator schedules hundreds of thousands of short-lived
+ * callbacks per run; wrapping each in std::function costs a heap
+ * allocation (libstdc++ inlines only 16 bytes, less than a typical
+ * [this, id, index] capture). SmallFunction stores callables up to
+ * `InlineBytes` in place and only falls back to the heap beyond
+ * that, so the event queue's hot path allocates nothing.
+ *
+ * Differences from std::function, all deliberate:
+ *  - move-only (the event loop never copies callbacks), so move-only
+ *    captures (unique_ptr and friends) work too;
+ *  - no target() / target_type() introspection;
+ *  - invoking an empty SmallFunction is a logic error guarded by
+ *    assert-level checks in the caller, not a thrown exception.
+ */
+
+#ifndef CHAMELEON_UTIL_SMALL_FUNCTION_HH_
+#define CHAMELEON_UTIL_SMALL_FUNCTION_HH_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace chameleon {
+namespace util {
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class SmallFunction<R(Args...), InlineBytes>
+{
+  public:
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, SmallFunction> &&
+                  std::is_invocable_r_v<R, D &, Args...>>>
+    SmallFunction(F &&f)
+    {
+        if constexpr (kInline<D>) {
+            ::new (storage()) D(std::forward<F>(f));
+            ops_ = &kInlineOps<D>;
+        } else {
+            ::new (storage()) D *(new D(std::forward<F>(f)));
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    SmallFunction &operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R operator()(Args... args)
+    {
+        return ops_->invoke(storage(), std::forward<Args>(args)...);
+    }
+
+    void reset()
+    {
+        if (ops_) {
+            ops_->destroy(storage());
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        R (*invoke)(void *, Args &&...);
+        /** Move-constructs into dst from src, then destroys src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename D>
+    static constexpr bool kInline =
+        sizeof(D) <= InlineBytes &&
+        alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+
+    template <typename D>
+    static constexpr Ops kInlineOps = {
+        [](void *p, Args &&...args) -> R {
+            return (*std::launder(static_cast<D *>(p)))(
+                std::forward<Args>(args)...);
+        },
+        [](void *dst, void *src) {
+            D *s = std::launder(static_cast<D *>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        },
+        [](void *p) { std::launder(static_cast<D *>(p))->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops kHeapOps = {
+        [](void *p, Args &&...args) -> R {
+            return (**std::launder(static_cast<D **>(p)))(
+                std::forward<Args>(args)...);
+        },
+        // The stored pointer is trivially destructible: relocation
+        // copies it and destruction deletes the pointee.
+        [](void *dst, void *src) {
+            ::new (dst) D *(*std::launder(static_cast<D **>(src)));
+        },
+        [](void *p) { delete *std::launder(static_cast<D **>(p)); },
+    };
+
+    void moveFrom(SmallFunction &other) noexcept
+    {
+        if (other.ops_) {
+            other.ops_->relocate(storage(), other.storage());
+            ops_ = other.ops_;
+            other.ops_ = nullptr;
+        }
+    }
+
+    void *storage() { return buf_; }
+
+    alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace util
+} // namespace chameleon
+
+#endif // CHAMELEON_UTIL_SMALL_FUNCTION_HH_
