@@ -1,0 +1,204 @@
+#include "cluster/replicator_scanner.hh"
+
+#include <bit>
+#include <utility>
+
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace cluster {
+
+ReplicatorScanner::ReplicatorScanner(StripeManager &stripes,
+                                     RepairQueue &queue,
+                                     sim::Simulator &sim,
+                                     ScannerConfig config)
+    : stripes_(stripes), queue_(queue), sim_(sim),
+      config_(std::move(config))
+{
+    CHAMELEON_ASSERT(config_.batchSize >= 1,
+                     "scanner batchSize must be >= 1");
+    CHAMELEON_ASSERT(config_.tickInterval > 0,
+                     "scanner tickInterval must be > 0");
+    CHAMELEON_ASSERT(config_.riskMargin >= 0,
+                     "scanner riskMargin must be >= 0");
+    // Initial discovery barrier: one full sweep.
+    barrier_ = stripes_.stripeCount();
+}
+
+void
+ReplicatorScanner::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    sim_.scheduleAfter(config_.tickInterval, [this] { tick(); });
+}
+
+void
+ReplicatorScanner::stop()
+{
+    running_ = false;
+}
+
+void
+ReplicatorScanner::tick()
+{
+    if (!running_)
+        return;
+    scanBatch(config_.batchSize);
+    pumpAdmission();
+    publishGauges();
+    sim_.scheduleAfter(config_.tickInterval, [this] { tick(); });
+}
+
+void
+ReplicatorScanner::primeSync()
+{
+    scanBatch(stripes_.stripeCount());
+    pumpAdmission();
+    publishGauges();
+}
+
+void
+ReplicatorScanner::scanBatch(int limit)
+{
+    const int total = stripes_.stripeCount();
+    if (total == 0) {
+        scannedTotal_ = barrier_;
+        return;
+    }
+    auto &table = stripes_.table();
+    for (int i = 0; i < limit; ++i) {
+        if (cursor_ == 0)
+            sweepStartStamp_ = table.wipeStamp();
+        scanStripe(cursor_);
+        ++scannedTotal_;
+        if (++cursor_ >= total) {
+            cursor_ = 0;
+            ++epoch_;
+            // A full sweep materialized every stripe; if no newer
+            // deferred failure raced it, the per-node pending-wipe
+            // flags carry no information any more.
+            if (table.wipeStamp() == sweepStartStamp_)
+                table.clearPendingWipes();
+        }
+    }
+    telemetry::metrics()
+        .counter("scanner.stripes_scanned")
+        .add(limit);
+}
+
+void
+ReplicatorScanner::scanStripe(StripeId stripe)
+{
+    auto &table = stripes_.table();
+    table.materializeWipe(stripe);
+    const uint64_t mask = table.lostMask(stripe);
+    const int lost = std::popcount(mask);
+    StripeHealth health = StripeHealth::kHealthy;
+    RepairTier tier = RepairTier::kDegraded;
+    if (lost > 0) {
+        const int survivors = table.code().n() - lost;
+        const int margin = survivors - table.code().k();
+        if (margin < 0)
+            health = StripeHealth::kUnrecoverable;
+        else if (margin < config_.riskMargin)
+            health = StripeHealth::kDataLossRisk;
+        else
+            health = StripeHealth::kDegraded;
+        // Unrecoverable stripes still enqueue at the most urgent
+        // tier: the repair session is the authority (a rejoining
+        // node or a late repair can change the verdict).
+        tier = health == StripeHealth::kDegraded
+                   ? RepairTier::kDegraded
+                   : RepairTier::kDataLossRisk;
+    } else if (table.misplaced(stripe)) {
+        health = StripeHealth::kMisplaced;
+    }
+    table.setState(stripe, health);
+    if (lost > 0) {
+        uint64_t bits = mask;
+        while (bits) {
+            const int c = std::countr_zero(bits);
+            bits &= bits - 1;
+            if (queue_.push(
+                    FailedChunk{stripe,
+                                static_cast<ChunkIndex>(c)},
+                    tier))
+                telemetry::metrics()
+                    .counter("scanner.chunks_enqueued")
+                    .add();
+        }
+    } else if (health == StripeHealth::kMisplaced) {
+        queue_.push(FailedChunk{stripe, kBalancerChunk},
+                    RepairTier::kMisplaced);
+    }
+}
+
+void
+ReplicatorScanner::noteCrash(NodeId)
+{
+    barrier_ = scannedTotal_ + stripes_.stripeCount();
+    queue_.invalidate();
+}
+
+void
+ReplicatorScanner::noteRejoin(NodeId)
+{
+    barrier_ = scannedTotal_ + stripes_.stripeCount();
+    queue_.invalidate();
+}
+
+void
+ReplicatorScanner::pumpAdmission()
+{
+    if (pumping_) {
+        repump_ = true;
+        return;
+    }
+    pumping_ = true;
+    do {
+        repump_ = false;
+        std::vector<FailedChunk> batch;
+        while (auto admitted = queue_.pop()) {
+            if (admitted->chunk.chunk == kBalancerChunk) {
+                if (onMisplaced_)
+                    onMisplaced_(admitted->chunk.stripe);
+                else
+                    stripes_.table().clearMisplaced(
+                        admitted->chunk.stripe);
+                queue_.complete(admitted->chunk);
+                continue;
+            }
+            batch.push_back(admitted->chunk);
+        }
+        if (!batch.empty() && dispatch_)
+            dispatch_(std::move(batch));
+    } while (repump_);
+    pumping_ = false;
+}
+
+void
+ReplicatorScanner::onChunkOutcome(const FailedChunk &chunk, bool)
+{
+    queue_.complete(chunk);
+    pumpAdmission();
+}
+
+void
+ReplicatorScanner::publishGauges()
+{
+    auto &m = telemetry::metrics();
+    const int total = stripes_.stripeCount();
+    m.gauge("scanner.scan_progress")
+        .set(total > 0 ? static_cast<double>(cursor_) / total : 1.0);
+    m.gauge("scanner.epoch").set(static_cast<double>(epoch_));
+    m.gauge("repair.queue.depth")
+        .set(static_cast<double>(queue_.depth()));
+    m.gauge("repair.queue.in_flight")
+        .set(static_cast<double>(queue_.inFlight()));
+}
+
+} // namespace cluster
+} // namespace chameleon

@@ -5,6 +5,13 @@
  * needs (surviving chunks, candidate sources, candidate
  * destinations). This plays the role of the HDFS NameNode metadata
  * that the paper's coordinator consults (Fig. 11, step 1).
+ *
+ * Since the scale-out rework the manager is a thin facade over the
+ * struct-of-arrays StripeTable (stripe_table.hh): same public API
+ * and semantics as the legacy per-stripe-vector representation,
+ * but O(chunks-on-node) node failure via the reverse index, O(1)
+ * deferred failure discovery for the background scanner, and a
+ * documented <= 16*n + 64 bytes/stripe memory budget.
  */
 
 #ifndef CHAMELEON_CLUSTER_STRIPE_MANAGER_HH_
@@ -13,21 +20,13 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/stripe_table.hh"
 #include "ec/code.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
 namespace chameleon {
 namespace cluster {
-
-/** A chunk lost to a node failure, pending repair. */
-struct FailedChunk
-{
-    StripeId stripe = 0;
-    ChunkIndex chunk = 0;
-
-    bool operator==(const FailedChunk &o) const = default;
-};
 
 /** Stripe placement + failure bookkeeping; see file comment. */
 class StripeManager
@@ -38,45 +37,77 @@ class StripeManager
      * @param num_nodes  cluster size; must be >= code->n().
      */
     StripeManager(std::shared_ptr<const ec::ErasureCode> code,
-                  int num_nodes);
+                  int num_nodes)
+        : table_(std::move(code), num_nodes)
+    {
+    }
 
-    const ec::ErasureCode &code() const { return *code_; }
+    const ec::ErasureCode &code() const { return table_.code(); }
     std::shared_ptr<const ec::ErasureCode> codePtr() const
     {
-        return code_;
+        return table_.codePtr();
     }
-    int numNodes() const { return numNodes_; }
+    int numNodes() const { return table_.numNodes(); }
 
     /** Creates `count` stripes with uniform random placement. */
-    void createStripes(int count, Rng &rng);
-
-    int stripeCount() const
+    void createStripes(int count, Rng &rng)
     {
-        return static_cast<int>(placement_.size());
+        table_.createStripes(count, rng);
     }
 
+    int stripeCount() const { return table_.stripeCount(); }
+
     /** Node currently hosting (stripe, chunk). */
-    NodeId location(StripeId stripe, ChunkIndex chunk) const;
+    NodeId location(StripeId stripe, ChunkIndex chunk) const
+    {
+        return table_.location(stripe, chunk);
+    }
 
     /** Re-homes a chunk (after repair to a new destination). */
-    void relocate(StripeId stripe, ChunkIndex chunk, NodeId node);
+    void relocate(StripeId stripe, ChunkIndex chunk, NodeId node)
+    {
+        table_.relocate(stripe, chunk, node);
+    }
 
     /** True while the chunk's data is lost. */
-    bool chunkLost(StripeId stripe, ChunkIndex chunk) const;
+    bool chunkLost(StripeId stripe, ChunkIndex chunk) const
+    {
+        return table_.chunkLost(stripe, chunk);
+    }
 
     /** Marks a single chunk lost (degraded-read scenarios). */
-    void markLost(StripeId stripe, ChunkIndex chunk);
+    void markLost(StripeId stripe, ChunkIndex chunk)
+    {
+        table_.markLost(stripe, chunk);
+    }
 
     /** Marks a chunk repaired (clears the lost flag). */
-    void markRepaired(StripeId stripe, ChunkIndex chunk);
+    void markRepaired(StripeId stripe, ChunkIndex chunk)
+    {
+        table_.markRepaired(stripe, chunk);
+    }
 
     /**
      * Fails a node: every chunk it hosts becomes lost.
      * @return the newly lost chunks, in stripe order.
      */
-    std::vector<FailedChunk> failNode(NodeId node);
+    std::vector<FailedChunk> failNode(NodeId node)
+    {
+        return table_.failNode(node);
+    }
 
-    bool nodeFailed(NodeId node) const;
+    /** O(1) deferred node failure; see StripeTable. */
+    void failNodeDeferred(NodeId node)
+    {
+        table_.failNodeDeferred(node);
+    }
+
+    bool nodeFailed(NodeId node) const
+    {
+        return table_.nodeFailed(node);
+    }
+
+    int failedNodeCount() const { return table_.failedNodeCount(); }
 
     /**
      * Clears a node's failed flag after a delayed rejoin. The node
@@ -85,34 +116,42 @@ class StripeManager
      * again eligible as a repair destination and stripe placement
      * target.
      */
-    void rejoinNode(NodeId node);
+    void rejoinNode(NodeId node) { table_.rejoinNode(node); }
 
     /** All chunks currently lost, in stripe order. */
-    std::vector<FailedChunk> lostChunks() const;
+    std::vector<FailedChunk> lostChunks() const
+    {
+        return table_.lostChunks();
+    }
 
     /** Chunk indices of `stripe` that are alive (not lost). */
-    std::vector<ChunkIndex> availableChunks(StripeId stripe) const;
+    std::vector<ChunkIndex> availableChunks(StripeId stripe) const
+    {
+        return table_.availableChunks(stripe);
+    }
 
     /**
      * Alive nodes not hosting any live chunk of `stripe` — the
      * paper's candidate destination set D, which preserves the
      * one-chunk-per-node fault tolerance invariant.
      */
-    std::vector<NodeId> candidateDestinations(StripeId stripe) const;
+    std::vector<NodeId> candidateDestinations(StripeId stripe) const
+    {
+        return table_.candidateDestinations(stripe);
+    }
 
     /** Chunks hosted by `node` (lost ones included). */
-    std::vector<FailedChunk> chunksOnNode(NodeId node) const;
+    std::vector<FailedChunk> chunksOnNode(NodeId node) const
+    {
+        return table_.chunksOnNode(node);
+    }
+
+    /** Direct access to the SoA table (scanner/queue/bench). */
+    StripeTable &table() { return table_; }
+    const StripeTable &table() const { return table_; }
 
   private:
-    void checkStripe(StripeId stripe) const;
-
-    std::shared_ptr<const ec::ErasureCode> code_;
-    int numNodes_;
-    /** placement_[stripe][chunk] = node. */
-    std::vector<std::vector<NodeId>> placement_;
-    /** lost_[stripe][chunk]. */
-    std::vector<std::vector<bool>> lost_;
-    std::vector<bool> nodeFailed_;
+    StripeTable table_;
 };
 
 } // namespace cluster

@@ -1,0 +1,449 @@
+#include "cluster/stripe_table.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace cluster {
+
+StripeTable::StripeTable(std::shared_ptr<const ec::ErasureCode> code,
+                         int num_nodes)
+    : code_(std::move(code)), numNodes_(num_nodes)
+{
+    CHAMELEON_ASSERT(code_ != nullptr, "null code");
+    n_ = code_->n();
+    CHAMELEON_ASSERT(num_nodes >= n_, "cluster of ", num_nodes,
+                     " nodes cannot host ", code_->name(),
+                     " stripes (need ", n_, ")");
+    CHAMELEON_ASSERT(n_ <= 64,
+                     "StripeTable lost-bitmask supports n <= 64, got ",
+                     n_);
+    nodeFlags_.assign(static_cast<std::size_t>(numNodes_), 0);
+    nodeIndex_.resize(static_cast<std::size_t>(numNodes_));
+    hostStamp_.assign(static_cast<std::size_t>(numNodes_), 0);
+    fyPool_.resize(static_cast<std::size_t>(numNodes_));
+    for (int i = 0; i < numNodes_; ++i)
+        fyPool_[static_cast<std::size_t>(i)] = i;
+}
+
+void
+StripeTable::createStripes(int count, Rng &rng)
+{
+    CHAMELEON_ASSERT(count >= 0, "negative stripe count");
+    const auto n = static_cast<std::size_t>(n_);
+    const std::size_t base = lostBits_.size();
+    placement_.reserve(placement_.size() +
+                       static_cast<std::size_t>(count) * n);
+    lostBits_.reserve(base + static_cast<std::size_t>(count));
+    gen_.reserve(base + static_cast<std::size_t>(count));
+    state_.reserve(base + static_cast<std::size_t>(count));
+    misplaced_.reserve(base + static_cast<std::size_t>(count));
+
+    // Swap targets for one stripe's partial Fisher-Yates; undone in
+    // reverse after each stripe so fyPool_ stays the identity
+    // permutation without an O(numNodes) re-init per stripe. The
+    // draw sequence matches the legacy implementation exactly.
+    uint32_t swaps[64];
+    for (int s = 0; s < count; ++s) {
+        for (int i = 0; i < n_; ++i) {
+            auto j = static_cast<std::size_t>(i) +
+                     rng.below(fyPool_.size() -
+                               static_cast<std::size_t>(i));
+            swaps[i] = static_cast<uint32_t>(j);
+            std::swap(fyPool_[static_cast<std::size_t>(i)],
+                      fyPool_[j]);
+        }
+        const auto stripe =
+            static_cast<StripeId>(lostBits_.size());
+        for (int c = 0; c < n_; ++c) {
+            const NodeId node = fyPool_[static_cast<std::size_t>(c)];
+            placement_.push_back(node);
+            nodeIndex_[static_cast<std::size_t>(node)].push_back(
+                static_cast<uint32_t>(slot(stripe, c)));
+        }
+        lostBits_.push_back(0);
+        gen_.push_back(0);
+        state_.push_back(
+            static_cast<uint8_t>(StripeHealth::kHealthy));
+        misplaced_.push_back(0);
+        for (int i = n_ - 1; i >= 0; --i)
+            std::swap(fyPool_[static_cast<std::size_t>(i)],
+                      fyPool_[swaps[i]]);
+    }
+}
+
+void
+StripeTable::checkStripe(StripeId stripe) const
+{
+    CHAMELEON_ASSERT(stripe >= 0 &&
+                         static_cast<std::size_t>(stripe) <
+                             lostBits_.size(),
+                     "bad stripe id ", stripe);
+}
+
+void
+StripeTable::checkNode(NodeId node) const
+{
+    CHAMELEON_ASSERT(node >= 0 && node < numNodes_, "bad node ",
+                     node);
+}
+
+NodeId
+StripeTable::location(StripeId stripe, ChunkIndex chunk) const
+{
+    checkStripe(stripe);
+    CHAMELEON_ASSERT(chunk >= 0 && chunk < n_, "bad chunk index ",
+                     chunk);
+    return placement_[slot(stripe, chunk)];
+}
+
+uint64_t
+StripeTable::derivedMask(StripeId stripe) const
+{
+    uint64_t mask = lostBits_[static_cast<std::size_t>(stripe)];
+    if (pendingWipeCount_ > 0) {
+        const std::size_t base = slot(stripe, 0);
+        for (int c = 0; c < n_; ++c) {
+            if (nodeFlags_[static_cast<std::size_t>(
+                    placement_[base + static_cast<std::size_t>(c)])] &
+                kNodeWipePending)
+                mask |= uint64_t{1} << c;
+        }
+    }
+    return mask;
+}
+
+void
+StripeTable::relocate(StripeId stripe, ChunkIndex chunk, NodeId node)
+{
+    checkStripe(stripe);
+    checkNode(node);
+    CHAMELEON_ASSERT(chunk >= 0 && chunk < n_, "bad chunk index ",
+                     chunk);
+    // Enforce the one-chunk-per-node invariant.
+    const uint64_t mask = derivedMask(stripe);
+    const std::size_t base = slot(stripe, 0);
+    for (ChunkIndex c = 0; c < n_; ++c) {
+        if (c != chunk &&
+            placement_[base + static_cast<std::size_t>(c)] == node &&
+            !(mask >> c & 1)) {
+            CHAMELEON_PANIC("relocating chunk ", chunk, " of stripe ",
+                            stripe, " onto node ", node,
+                            " which hosts live chunk ", c);
+        }
+    }
+    placement_[base + static_cast<std::size_t>(chunk)] = node;
+    nodeIndex_[static_cast<std::size_t>(node)].push_back(
+        static_cast<uint32_t>(slot(stripe, chunk)));
+    ++gen_[static_cast<std::size_t>(stripe)];
+}
+
+bool
+StripeTable::chunkLost(StripeId stripe, ChunkIndex chunk) const
+{
+    checkStripe(stripe);
+    if (lostBits_[static_cast<std::size_t>(stripe)] >> chunk & 1)
+        return true;
+    if (pendingWipeCount_ == 0)
+        return false;
+    return (nodeFlags_[static_cast<std::size_t>(
+                placement_[slot(stripe, chunk)])] &
+            kNodeWipePending) != 0;
+}
+
+uint64_t
+StripeTable::lostMask(StripeId stripe) const
+{
+    checkStripe(stripe);
+    return lostBits_[static_cast<std::size_t>(stripe)];
+}
+
+void
+StripeTable::markLost(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    const uint64_t bit = uint64_t{1} << chunk;
+    auto &bits = lostBits_[static_cast<std::size_t>(stripe)];
+    if (!(bits & bit)) {
+        bits |= bit;
+        ++gen_[static_cast<std::size_t>(stripe)];
+    }
+}
+
+void
+StripeTable::markRepaired(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    const uint64_t bit = uint64_t{1} << chunk;
+    auto &bits = lostBits_[static_cast<std::size_t>(stripe)];
+    if (bits & bit) {
+        bits &= ~bit;
+        ++gen_[static_cast<std::size_t>(stripe)];
+    }
+}
+
+const std::vector<uint32_t> &
+StripeTable::gatherNode(NodeId node) const
+{
+    auto &list = nodeIndex_[static_cast<std::size_t>(node)];
+    // Drop stale entries (chunk relocated away since insertion).
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < list.size(); ++r) {
+        if (placement_[list[r]] == node)
+            list[w++] = list[r];
+    }
+    list.resize(w);
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    return list;
+}
+
+std::vector<FailedChunk>
+StripeTable::failNode(NodeId node)
+{
+    checkNode(node);
+    CHAMELEON_ASSERT(
+        !(nodeFlags_[static_cast<std::size_t>(node)] & kNodeFailed),
+        "node ", node, " already failed");
+    nodeFlags_[static_cast<std::size_t>(node)] |= kNodeFailed;
+    ++failedCount_;
+    std::vector<FailedChunk> out;
+    for (uint32_t packed : gatherNode(node)) {
+        const auto stripe =
+            static_cast<StripeId>(packed / static_cast<uint32_t>(n_));
+        const auto chunk = static_cast<ChunkIndex>(
+            packed % static_cast<uint32_t>(n_));
+        if (!chunkLost(stripe, chunk)) {
+            markLost(stripe, chunk);
+            out.push_back(FailedChunk{stripe, chunk});
+        }
+    }
+    return out;
+}
+
+void
+StripeTable::failNodeDeferred(NodeId node)
+{
+    checkNode(node);
+    CHAMELEON_ASSERT(
+        !(nodeFlags_[static_cast<std::size_t>(node)] & kNodeFailed),
+        "node ", node, " already failed");
+    nodeFlags_[static_cast<std::size_t>(node)] |=
+        kNodeFailed | kNodeWipePending;
+    ++failedCount_;
+    ++pendingWipeCount_;
+    ++wipeStamp_;
+}
+
+bool
+StripeTable::nodeFailed(NodeId node) const
+{
+    checkNode(node);
+    return (nodeFlags_[static_cast<std::size_t>(node)] &
+            kNodeFailed) != 0;
+}
+
+void
+StripeTable::materializeWipe(StripeId stripe)
+{
+    checkStripe(stripe);
+    if (pendingWipeCount_ == 0)
+        return;
+    const uint64_t mask = derivedMask(stripe);
+    auto &bits = lostBits_[static_cast<std::size_t>(stripe)];
+    if (mask != bits) {
+        bits = mask;
+        ++gen_[static_cast<std::size_t>(stripe)];
+    }
+}
+
+void
+StripeTable::clearPendingWipes()
+{
+    if (pendingWipeCount_ == 0)
+        return;
+    for (auto &flags : nodeFlags_)
+        flags &= static_cast<uint8_t>(~kNodeWipePending);
+    pendingWipeCount_ = 0;
+}
+
+void
+StripeTable::rejoinNode(NodeId node)
+{
+    checkNode(node);
+    auto &flags = nodeFlags_[static_cast<std::size_t>(node)];
+    CHAMELEON_ASSERT(flags & kNodeFailed, "node ", node,
+                     " has not failed");
+    if (flags & kNodeWipePending) {
+        // Persist this node's wipe losses before dropping the flag:
+        // the node returns empty, so its chunks stay lost.
+        for (uint32_t packed : gatherNode(node)) {
+            const auto stripe = static_cast<StripeId>(
+                packed / static_cast<uint32_t>(n_));
+            const auto chunk = static_cast<ChunkIndex>(
+                packed % static_cast<uint32_t>(n_));
+            markLost(stripe, chunk);
+        }
+        flags &= static_cast<uint8_t>(~kNodeWipePending);
+        --pendingWipeCount_;
+    }
+    flags &= static_cast<uint8_t>(~kNodeFailed);
+    --failedCount_;
+}
+
+std::vector<FailedChunk>
+StripeTable::lostChunks() const
+{
+    std::vector<FailedChunk> out;
+    for (StripeId s = 0; s < stripeCount(); ++s) {
+        uint64_t mask = derivedMask(s);
+        while (mask) {
+            const int c = std::countr_zero(mask);
+            mask &= mask - 1;
+            out.push_back(
+                FailedChunk{s, static_cast<ChunkIndex>(c)});
+        }
+    }
+    return out;
+}
+
+std::vector<ChunkIndex>
+StripeTable::availableChunks(StripeId stripe) const
+{
+    checkStripe(stripe);
+    const uint64_t mask = derivedMask(stripe);
+    std::vector<ChunkIndex> out;
+    for (ChunkIndex c = 0; c < n_; ++c)
+        if (!(mask >> c & 1))
+            out.push_back(c);
+    return out;
+}
+
+std::vector<NodeId>
+StripeTable::candidateDestinations(StripeId stripe) const
+{
+    checkStripe(stripe);
+    if (++stampEpoch_ == 0) {
+        std::fill(hostStamp_.begin(), hostStamp_.end(), 0u);
+        stampEpoch_ = 1;
+    }
+    const uint64_t mask = derivedMask(stripe);
+    const std::size_t base = slot(stripe, 0);
+    for (ChunkIndex c = 0; c < n_; ++c) {
+        if (!(mask >> c & 1))
+            hostStamp_[static_cast<std::size_t>(
+                placement_[base + static_cast<std::size_t>(c)])] =
+                stampEpoch_;
+    }
+    std::vector<NodeId> out;
+    for (NodeId node = 0; node < numNodes_; ++node) {
+        if (hostStamp_[static_cast<std::size_t>(node)] !=
+                stampEpoch_ &&
+            !(nodeFlags_[static_cast<std::size_t>(node)] &
+              kNodeFailed))
+            out.push_back(node);
+    }
+    return out;
+}
+
+std::vector<FailedChunk>
+StripeTable::chunksOnNode(NodeId node) const
+{
+    checkNode(node);
+    std::vector<FailedChunk> out;
+    for (uint32_t packed : gatherNode(node)) {
+        out.push_back(FailedChunk{
+            static_cast<StripeId>(packed /
+                                  static_cast<uint32_t>(n_)),
+            static_cast<ChunkIndex>(packed %
+                                    static_cast<uint32_t>(n_))});
+    }
+    return out;
+}
+
+uint32_t
+StripeTable::generation(StripeId stripe) const
+{
+    checkStripe(stripe);
+    return gen_[static_cast<std::size_t>(stripe)];
+}
+
+StripeHealth
+StripeTable::state(StripeId stripe) const
+{
+    checkStripe(stripe);
+    return static_cast<StripeHealth>(
+        state_[static_cast<std::size_t>(stripe)]);
+}
+
+void
+StripeTable::setState(StripeId stripe, StripeHealth h)
+{
+    checkStripe(stripe);
+    state_[static_cast<std::size_t>(stripe)] =
+        static_cast<uint8_t>(h);
+}
+
+bool
+StripeTable::misplaced(StripeId stripe) const
+{
+    checkStripe(stripe);
+    return misplaced_[static_cast<std::size_t>(stripe)] != 0;
+}
+
+void
+StripeTable::markMisplaced(StripeId stripe)
+{
+    checkStripe(stripe);
+    auto &flag = misplaced_[static_cast<std::size_t>(stripe)];
+    if (!flag) {
+        flag = 1;
+        ++gen_[static_cast<std::size_t>(stripe)];
+    }
+}
+
+void
+StripeTable::clearMisplaced(StripeId stripe)
+{
+    checkStripe(stripe);
+    auto &flag = misplaced_[static_cast<std::size_t>(stripe)];
+    if (flag) {
+        flag = 0;
+        ++gen_[static_cast<std::size_t>(stripe)];
+    }
+}
+
+std::size_t
+StripeTable::memoryBytes() const
+{
+    std::size_t bytes = placement_.capacity() * sizeof(NodeId) +
+                        lostBits_.capacity() * sizeof(uint64_t) +
+                        gen_.capacity() * sizeof(uint32_t) +
+                        state_.capacity() * sizeof(uint8_t) +
+                        misplaced_.capacity() * sizeof(uint8_t) +
+                        nodeFlags_.capacity() * sizeof(uint8_t) +
+                        hostStamp_.capacity() * sizeof(uint32_t) +
+                        fyPool_.capacity() * sizeof(NodeId) +
+                        nodeIndex_.capacity() *
+                            sizeof(std::vector<uint32_t>);
+    for (const auto &list : nodeIndex_)
+        bytes += list.capacity() * sizeof(uint32_t);
+    return bytes;
+}
+
+void
+StripeTable::compact()
+{
+    placement_.shrink_to_fit();
+    lostBits_.shrink_to_fit();
+    gen_.shrink_to_fit();
+    state_.shrink_to_fit();
+    misplaced_.shrink_to_fit();
+    for (auto &list : nodeIndex_)
+        list.shrink_to_fit();
+}
+
+} // namespace cluster
+} // namespace chameleon

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Compact struct-of-arrays stripe metadata for large clusters.
+ *
+ * The original StripeManager representation kept one heap vector per
+ * stripe for placement and another vector<bool> for lost flags —
+ * two allocations and ~100 bytes of overhead per stripe, which caps
+ * the simulated cluster at paper scale. StripeTable flattens the
+ * same state into parallel arrays indexed by stripe id:
+ *
+ *   placement_  flat NodeId array, slot = stripe * n + chunk
+ *   lostBits_   one uint64_t lost-bitmask per stripe (n <= 64)
+ *   gen_        per-stripe generation, bumped on any mutation
+ *   state_      scanner-assigned health classification
+ *   misplaced_  placement-policy violation flag (balancer input)
+ *
+ * No per-stripe heap objects exist; the documented budget is
+ * <= 16*n + 64 bytes per stripe including the per-node reverse
+ * index and vector growth slack (see memoryBytes()).
+ *
+ * Two scale-oriented extensions over the legacy representation:
+ *
+ * - A lazy per-node reverse index (packed `stripe * n + chunk`
+ *   slots) makes failNode()/chunksOnNode() proportional to the
+ *   node's chunk count instead of O(stripes * n). Entries go stale
+ *   when chunks relocate; reads compact them away.
+ *
+ * - Deferred failure discovery: failNodeDeferred() marks the node
+ *   failed and "wipe pending" in O(1) without touching any stripe.
+ *   Per-chunk lost state is *derived* (stored bit OR placement on a
+ *   wipe-pending node), so readers stay correct immediately, and a
+ *   background scanner materializes the stored bits incrementally
+ *   (materializeWipe) before clearing the pending flags
+ *   (clearPendingWipes). This is what lets a crash at 10^6 stripes
+ *   enqueue work instead of scanning the world inside one event.
+ */
+
+#ifndef CHAMELEON_CLUSTER_STRIPE_TABLE_HH_
+#define CHAMELEON_CLUSTER_STRIPE_TABLE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ec/code.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace chameleon {
+namespace cluster {
+
+/** A chunk lost to a node failure, pending repair. */
+struct FailedChunk
+{
+    StripeId stripe = 0;
+    ChunkIndex chunk = 0;
+
+    bool operator==(const FailedChunk &o) const = default;
+};
+
+/** Scanner-assigned stripe health classification. */
+enum class StripeHealth : uint8_t
+{
+    kHealthy = 0,
+    /** All chunks live but placement violates policy. */
+    kMisplaced = 1,
+    /** Some chunks lost, comfortable survivor margin. */
+    kDegraded = 2,
+    /** Survivors within riskMargin of the decode minimum k. */
+    kDataLossRisk = 3,
+    /** Fewer than k survivors: cannot be decoded. */
+    kUnrecoverable = 4,
+};
+
+/** SoA stripe metadata; see file comment. */
+class StripeTable
+{
+  public:
+    StripeTable(std::shared_ptr<const ec::ErasureCode> code,
+                int num_nodes);
+
+    const ec::ErasureCode &code() const { return *code_; }
+    std::shared_ptr<const ec::ErasureCode> codePtr() const
+    {
+        return code_;
+    }
+    int numNodes() const { return numNodes_; }
+    int stripeCount() const
+    {
+        return static_cast<int>(lostBits_.size());
+    }
+
+    /**
+     * Creates `count` stripes with uniform random placement.
+     * Consumes the RNG exactly as the legacy per-stripe
+     * Fisher-Yates did (n draws of below(numNodes - i) per
+     * stripe), so placements are bit-identical across the old and
+     * new representations for the same seed.
+     */
+    void createStripes(int count, Rng &rng);
+
+    NodeId location(StripeId stripe, ChunkIndex chunk) const;
+
+    /** Re-homes a chunk; panics if `node` hosts another live chunk
+     * of the stripe (one-chunk-per-node invariant). */
+    void relocate(StripeId stripe, ChunkIndex chunk, NodeId node);
+
+    /** True while the chunk's data is lost. Derived: stored lost
+     * bit OR placement on a wipe-pending failed node. */
+    bool chunkLost(StripeId stripe, ChunkIndex chunk) const;
+
+    /** Stored lost bits only (no pending-wipe derivation). Valid as
+     * a complete mask after materializeWipe(stripe). */
+    uint64_t lostMask(StripeId stripe) const;
+
+    void markLost(StripeId stripe, ChunkIndex chunk);
+    void markRepaired(StripeId stripe, ChunkIndex chunk);
+
+    /**
+     * Fails a node eagerly: every live chunk it hosts becomes lost.
+     * @return the newly lost chunks in (stripe, chunk) order —
+     *         byte-identical to the legacy full-scan output.
+     */
+    std::vector<FailedChunk> failNode(NodeId node);
+
+    /**
+     * Fails a node in O(1): marks it failed + wipe-pending without
+     * visiting any stripe. chunkLost()/availableChunks() etc. see
+     * the loss immediately via derivation; a scanner sweep calls
+     * materializeWipe() per stripe and clearPendingWipes() once a
+     * full sweep has completed with no newer deferred failure.
+     */
+    void failNodeDeferred(NodeId node);
+
+    bool nodeFailed(NodeId node) const;
+    int failedNodeCount() const { return failedCount_; }
+    bool hasPendingWipe() const { return pendingWipeCount_ > 0; }
+
+    /** Bumped by every failNodeDeferred(); lets a scanner detect
+     * that a new deferred failure raced its sweep. */
+    uint64_t wipeStamp() const { return wipeStamp_; }
+
+    /** Folds pending-wipe losses for one stripe into stored bits. */
+    void materializeWipe(StripeId stripe);
+
+    /**
+     * Drops all pending-wipe flags. Caller contract: every stripe
+     * has been materialized since the last failNodeDeferred()
+     * (i.e. a full sweep completed and wipeStamp() did not move).
+     */
+    void clearPendingWipes();
+
+    /**
+     * Clears a node's failed flag after a delayed rejoin. The node
+     * returns *empty*: chunks it hosted stay lost until repaired
+     * elsewhere. Any not-yet-materialized wipe losses for this node
+     * are materialized here (via the reverse index) so clearing the
+     * pending flag cannot resurrect them.
+     */
+    void rejoinNode(NodeId node);
+
+    /** All chunks currently lost, in (stripe, chunk) order. */
+    std::vector<FailedChunk> lostChunks() const;
+
+    /** Chunk indices of `stripe` that are alive. */
+    std::vector<ChunkIndex> availableChunks(StripeId stripe) const;
+
+    /** Alive nodes hosting no live chunk of `stripe`, ascending.
+     * Allocation-free internally (epoch-stamped scratch). */
+    std::vector<NodeId> candidateDestinations(StripeId stripe) const;
+
+    /** Chunks hosted by `node` (lost ones included), in
+     * (stripe, chunk) order. Uses the reverse index. */
+    std::vector<FailedChunk> chunksOnNode(NodeId node) const;
+
+    /** Per-stripe generation; bumped on any loss/placement edit. */
+    uint32_t generation(StripeId stripe) const;
+
+    StripeHealth state(StripeId stripe) const;
+    void setState(StripeId stripe, StripeHealth h);
+
+    bool misplaced(StripeId stripe) const;
+    void markMisplaced(StripeId stripe);
+    void clearMisplaced(StripeId stripe);
+
+    /** Bytes held by all metadata arrays (capacity-based), including
+     * the reverse index. Divide by stripeCount() for bytes/stripe;
+     * budget: <= 16*n + 64. */
+    std::size_t memoryBytes() const;
+
+    /** shrink_to_fit on all arrays (drops growth slack). */
+    void compact();
+
+  private:
+    static constexpr uint8_t kNodeFailed = 1;
+    static constexpr uint8_t kNodeWipePending = 2;
+
+    void checkStripe(StripeId stripe) const;
+    void checkNode(NodeId node) const;
+    std::size_t slot(StripeId stripe, ChunkIndex chunk) const
+    {
+        return static_cast<std::size_t>(stripe) *
+                   static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(chunk);
+    }
+    /** Lost mask including pending-wipe derivation. */
+    uint64_t derivedMask(StripeId stripe) const;
+    /** Compacts + sorts node's index entries; returns the list. */
+    const std::vector<uint32_t> &gatherNode(NodeId node) const;
+
+    std::shared_ptr<const ec::ErasureCode> code_;
+    int numNodes_;
+    int n_; // code_->n(), cached (== chunks per stripe)
+
+    // --- parallel per-stripe arrays (the SoA core) ---
+    std::vector<NodeId> placement_;   // stripe * n + chunk
+    std::vector<uint64_t> lostBits_;  // per stripe
+    std::vector<uint32_t> gen_;       // per stripe
+    std::vector<uint8_t> state_;      // StripeHealth per stripe
+    std::vector<uint8_t> misplaced_;  // 0/1 per stripe
+
+    // --- per-node state ---
+    std::vector<uint8_t> nodeFlags_;
+    int failedCount_ = 0;
+    int pendingWipeCount_ = 0;
+    uint64_t wipeStamp_ = 0;
+    /** Reverse index: packed slots per node. Appended on create /
+     * relocate; stale entries dropped on gatherNode(). */
+    mutable std::vector<std::vector<uint32_t>> nodeIndex_;
+
+    // --- allocation-free scratch ---
+    std::vector<NodeId> fyPool_; // persistent identity pool for F-Y
+    mutable std::vector<uint32_t> hostStamp_; // per node
+    mutable uint32_t stampEpoch_ = 0;
+};
+
+} // namespace cluster
+} // namespace chameleon
+
+#endif // CHAMELEON_CLUSTER_STRIPE_TABLE_HH_

@@ -274,11 +274,10 @@ FaultInjector::setMinLiveNodes(int n)
 int
 FaultInjector::liveNodes() const
 {
-    int live = 0;
-    for (NodeId n = 0; n < stripes_.numNodes(); ++n)
-        if (!stripes_.nodeFailed(n))
-            ++live;
-    return live;
+    // O(1) off the stripe table's failure counter: this runs inside
+    // every crash event, where an O(nodes) scan would dominate at
+    // 5000-node scale.
+    return stripes_.numNodes() - stripes_.failedNodeCount();
 }
 
 void
@@ -366,8 +365,16 @@ FaultInjector::applyCrash(FaultEvent ev)
         return;
     }
     // Fail the metadata first so every observer sees a consistent
-    // dead state before the repair layer reacts.
-    auto lost = stripes_.failNode(ev.node);
+    // dead state before the repair layer reacts. On the scanner
+    // path the failure is deferred: chunkLost() flips immediately
+    // (derived from the pending-wipe flag), but no stripe is
+    // visited here — the scanner enqueues the losses batch by
+    // batch.
+    std::vector<cluster::FailedChunk> lost;
+    if (deferred_)
+        stripes_.failNodeDeferred(ev.node);
+    else
+        lost = stripes_.failNode(ev.node);
     cluster_.markNodeDown(ev.node);
     metCrashes_.add();
     record(ev, true);

@@ -194,6 +194,15 @@ class FaultInjector
     /** Nodes currently up (not crashed, initial failures included). */
     int liveNodes() const;
 
+    /**
+     * Scanner-path crashes: failNodeDeferred() instead of the eager
+     * full-table failNode(), so a crash at 10^6 stripes stays O(1)
+     * inside the event. onCrash hooks then receive an *empty*
+     * newly-lost list — the background scanner discovers and
+     * enqueues the losses in bounded batches.
+     */
+    void setDeferredDiscovery(bool on) { deferred_ = on; }
+
   private:
     void apply(FaultEvent ev);
     void applyCrash(FaultEvent ev);
@@ -209,6 +218,7 @@ class FaultInjector
     Rng rng_{0};
     int minLiveNodes_;
     bool armed_ = false;
+    bool deferred_ = false;
     std::vector<sim::EventHandle> pendingEvents_;
     std::vector<InjectedFault> log_;
     int applied_ = 0;

@@ -52,6 +52,42 @@ ChameleonScheduler::start(std::vector<cluster::FailedChunk> pending)
     sim.scheduleAfter(config_.checkPeriod, [this] { progressCheck(); });
 }
 
+void
+ChameleonScheduler::beginFeed()
+{
+    CHAMELEON_ASSERT(!started_, "scheduler already started");
+    started_ = true;
+    totalChunks_ = 0;
+    startTime_ = executor_.cluster().simulator().now();
+    finishTime_ = startTime_;
+}
+
+void
+ChameleonScheduler::enqueue(
+    const std::vector<cluster::FailedChunk> &chunks)
+{
+    CHAMELEON_ASSERT(started_, "enqueue before scheduler start");
+    if (chunks.empty())
+        return;
+    for (const auto &fc : chunks) {
+        pending_.push_back(fc);
+        ++totalChunks_;
+    }
+    // Same event ordering as start(): the phase begins (and admits)
+    // before the progress-check timer is armed.
+    if (!phaseLoopActive_) {
+        phaseLoopActive_ = true;
+        runPhase();
+    } else if (phaseState_) {
+        admitPending();
+    }
+    if (!checkLoopActive_) {
+        checkLoopActive_ = true;
+        executor_.cluster().simulator().scheduleAfter(
+            config_.checkPeriod, [this] { progressCheck(); });
+    }
+}
+
 bool
 ChameleonScheduler::finished() const
 {
@@ -336,30 +372,43 @@ ChameleonScheduler::admitPending()
 {
     if (!phaseState_)
         return;
-    // Admission: priority order, estimate-bounded; always make
-    // progress when nothing is in flight.
-    auto ordered = orderedPending();
-    std::set<std::pair<StripeId, ChunkIndex>> departed;
-    for (const auto &chunk : ordered) {
-        bool force = departed.empty() && activeIds_.empty();
-        Admission result = admitChunk(*phaseState_, chunk, force);
-        if (result == Admission::kAdmitted) {
-            departed.insert({chunk.stripe, chunk.chunk});
-        } else if (result == Admission::kUnrecoverable) {
-            markUnrecoverable(chunk);
-            departed.insert({chunk.stripe, chunk.chunk});
-        } else if (result == Admission::kNoBudget) {
-            break; // estimate exhausted: stop admitting for now
+    // The outcome hook can synchronously feed new chunks back in
+    // mid-iteration (scanner admission pump); re-entering would
+    // double-admit chunks still in the snapshot below. Coalesce
+    // nested calls into another full admission round instead.
+    if (admitting_) {
+        readmit_ = true;
+        return;
+    }
+    admitting_ = true;
+    do {
+        readmit_ = false;
+        // Admission: priority order, estimate-bounded; always make
+        // progress when nothing is in flight.
+        auto ordered = orderedPending();
+        std::set<std::pair<StripeId, ChunkIndex>> departed;
+        for (const auto &chunk : ordered) {
+            bool force = departed.empty() && activeIds_.empty();
+            Admission result = admitChunk(*phaseState_, chunk, force);
+            if (result == Admission::kAdmitted) {
+                departed.insert({chunk.stripe, chunk.chunk});
+            } else if (result == Admission::kUnrecoverable) {
+                markUnrecoverable(chunk);
+                departed.insert({chunk.stripe, chunk.chunk});
+            } else if (result == Admission::kNoBudget) {
+                break; // estimate exhausted: stop admitting for now
+            }
+            // kNoDestination: skip this chunk, try the others.
         }
-        // kNoDestination: skip this chunk, try the others.
-    }
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        if (departed.count({it->stripe, it->chunk}))
-            it = pending_.erase(it);
-        else
-            ++it;
-    }
-    maybeFinish(executor_.cluster().simulator().now());
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (departed.count({it->stripe, it->chunk}))
+                it = pending_.erase(it);
+            else
+                ++it;
+        }
+        maybeFinish(executor_.cluster().simulator().now());
+    } while (readmit_);
+    admitting_ = false;
 }
 
 void
@@ -568,6 +617,8 @@ ChameleonScheduler::markUnrecoverable(const cluster::FailedChunk &chunk)
     telemetry::metrics()
         .counter("repair.chameleon.unrecoverable")
         .add();
+    if (outcomeHook_)
+        outcomeHook_(chunk, false);
 }
 
 void
@@ -622,6 +673,10 @@ ChameleonScheduler::onChunkDone(RepairId, const ChunkRepairPlan &plan,
             reserved_.erase(it);
     }
     sweepInactive();
+    // Before the finished() check: the hook may admit queued work
+    // (via the scanner pump), which extends the run.
+    if (outcomeHook_)
+        outcomeHook_({plan.stripe, plan.failedChunk}, true);
     if (finished()) {
         maybeFinish(when);
         return;

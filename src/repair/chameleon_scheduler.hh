@@ -83,8 +83,28 @@ class ChameleonScheduler
                        BandwidthMonitor &monitor, ChameleonConfig config,
                        Rng rng);
 
+    /** Terminal per-chunk outcome notification (feed mode): fired
+     * once per chunk, with repaired=true on success and false when
+     * the chunk lands in the unrecoverable list. */
+    using OutcomeFn = std::function<void(
+        const cluster::FailedChunk &, bool repaired)>;
+
     /** Starts repairing `pending`; the first phase begins now. */
     void start(std::vector<cluster::FailedChunk> pending);
+
+    /**
+     * Starts the scheduler with no work: chunks arrive later
+     * through enqueue() (the ReplicatorScanner admission path).
+     * Mutually exclusive with start().
+     */
+    void beginFeed();
+
+    /** Adds admitted chunks; restarts the phase/check loops with
+     * start()'s event ordering if they are not running. */
+    void enqueue(const std::vector<cluster::FailedChunk> &chunks);
+
+    /** Installs the terminal-outcome hook; call before work runs. */
+    void setOutcomeHook(OutcomeFn fn) { outcomeHook_ = std::move(fn); }
 
     /**
      * Absorbs a mid-repair node crash (stripe manager and cluster
@@ -163,6 +183,7 @@ class ChameleonScheduler
     BandwidthMonitor &monitor_;
     ChameleonConfig config_;
     Rng rng_;
+    OutcomeFn outcomeHook_;
 
     std::deque<cluster::FailedChunk> pending_;
     /** Dispatcher state of the current phase (counts + estimates). */
@@ -204,6 +225,11 @@ class ChameleonScheduler
      * when the scheduler finishes and a crash may restart them. */
     bool phaseLoopActive_ = false;
     bool checkLoopActive_ = false;
+    /** Re-entrancy guard: the outcome hook can feed new work back
+     * in synchronously (scanner admission pump) while admitPending
+     * iterates; coalesce such calls into another admission round. */
+    bool admitting_ = false;
+    bool readmit_ = false;
 };
 
 } // namespace repair

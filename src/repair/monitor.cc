@@ -111,12 +111,17 @@ BandwidthMonitor::sample()
         lastUpBytes_[i] = up;
         lastDownBytes_[i] = down;
         lastDiskBytes_[i] = disk;
-        CHAMELEON_TELEM(telemetry::tracer().counter(
-            cluster_.simulator().now(), telemetry::kTrackMonitor,
-            "residual.n" + std::to_string(node),
-            {{"up", upResidual_[i]},
-             {"down", downResidual_[i]},
-             {"disk", diskResidual_[i]}}));
+        // Per-node residual traces are for small-cluster figure
+        // debugging; at scale-run sizes (thousands of nodes) they
+        // would dominate the sample with string/track churn.
+        if (cluster_.numNodes() <= 64) {
+            CHAMELEON_TELEM(telemetry::tracer().counter(
+                cluster_.simulator().now(), telemetry::kTrackMonitor,
+                "residual.n" + std::to_string(node),
+                {{"up", upResidual_[i]},
+                 {"down", downResidual_[i]},
+                 {"disk", diskResidual_[i]}}));
+        }
     }
     ++samples_;
     telemetry::metrics().counter("monitor.samples").add();

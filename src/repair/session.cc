@@ -44,6 +44,30 @@ RepairSession::start(std::vector<cluster::FailedChunk> pending)
     pump();
 }
 
+void
+RepairSession::beginFeed()
+{
+    CHAMELEON_ASSERT(!started_, "session already started");
+    started_ = true;
+    totalChunks_ = 0;
+    startTime_ = executor_.cluster().simulator().now();
+    finishTime_ = startTime_;
+}
+
+void
+RepairSession::enqueue(
+    const std::vector<cluster::FailedChunk> &chunks)
+{
+    CHAMELEON_ASSERT(started_, "enqueue before session start");
+    if (chunks.empty())
+        return;
+    for (const auto &fc : chunks) {
+        pending_.push_back(fc);
+        ++totalChunks_;
+    }
+    pump();
+}
+
 bool
 RepairSession::finished() const
 {
@@ -79,6 +103,8 @@ RepairSession::markUnrecoverable(const cluster::FailedChunk &chunk)
         "fault", "unrecoverable",
         {{"stripe", chunk.stripe}, {"chunk", chunk.chunk}}));
     telemetry::metrics().counter("repair.session.unrecoverable").add();
+    if (outcomeHook_)
+        outcomeHook_(chunk, false);
 }
 
 void
@@ -178,6 +204,10 @@ RepairSession::onChunkDone(const ChunkRepairPlan &plan, SimTime when)
     stripes_.markRepaired(plan.stripe, plan.failedChunk);
     stripes_.relocate(plan.stripe, plan.failedChunk, plan.destination);
     releaseReservation(plan.stripe, plan.destination);
+    // Before the finished() check: the hook may admit queued work
+    // (via the scanner pump), which extends the session.
+    if (outcomeHook_)
+        outcomeHook_({plan.stripe, plan.failedChunk}, true);
     if (finished()) {
         finishTime_ = when;
         return;

@@ -63,6 +63,12 @@ class RepairSession
         const cluster::FailedChunk &,
         const std::vector<NodeId> &reserved)>;
 
+    /** Terminal per-chunk outcome notification (feed mode): fired
+     * once per chunk, with repaired=true on success and false when
+     * the chunk lands in the unrecoverable list. */
+    using OutcomeFn = std::function<void(
+        const cluster::FailedChunk &, bool repaired)>;
+
     RepairSession(cluster::StripeManager &stripes,
                   RepairExecutor &executor, PlanFn plan_fn,
                   SessionConfig config = {});
@@ -82,6 +88,20 @@ class RepairSession
 
     /** Begins repairing `pending` (FIFO order). */
     void start(std::vector<cluster::FailedChunk> pending);
+
+    /**
+     * Starts the session with no work: chunks arrive later through
+     * enqueue() (the ReplicatorScanner admission path). Mutually
+     * exclusive with start().
+     */
+    void beginFeed();
+
+    /** Adds admitted chunks to the repair window (feed mode or
+     * after start()); plans and launches immediately. */
+    void enqueue(const std::vector<cluster::FailedChunk> &chunks);
+
+    /** Installs the terminal-outcome hook; call before work runs. */
+    void setOutcomeHook(OutcomeFn fn) { outcomeHook_ = std::move(fn); }
 
     /**
      * Absorbs a mid-repair node crash. Call after the stripe manager
@@ -135,6 +155,7 @@ class RepairSession
     cluster::StripeManager &stripes_;
     RepairExecutor &executor_;
     PlanFn planFn_;
+    OutcomeFn outcomeHook_;
     SessionConfig config_;
     /** Execution-topology override; kAuto = native tree path. */
     dag::TopologySpec topology_;

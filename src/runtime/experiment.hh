@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "cluster/replicator_scanner.hh"
 #include "fault/fault.hh"
 #include "repair/chameleon_scheduler.hh"
 #include "repair/executor.hh"
@@ -81,6 +82,9 @@ struct ExperimentConfig
     repair::ExecutorConfig exec;
     /** Chunks to repair on the (first) failed node. */
     int chunksToRepair = 40;
+    /** Exact stripe count to create; 0 keeps the legacy behavior of
+     * growing until node 0 hosts chunksToRepair chunks. */
+    int stripes = 0;
     /** Nodes to fail (Exp#8 sweeps 1-3). */
     int failedNodes = 1;
     /** Foreground trace; nullopt disables foreground traffic. */
@@ -112,6 +116,11 @@ struct ExperimentConfig
     uint64_t chaosSeed = 0;
     /** Chaos events arrive within this window after the failure. */
     SimTime chaosHorizon = 120.0;
+    /** Background scanner + repair-queue knobs; scanner.enabled
+     * routes failure discovery and repair admission through the
+     * ReplicatorScanner/RepairQueue path instead of feeding the
+     * session its work list directly. */
+    cluster::ScannerConfig scanner;
     uint64_t seed = 1;
     /** Hard wall on simulated time (guards runaway runs). */
     SimTime simTimeCap = 100000.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cluster/repair_queue.hh"
+#include "cluster/replicator_scanner.hh"
 #include "ec/factory.hh"
 #include "repair/monitor.hh"
 #include "repair/strategies.hh"
@@ -95,16 +97,38 @@ Runtime::run(const ExperimentHooks &hooks)
     cluster::StripeManager stripes(config.code,
                                    config.cluster.numNodes);
 
-    // Create stripes until node 0 hosts exactly chunksToRepair
-    // chunks (placement is random, so add one stripe at a time).
+    // Create stripes: either an exact count (scale runs) or, by
+    // default, until node 0 hosts exactly chunksToRepair chunks
+    // (placement is random, so add one stripe at a time). Both
+    // branches draw from the same split stream, so `stripes = 0`
+    // stays bit-identical to the pre-knob behavior.
     {
         Rng placement_rng = rng.split();
-        int guard = 0;
-        while (static_cast<int>(stripes.chunksOnNode(0).size()) <
-               config.chunksToRepair) {
-            stripes.createStripes(1, placement_rng);
-            CHAMELEON_ASSERT(++guard < 1000000, "placement runaway");
+        if (config.stripes > 0) {
+            stripes.createStripes(config.stripes, placement_rng);
+        } else {
+            int guard = 0;
+            while (static_cast<int>(stripes.chunksOnNode(0).size()) <
+                   config.chunksToRepair) {
+                stripes.createStripes(1, placement_rng);
+                CHAMELEON_ASSERT(++guard < 1000000,
+                                 "placement runaway");
+            }
         }
+    }
+
+    // Scanner-path runs route failure discovery through the
+    // background replicator scanner and its prioritized queue
+    // instead of handing the repair layer an eager work list.
+    const bool scan_mode =
+        config.scanner.enabled && algorithm != Algorithm::kNone;
+    std::unique_ptr<cluster::RepairQueue> queue;
+    std::unique_ptr<cluster::ReplicatorScanner> scanner;
+    if (scan_mode) {
+        queue = std::make_unique<cluster::RepairQueue>(
+            stripes, config.scanner.queue);
+        scanner = std::make_unique<cluster::ReplicatorScanner>(
+            stripes, *queue, sim, config.scanner);
     }
 
     std::unique_ptr<traffic::ForegroundDriver> driver;
@@ -126,11 +150,17 @@ Runtime::run(const ExperimentHooks &hooks)
     // Warm the cluster up so the monitor has real estimates.
     sim.run(config.warmup);
 
-    // Inject the failure(s).
+    // Inject the failure(s). The scanner path defers chunk-loss
+    // discovery: the crash itself is O(1) and the background sweep
+    // finds the losses in bounded batches.
     std::vector<cluster::FailedChunk> pending;
     for (NodeId n = 0; n < config.failedNodes; ++n) {
-        auto lost = stripes.failNode(n);
-        pending.insert(pending.end(), lost.begin(), lost.end());
+        if (scan_mode) {
+            stripes.failNodeDeferred(n);
+        } else {
+            auto lost = stripes.failNode(n);
+            pending.insert(pending.end(), lost.begin(), lost.end());
+        }
         cluster.markNodeDown(n);
         if (driver)
             driver->excludeNode(n);
@@ -159,6 +189,10 @@ Runtime::run(const ExperimentHooks &hooks)
     // Schedule straggler throttles relative to the failure time.
     for (auto ev : config.stragglers) {
         if (ev.node == kInvalidNode) {
+            CHAMELEON_ASSERT(!scan_mode,
+                             "scanner path has no eager work list to "
+                             "auto-pick a straggler from; set an "
+                             "explicit straggler node");
             CHAMELEON_ASSERT(!pending.empty(), "no repair to straggle");
             auto avail = stripes.availableChunks(pending[0].stripe);
             CHAMELEON_ASSERT(!avail.empty(), "stripe has no survivors");
@@ -208,7 +242,26 @@ Runtime::run(const ExperimentHooks &hooks)
         }
         scheduler = std::make_unique<repair::ChameleonScheduler>(
             stripes, executor, monitor, ccfg, rng.split());
-        scheduler->start(pending);
+        if (scan_mode) {
+            scheduler->beginFeed();
+            scanner->setDispatch(
+                [sch = scheduler.get()](
+                    std::vector<cluster::FailedChunk> chunks) {
+                    sch->enqueue(chunks);
+                });
+            scheduler->setOutcomeHook(
+                [sc = scanner.get()](const cluster::FailedChunk &fc,
+                                     bool ok) {
+                    sc->onChunkOutcome(fc, ok);
+                });
+            // One synchronous sweep at the exact point the direct
+            // path would hand over its work list keeps small-scale
+            // scanner runs byte-identical to direct runs.
+            scanner->primeSync();
+            scanner->start();
+        } else {
+            scheduler->start(pending);
+        }
     } else {
         repair::Topology topo = topologyOf(algorithm);
         Rng plan_rng = rng.split();
@@ -233,7 +286,23 @@ Runtime::run(const ExperimentHooks &hooks)
             stripes, executor, std::move(plan_fn), config.session);
         if (config.topology.kind != dag::RepairTopology::kAuto)
             session->setDagTopology(config.topology);
-        session->start(pending);
+        if (scan_mode) {
+            session->beginFeed();
+            scanner->setDispatch(
+                [se = session.get()](
+                    std::vector<cluster::FailedChunk> chunks) {
+                    se->enqueue(chunks);
+                });
+            session->setOutcomeHook(
+                [sc = scanner.get()](const cluster::FailedChunk &fc,
+                                     bool ok) {
+                    sc->onChunkOutcome(fc, ok);
+                });
+            scanner->primeSync();
+            scanner->start();
+        } else {
+            session->start(pending);
+        }
     }
 
     // Arm mid-repair faults (explicit schedule + generated chaos)
@@ -271,15 +340,21 @@ Runtime::run(const ExperimentHooks &hooks)
                         scheduler->onNodeCrash(node, lost);
                     else if (session)
                         session->onNodeCrash(node, lost);
+                    if (scanner)
+                        scanner->noteCrash(node);
                 };
             fault_hooks.onRejoin = [&](NodeId node) {
                 if (driver)
                     driver->includeNode(node);
+                if (scanner)
+                    scanner->noteRejoin(node);
             };
             fault_hooks.onBlackoutStart = [&] { monitor.stop(); };
             fault_hooks.onBlackoutEnd = [&] { monitor.start(); };
             injector = std::make_unique<fault::FaultInjector>(
                 cluster, stripes, std::move(fault_hooks));
+            if (scan_mode)
+                injector->setDeferredDiscovery(true);
             injector->arm(schedule, rng.split());
         }
     }
@@ -287,7 +362,14 @@ Runtime::run(const ExperimentHooks &hooks)
     auto repair_done = [&] {
         if (algorithm == Algorithm::kNone)
             return true;
-        return scheduler ? scheduler->finished() : session->finished();
+        const bool done =
+            scheduler ? scheduler->finished() : session->finished();
+        if (!scan_mode)
+            return done;
+        // Scanner path: the repair layer idling is not enough — the
+        // scanner must have swept past every crash (no undiscovered
+        // losses) and the queue must have drained.
+        return done && scanner->discoveryComplete() && queue->idle();
     };
     auto trace_done = [&] {
         if (!driver || config.requestsPerClient == 0)
@@ -359,6 +441,8 @@ Runtime::run(const ExperimentHooks &hooks)
     // faults out of the drain window.
     if (injector)
         injector->disarm();
+    if (scanner)
+        scanner->stop();
     if (driver)
         driver->stop();
     monitor.stop();

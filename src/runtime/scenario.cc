@@ -408,10 +408,11 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
     std::string err;
     if (!checkKeys(*doc, "scenario",
                    {"name", "algorithm", "code", "trace", "cluster",
-                    "executor", "chunks_to_repair", "failed_nodes",
-                    "requests_per_client", "warmup", "chameleon",
-                    "session", "topology", "stragglers", "faults",
-                    "chaos", "seed", "sim_time_cap"},
+                    "executor", "chunks_to_repair", "stripes",
+                    "failed_nodes", "requests_per_client", "warmup",
+                    "chameleon", "session", "topology", "stragglers",
+                    "faults", "chaos", "scanner", "seed",
+                    "sim_time_cap"},
                    err))
         return fail(err);
 
@@ -531,6 +532,25 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
         return fail(err);
     spec.topology = *parsed_topo;
 
+    if (const JsonValue *sc = doc->find("scanner")) {
+        if (!checkKeys(*sc, "scanner",
+                       {"enabled", "batch", "interval",
+                        "risk_margin", "max_total_jobs",
+                        "max_node_jobs"},
+                       err) ||
+            !readBool(*sc, "enabled", &spec.scanner.enabled, err) ||
+            !readInt(*sc, "batch", &spec.scanner.batchSize, err) ||
+            !readNum(*sc, "interval", &spec.scanner.tickInterval,
+                     err) ||
+            !readInt(*sc, "risk_margin", &spec.scanner.riskMargin,
+                     err) ||
+            !readInt(*sc, "max_total_jobs",
+                     &spec.scanner.queue.maxTotalJobs, err) ||
+            !readInt(*sc, "max_node_jobs",
+                     &spec.scanner.queue.maxNodeJobs, err))
+            return fail(err);
+    }
+
     if (const JsonValue *chaos = doc->find("chaos")) {
         if (!checkKeys(*chaos, "chaos", {"rate", "seed", "horizon"},
                        err) ||
@@ -542,6 +562,7 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
 
     if (!readInt(*doc, "chunks_to_repair", &spec.chunksToRepair,
                  err) ||
+        !readInt(*doc, "stripes", &spec.stripes, err) ||
         !readInt(*doc, "failed_nodes", &spec.failedNodes, err) ||
         !readU64(*doc, "requests_per_client",
                  &spec.requestsPerClient, err) ||
@@ -601,6 +622,27 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
     }
     if (spec.chunksToRepair < 1)
         return fail("chunks_to_repair must be >= 1");
+    if (spec.stripes < 0)
+        return fail("stripes must be >= 0 "
+                    "(0 = grow to chunks_to_repair)");
+    if (spec.scanner.batchSize < 1)
+        return fail("scanner.batch must be >= 1");
+    if (spec.scanner.tickInterval <= 0)
+        return fail("scanner.interval must be > 0");
+    if (spec.scanner.riskMargin < 0)
+        return fail("scanner.risk_margin must be >= 0");
+    if (spec.scanner.queue.maxTotalJobs < 1 ||
+        spec.scanner.queue.maxNodeJobs < 1)
+        return fail("scanner job limits must be >= 1");
+    if (spec.scanner.enabled) {
+        if (spec.algorithm == Algorithm::kNone)
+            return fail("scanner.enabled needs a repair algorithm "
+                        "(the scanner has nowhere to dispatch)");
+        for (const StragglerEvent &ev : spec.stragglers)
+            if (ev.node == kInvalidNode)
+                return fail("scanner path cannot auto-pick a "
+                            "straggler node; set node=N");
+    }
     if (spec.failedNodes < 1 ||
         spec.failedNodes > spec.cluster.numNodes)
         return fail("failed_nodes must be in [1, cluster.nodes]");
@@ -643,6 +685,7 @@ ScenarioSpec::toJson() const
        << ", \"relay_overhead_per_mib\": "
        << formatDouble(exec.relayOverheadPerMiB) << "},\n";
     writeKeyNum(os, "chunks_to_repair", chunksToRepair);
+    writeKeyNum(os, "stripes", stripes);
     writeKeyNum(os, "failed_nodes", failedNodes);
     writeKeyNum(os, "requests_per_client",
                 static_cast<double>(requestsPerClient));
@@ -680,6 +723,14 @@ ScenarioSpec::toJson() const
        << ", \"seed\": "
        << formatDouble(static_cast<double>(chaosSeed))
        << ", \"horizon\": " << formatDouble(chaosHorizon) << "},\n";
+    os << "  \"scanner\": {\"enabled\": "
+       << (scanner.enabled ? "true" : "false")
+       << ", \"batch\": " << scanner.batchSize
+       << ", \"interval\": " << formatDouble(scanner.tickInterval)
+       << ", \"risk_margin\": " << scanner.riskMargin
+       << ", \"max_total_jobs\": " << scanner.queue.maxTotalJobs
+       << ", \"max_node_jobs\": " << scanner.queue.maxNodeJobs
+       << "},\n";
     writeKeyNum(os, "seed", static_cast<double>(seed));
     writeKeyNum(os, "sim_time_cap", simTimeCap, "\n");
     os << "}\n";
@@ -700,6 +751,7 @@ ScenarioSpec::toConfig() const
     cfg.cluster = cluster;
     cfg.exec = exec;
     cfg.chunksToRepair = chunksToRepair;
+    cfg.stripes = stripes;
     cfg.failedNodes = failedNodes;
     cfg.requestsPerClient = requestsPerClient;
     cfg.warmup = warmup;
@@ -711,6 +763,7 @@ ScenarioSpec::toConfig() const
     cfg.chaosRate = chaosRate;
     cfg.chaosSeed = chaosSeed;
     cfg.chaosHorizon = chaosHorizon;
+    cfg.scanner = scanner;
     cfg.seed = seed;
     cfg.simTimeCap = simTimeCap;
     return cfg;

@@ -41,6 +41,9 @@ struct ScenarioSpec
     cluster::ClusterConfig cluster;
     repair::ExecutorConfig exec;
     int chunksToRepair = 40;
+    /** Exact stripe count (0 = grow until node 0 hosts
+     * chunks_to_repair chunks, the legacy behavior). */
+    int stripes = 0;
     int failedNodes = 1;
     uint64_t requestsPerClient = 0;
     SimTime warmup = 16.0;
@@ -55,6 +58,9 @@ struct ScenarioSpec
     double chaosRate = 0.0;
     uint64_t chaosSeed = 0;
     SimTime chaosHorizon = 120.0;
+    /** Background scanner / repair-queue knobs (the "scanner" JSON
+     * block); scanner.enabled selects the scanner repair path. */
+    cluster::ScannerConfig scanner;
     uint64_t seed = 1;
     SimTime simTimeCap = 100000.0;
 

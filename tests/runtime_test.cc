@@ -82,6 +82,7 @@ TEST(Scenario, EveryFieldRoundTrips)
     spec.exec.nodeDownloadSlots = 9;
     spec.exec.relayOverheadPerMiB = 0.0125;
     spec.chunksToRepair = 17;
+    spec.stripes = 900;
     spec.failedNodes = 2;
     spec.requestsPerClient = 12345;
     spec.warmup = 3.25;
@@ -108,6 +109,13 @@ TEST(Scenario, EveryFieldRoundTrips)
     spec.chaosRate = 0.3;
     spec.chaosSeed = 777;
     spec.chaosHorizon = 64.0;
+    // enabled stays false: the spec above keeps an auto-pick
+    // straggler, which the scanner path rejects.
+    spec.scanner.batchSize = 512;
+    spec.scanner.tickInterval = 0.25;
+    spec.scanner.riskMargin = 2;
+    spec.scanner.queue.maxTotalJobs = 96;
+    spec.scanner.queue.maxNodeJobs = 3;
     spec.seed = 123456789;
     spec.simTimeCap = 5000.0;
 
@@ -207,6 +215,18 @@ TEST(Scenario, RejectsBadDimensions)
         "slice");
     expectRejected(R"({"chaos": {"rate": -0.5}})", "rate");
     expectRejected(R"({"sim_time_cap": 0})", "cap");
+    expectRejected(R"({"stripes": -1})", "stripes");
+    expectRejected(R"({"scanner": {"batch": 0}})", "batch");
+    expectRejected(R"({"scanner": {"interval": 0}})", "interval");
+    expectRejected(R"({"scanner": {"risk_margin": -1}})",
+                   "risk_margin");
+    expectRejected(R"({"scanner": {"max_node_jobs": 0}})", "limits");
+    expectRejected(
+        R"({"algorithm": "none", "scanner": {"enabled": true}})",
+        "algorithm");
+    expectRejected(R"({"scanner": {"enabled": true},
+                       "stragglers": "5:factor=0.1:dur=10"})",
+                   "straggler");
 }
 
 TEST(Scenario, RejectsWrongTypes)
