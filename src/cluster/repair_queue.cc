@@ -111,11 +111,43 @@ RepairQueue::pop()
                 --depth_[t];
                 continue;
             }
-            auto nodes = charges(fc);
-            if (!nodesFree(nodes)) {
+            // O(1) saturation skip: same helper set (generation
+            // unchanged) and the node that blocked us last time is
+            // still at its cap, so a full recheck cannot succeed.
+            Entry &entry = it->second;
+            const uint32_t gen =
+                stripes_.table().generation(fc.stripe);
+            if (entry.blockedOn != kInvalidNode &&
+                entry.checkedEpoch == memoEpoch_ &&
+                entry.checkedGen == gen &&
+                nodeJobs_[static_cast<std::size_t>(
+                    entry.blockedOn)] >= config_.maxNodeJobs) {
+                telemetry::metrics()
+                    .counter("repair.queue.memo_skips")
+                    .add();
                 ++i;
                 continue;
             }
+            telemetry::metrics()
+                .counter("repair.queue.scan_steps")
+                .add();
+            auto nodes = charges(fc);
+            NodeId blocker = kInvalidNode;
+            for (NodeId n : nodes) {
+                if (nodeJobs_[static_cast<std::size_t>(n)] >=
+                    config_.maxNodeJobs) {
+                    blocker = n;
+                    break;
+                }
+            }
+            if (blocker != kInvalidNode) {
+                entry.blockedOn = blocker;
+                entry.checkedGen = gen;
+                entry.checkedEpoch = memoEpoch_;
+                ++i;
+                continue;
+            }
+            entry.blockedOn = kInvalidNode;
             for (NodeId n : nodes)
                 ++nodeJobs_[static_cast<std::size_t>(n)];
             ++inFlight_;
@@ -159,7 +191,12 @@ RepairQueue::complete(const FailedChunk &chunk)
     heldCharges_.erase(held);
     entries_.erase(it);
     --inFlight_;
-    invalidate();
+    // Re-open tier scans, but keep the per-entry saturation memos:
+    // a completion only decrements nodeJobs_, and the memo's skip
+    // condition re-reads nodeJobs_[blockedOn] on every pop(), so
+    // freed blockers are picked up without voiding the epoch.
+    for (bool &b : tierBlocked_)
+        b = false;
 }
 
 void
@@ -167,6 +204,11 @@ RepairQueue::invalidate()
 {
     for (bool &b : tierBlocked_)
         b = false;
+    // Deferred crashes/rejoins flip wipe-pending node flags, which
+    // changes derived chunk availability (and thus each entry's
+    // helper charges) without bumping any per-stripe generation —
+    // the saturation memos cannot see that, so void them wholesale.
+    ++memoEpoch_;
 }
 
 int

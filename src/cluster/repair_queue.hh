@@ -100,7 +100,9 @@ class RepairQueue
     /** Releases an admitted entry's charges (terminal outcome). */
     void complete(const FailedChunk &chunk);
 
-    /** Drops tier-blocked memoization (topology changed etc.). */
+    /** Drops the tier-blocked and per-entry saturation memos (call
+     * on crash/rejoin or any other availability change that does
+     * not bump stripe generations). */
     void invalidate();
 
     /** Queued entries (stale entries counted until scanned out). */
@@ -132,6 +134,21 @@ class RepairQueue
     {
         EntryState state = EntryState::kQueued;
         RepairTier tier = RepairTier::kDegraded;
+        /** Saturation memo: at stripe generation checkedGen,
+         * admission was blocked by blockedOn sitting at its
+         * node-job cap. While the generation is unchanged (same
+         * helper set) and that node is still saturated, pop() skips
+         * the entry in O(1) instead of recomputing its charges —
+         * without this, every pop() on a node-saturated queue
+         * re-derives the helper list (an allocation + code-pool
+         * walk) for each queued entry it scans past. */
+        uint32_t checkedGen = 0;
+        NodeId blockedOn = kInvalidNode;
+        /** memoEpoch_ value the memo was taken at; invalidate()
+         * (crash/rejoin wipe-flag transitions, which change chunk
+         * availability without per-stripe generation bumps)
+         * advances the epoch and voids every memo. */
+        uint64_t checkedEpoch = 0;
     };
     using Key = std::pair<StripeId, ChunkIndex>;
 
@@ -156,6 +173,10 @@ class RepairQueue
     /** Memo: a full scan of tier t found nothing admissible; valid
      * until invalidate()/push()/complete(). */
     mutable bool tierBlocked_[kRepairTiers] = {false, false, false};
+    /** Per-entry saturation-memo epoch; see Entry::checkedEpoch.
+     * Starts above Entry's default so a fresh memo is never valid
+     * by accident. */
+    uint64_t memoEpoch_ = 1;
 };
 
 } // namespace cluster

@@ -87,6 +87,19 @@ class StripeManager
         table_.markRepaired(stripe, chunk);
     }
 
+    /** Flags a chunk's payload as silently bit-rotted. */
+    void markCorrupt(StripeId stripe, ChunkIndex chunk)
+    {
+        table_.markCorrupt(stripe, chunk);
+    }
+
+    /** True while the chunk's payload is corrupt (ground truth;
+     * detection state lives with the scrub scanner). */
+    bool chunkCorrupt(StripeId stripe, ChunkIndex chunk) const
+    {
+        return table_.chunkCorrupt(stripe, chunk);
+    }
+
     /**
      * Fails a node: every chunk it hosts becomes lost.
      * @return the newly lost chunks, in stripe order.

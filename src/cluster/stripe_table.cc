@@ -37,6 +37,7 @@ StripeTable::createStripes(int count, Rng &rng)
     placement_.reserve(placement_.size() +
                        static_cast<std::size_t>(count) * n);
     lostBits_.reserve(base + static_cast<std::size_t>(count));
+    corruptBits_.reserve(base + static_cast<std::size_t>(count));
     gen_.reserve(base + static_cast<std::size_t>(count));
     state_.reserve(base + static_cast<std::size_t>(count));
     misplaced_.reserve(base + static_cast<std::size_t>(count));
@@ -64,6 +65,7 @@ StripeTable::createStripes(int count, Rng &rng)
                 static_cast<uint32_t>(slot(stripe, c)));
         }
         lostBits_.push_back(0);
+        corruptBits_.push_back(0);
         gen_.push_back(0);
         state_.push_back(
             static_cast<uint8_t>(StripeHealth::kHealthy));
@@ -182,6 +184,51 @@ StripeTable::markRepaired(StripeId stripe, ChunkIndex chunk)
         bits &= ~bit;
         ++gen_[static_cast<std::size_t>(stripe)];
     }
+    // The repair rewrote the payload from verified survivors.
+    clearCorrupt(stripe, chunk);
+}
+
+void
+StripeTable::markCorrupt(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    CHAMELEON_ASSERT(chunk >= 0 && chunk < n_, "bad chunk index ",
+                     chunk);
+    const uint64_t bit = uint64_t{1} << chunk;
+    auto &bits = corruptBits_[static_cast<std::size_t>(stripe)];
+    if (!(bits & bit)) {
+        bits |= bit;
+        ++corruptCount_;
+        // Deliberately no generation bump: bit rot is *silent* —
+        // nothing observable changed until detection marks it lost.
+    }
+}
+
+void
+StripeTable::clearCorrupt(StripeId stripe, ChunkIndex chunk)
+{
+    checkStripe(stripe);
+    const uint64_t bit = uint64_t{1} << chunk;
+    auto &bits = corruptBits_[static_cast<std::size_t>(stripe)];
+    if (bits & bit) {
+        bits &= ~bit;
+        --corruptCount_;
+    }
+}
+
+bool
+StripeTable::chunkCorrupt(StripeId stripe, ChunkIndex chunk) const
+{
+    checkStripe(stripe);
+    return (corruptBits_[static_cast<std::size_t>(stripe)] >> chunk &
+            1) != 0;
+}
+
+uint64_t
+StripeTable::corruptMask(StripeId stripe) const
+{
+    checkStripe(stripe);
+    return corruptBits_[static_cast<std::size_t>(stripe)];
 }
 
 const std::vector<uint32_t> &
@@ -420,6 +467,7 @@ StripeTable::memoryBytes() const
 {
     std::size_t bytes = placement_.capacity() * sizeof(NodeId) +
                         lostBits_.capacity() * sizeof(uint64_t) +
+                        corruptBits_.capacity() * sizeof(uint64_t) +
                         gen_.capacity() * sizeof(uint32_t) +
                         state_.capacity() * sizeof(uint8_t) +
                         misplaced_.capacity() * sizeof(uint8_t) +
@@ -438,6 +486,7 @@ StripeTable::compact()
 {
     placement_.shrink_to_fit();
     lostBits_.shrink_to_fit();
+    corruptBits_.shrink_to_fit();
     gen_.shrink_to_fit();
     state_.shrink_to_fit();
     misplaced_.shrink_to_fit();

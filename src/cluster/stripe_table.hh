@@ -10,6 +10,8 @@
  *
  *   placement_  flat NodeId array, slot = stripe * n + chunk
  *   lostBits_   one uint64_t lost-bitmask per stripe (n <= 64)
+ *   corruptBits_ one uint64_t bit-rot mask per stripe (silent;
+ *               promoted to lost on scrub/verify detection)
  *   gen_        per-stripe generation, bumped on any mutation
  *   state_      scanner-assigned health classification
  *   misplaced_  placement-policy violation flag (balancer input)
@@ -117,6 +119,23 @@ class StripeTable
     void markRepaired(StripeId stripe, ChunkIndex chunk);
 
     /**
+     * Flags a chunk's payload as silently corrupt (bit rot). The
+     * chunk still *looks* live — corruption is invisible to the
+     * planner and the generation counter until a scrub read or a
+     * verify-on-read detects it and promotes it to lost
+     * (markLost()). markRepaired() clears the flag (the rewritten
+     * payload is fresh); relocate() deliberately does not — a
+     * balancer copy of rotten bytes is still rotten.
+     */
+    void markCorrupt(StripeId stripe, ChunkIndex chunk);
+    void clearCorrupt(StripeId stripe, ChunkIndex chunk);
+    bool chunkCorrupt(StripeId stripe, ChunkIndex chunk) const;
+    /** Per-stripe corrupt bitmask (ground truth, detection-agnostic). */
+    uint64_t corruptMask(StripeId stripe) const;
+    /** Chunks currently flagged corrupt across all stripes. */
+    int corruptCount() const { return corruptCount_; }
+
+    /**
      * Fails a node eagerly: every live chunk it hosts becomes lost.
      * @return the newly lost chunks in (stripe, chunk) order —
      *         byte-identical to the legacy full-scan output.
@@ -213,8 +232,9 @@ class StripeTable
     int n_; // code_->n(), cached (== chunks per stripe)
 
     // --- parallel per-stripe arrays (the SoA core) ---
-    std::vector<NodeId> placement_;   // stripe * n + chunk
-    std::vector<uint64_t> lostBits_;  // per stripe
+    std::vector<NodeId> placement_;    // stripe * n + chunk
+    std::vector<uint64_t> lostBits_;   // per stripe
+    std::vector<uint64_t> corruptBits_; // per stripe (bit rot)
     std::vector<uint32_t> gen_;       // per stripe
     std::vector<uint8_t> state_;      // StripeHealth per stripe
     std::vector<uint8_t> misplaced_;  // 0/1 per stripe
@@ -222,6 +242,7 @@ class StripeTable
     // --- per-node state ---
     std::vector<uint8_t> nodeFlags_;
     int failedCount_ = 0;
+    int corruptCount_ = 0;
     int pendingWipeCount_ = 0;
     uint64_t wipeStamp_ = 0;
     /** Reverse index: packed slots per node. Appended on create /

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Portable CRC32C variants (bitwise reference + slicing-by-8 SWAR),
+ * xxHash64, the one-time kernel dispatch (mirroring gf_dispatch.cc),
+ * and the SliceChecksums sidecar.
+ */
+
+#include "ec/checksum.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+
+namespace chameleon {
+namespace ec {
+namespace checksum {
+namespace detail {
+
+namespace {
+
+/** Reflected CRC32C (Castagnoli) polynomial. */
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+uint32_t
+crc32cScalar(uint32_t crc, const uint8_t *data, std::size_t len)
+{
+    crc = ~crc;
+    for (std::size_t i = 0; i < len; ++i) {
+        crc ^= data[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+    }
+    return ~crc;
+}
+
+/** Slicing-by-8 tables: table[t][b] advances a CRC whose low byte is
+ * b by 8-t more zero bytes. Built once, lazily. */
+struct SliceTables
+{
+    uint32_t t[8][256];
+
+    SliceTables()
+    {
+        for (uint32_t b = 0; b < 256; ++b) {
+            uint32_t crc = b;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ (kPoly & (0u - (crc & 1u)));
+            t[0][b] = crc;
+        }
+        for (int k = 1; k < 8; ++k) {
+            for (uint32_t b = 0; b < 256; ++b)
+                t[k][b] =
+                    (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+        }
+    }
+};
+
+const SliceTables &
+sliceTables()
+{
+    static const SliceTables tables;
+    return tables;
+}
+
+uint32_t
+crc32cSwar(uint32_t crc, const uint8_t *data, std::size_t len)
+{
+    const auto &tb = sliceTables();
+    crc = ~crc;
+    while (len >= 8) {
+        uint64_t word;
+        std::memcpy(&word, data, 8);
+        word ^= crc;
+        crc = tb.t[7][word & 0xFFu] ^
+              tb.t[6][(word >> 8) & 0xFFu] ^
+              tb.t[5][(word >> 16) & 0xFFu] ^
+              tb.t[4][(word >> 24) & 0xFFu] ^
+              tb.t[3][(word >> 32) & 0xFFu] ^
+              tb.t[2][(word >> 40) & 0xFFu] ^
+              tb.t[1][(word >> 48) & 0xFFu] ^
+              tb.t[0][(word >> 56) & 0xFFu];
+        data += 8;
+        len -= 8;
+    }
+    while (len--) {
+        crc = (crc >> 8) ^ tb.t[0][(crc ^ *data++) & 0xFFu];
+    }
+    return ~crc;
+}
+
+bool
+cpuSupports(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+    case Isa::kSwar:
+        return true;
+#ifdef CHAMELEON_HAVE_SSE42
+    case Isa::kSse42:
+        return __builtin_cpu_supports("sse4.2") != 0;
+#endif
+    default:
+        return false;
+    }
+}
+
+Isa
+selectIsa()
+{
+    const auto avail = availableIsas();
+    if (const char *want =
+            std::getenv("CHAMELEON_CHECKSUM_KERNEL")) {
+        for (Isa isa : avail) {
+            if (std::strcmp(want, isaName(isa)) == 0)
+                return isa;
+        }
+        // Unavailable request: fall through to the default order.
+    }
+    return avail.front();
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+        return "scalar";
+    case Isa::kSwar:
+        return "swar";
+    case Isa::kSse42:
+        return "sse42";
+    }
+    return "unknown";
+}
+
+std::vector<Isa>
+availableIsas()
+{
+#ifdef CHAMELEON_FORCE_SCALAR
+    return {Isa::kScalar};
+#else
+    std::vector<Isa> out;
+#ifdef CHAMELEON_HAVE_SSE42
+    if (cpuSupports(Isa::kSse42))
+        out.push_back(Isa::kSse42);
+#endif
+    out.push_back(Isa::kSwar);
+    out.push_back(Isa::kScalar);
+    return out;
+#endif
+}
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels k{&crc32cScalar};
+    return k;
+}
+
+const Kernels &
+swarKernels()
+{
+    static const Kernels k{&crc32cSwar};
+    return k;
+}
+
+const Kernels &
+kernels(Isa isa)
+{
+    switch (isa) {
+    case Isa::kScalar:
+        return scalarKernels();
+    case Isa::kSwar:
+        return swarKernels();
+#ifdef CHAMELEON_HAVE_SSE42
+    case Isa::kSse42:
+        return sse42Kernels();
+#endif
+    default:
+        CHAMELEON_PANIC("checksum kernel variant ",
+                        static_cast<int>(isa), " not compiled in");
+    }
+}
+
+Isa
+activeIsa()
+{
+    // call_once rather than a magic static: selection may be raced
+    // by sweep workers, and the marker counter must resolve in the
+    // process-wide registry — never a worker's per-run registry,
+    // which would be destroyed with its Runtime.
+    static std::once_flag once;
+    static Isa isa = Isa::kScalar;
+    std::call_once(once, [] {
+        isa = selectIsa();
+        telemetry::processMetrics()
+            .counter(std::string("checksum.kernel.selected.") +
+                     isaName(isa))
+            .add();
+    });
+    return isa;
+}
+
+const Kernels &
+activeKernels()
+{
+    static const Kernels &k = kernels(activeIsa());
+    return k;
+}
+
+} // namespace detail
+
+uint32_t
+crc32c(const void *data, std::size_t len, uint32_t crc)
+{
+    return detail::activeKernels().crc32c(
+        crc, static_cast<const uint8_t *>(data), len);
+}
+
+const char *
+kernelName()
+{
+    return detail::isaName(detail::activeIsa());
+}
+
+namespace {
+
+constexpr uint64_t kXxPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kXxPrime3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kXxPrime5 = 0x27D4EB2F165667C5ull;
+
+inline uint64_t
+rotl64(uint64_t v, int r)
+{
+    return (v << r) | (v >> (64 - r));
+}
+
+inline uint64_t
+read64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+inline uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline uint64_t
+xxRound(uint64_t acc, uint64_t input)
+{
+    acc += input * kXxPrime2;
+    acc = rotl64(acc, 31);
+    return acc * kXxPrime1;
+}
+
+inline uint64_t
+xxMerge(uint64_t acc, uint64_t val)
+{
+    acc ^= xxRound(0, val);
+    return acc * kXxPrime1 + kXxPrime4;
+}
+
+} // namespace
+
+uint64_t
+xxhash64(const void *data, std::size_t len, uint64_t seed)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    const uint8_t *const end = p + len;
+    uint64_t h;
+
+    if (len >= 32) {
+        uint64_t v1 = seed + kXxPrime1 + kXxPrime2;
+        uint64_t v2 = seed + kXxPrime2;
+        uint64_t v3 = seed;
+        uint64_t v4 = seed - kXxPrime1;
+        const uint8_t *const limit = end - 32;
+        do {
+            v1 = xxRound(v1, read64(p));
+            v2 = xxRound(v2, read64(p + 8));
+            v3 = xxRound(v3, read64(p + 16));
+            v4 = xxRound(v4, read64(p + 24));
+            p += 32;
+        } while (p <= limit);
+        h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) +
+            rotl64(v4, 18);
+        h = xxMerge(h, v1);
+        h = xxMerge(h, v2);
+        h = xxMerge(h, v3);
+        h = xxMerge(h, v4);
+    } else {
+        h = seed + kXxPrime5;
+    }
+
+    h += static_cast<uint64_t>(len);
+    while (p + 8 <= end) {
+        h ^= xxRound(0, read64(p));
+        h = rotl64(h, 27) * kXxPrime1 + kXxPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= static_cast<uint64_t>(read32(p)) * kXxPrime1;
+        h = rotl64(h, 23) * kXxPrime2 + kXxPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= *p++ * kXxPrime5;
+        h = rotl64(h, 11) * kXxPrime1;
+    }
+
+    h ^= h >> 33;
+    h *= kXxPrime2;
+    h ^= h >> 29;
+    h *= kXxPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+SliceChecksums
+SliceChecksums::compute(const uint8_t *data, std::size_t len,
+                        std::size_t slice_bytes)
+{
+    SliceChecksums out;
+    if (slice_bytes == 0 || slice_bytes > len)
+        slice_bytes = len > 0 ? len : 1;
+    out.sliceBytes = slice_bytes;
+    out.totalBytes = len;
+    for (std::size_t off = 0; off < len; off += slice_bytes) {
+        const std::size_t n = std::min(slice_bytes, len - off);
+        out.slices.push_back(crc32c(data + off, n));
+    }
+    return out;
+}
+
+int
+SliceChecksums::firstMismatch(const uint8_t *data,
+                              std::size_t len) const
+{
+    if (len != totalBytes)
+        return 0;
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+        const std::size_t off = s * sliceBytes;
+        const std::size_t n = std::min(sliceBytes, len - off);
+        if (crc32c(data + off, n) != slices[s])
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+} // namespace checksum
+} // namespace ec
+} // namespace chameleon

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Data-integrity checksum kernels: CRC32C (Castagnoli) behind the
+ * same one-time runtime ISA dispatch as the GF(2^8) region kernels
+ * (src/gf), plus a portable xxHash64 for content fingerprinting.
+ *
+ * CRC32C variants, fastest-first:
+ *
+ *   - sse42:  hardware _mm_crc32_u64/_u8 (x86 SSE4.2), compiled in
+ *             its own TU with -msse4.2 and only dispatched when the
+ *             CPU reports the extension;
+ *   - swar:   portable slicing-by-8 table walk, 8 bytes per step;
+ *   - scalar: bitwise reference, one bit per step — the oracle the
+ *             property tests compare every other variant against.
+ *
+ * Selection mirrors gf_dispatch.cc: -DCHAMELEON_FORCE_SCALAR strips
+ * everything but the reference, CHAMELEON_CHECKSUM_KERNEL
+ * ("scalar"|"swar"|"sse42") pins a variant when available, and the
+ * choice is recorded once in the process metrics registry as
+ * checksum.kernel.selected.<name>.
+ *
+ * SliceChecksums is the sidecar carried alongside an ec::Buffer
+ * payload: one CRC32C per executor slice, so verify-on-read can
+ * localize corruption to a slice without hashing the whole chunk.
+ */
+
+#ifndef CHAMELEON_EC_CHECKSUM_HH_
+#define CHAMELEON_EC_CHECKSUM_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ec/buffer.hh"
+
+namespace chameleon {
+namespace ec {
+namespace checksum {
+
+namespace detail {
+
+/** Kernel variants in dispatch-preference order (fastest first). */
+enum class Isa
+{
+    kSse42,
+    kSwar,
+    kScalar,
+};
+
+/** Function-pointer table implemented by each ISA variant. */
+struct Kernels
+{
+    /** Continues a CRC32C over [data, data+len); pass the previous
+     * return value to chain regions. State is pre/post-inverted
+     * internally, so 0 is the empty-message seed. */
+    uint32_t (*crc32c)(uint32_t crc, const uint8_t *data,
+                       std::size_t len);
+};
+
+const char *isaName(Isa isa);
+
+/** Variants compiled in AND supported by this CPU, preference order
+ * (under CHAMELEON_FORCE_SCALAR: just the scalar reference). */
+std::vector<Isa> availableIsas();
+
+/** Kernel table for one variant; panics if not compiled in. */
+const Kernels &kernels(Isa isa);
+
+/** The variant every checksum::crc32c() call dispatches to; chosen
+ * once on first use (see file comment). */
+Isa activeIsa();
+
+const Kernels &activeKernels();
+
+const Kernels &scalarKernels();
+const Kernels &swarKernels();
+#ifdef CHAMELEON_HAVE_SSE42
+const Kernels &sse42Kernels();
+#endif
+
+} // namespace detail
+
+/** CRC32C of [data, data+len) via the dispatched kernel; chain
+ * regions by passing the previous result as `crc` (start at 0). */
+uint32_t crc32c(const void *data, std::size_t len, uint32_t crc = 0);
+
+/** Portable xxHash64 content fingerprint (no ISA variants; the
+ * 64-bit mix is already branch-free scalar code). */
+uint64_t xxhash64(const void *data, std::size_t len,
+                  uint64_t seed = 0);
+
+/** Name of the dispatched CRC32C variant, for traces and logs. */
+const char *kernelName();
+
+/**
+ * Per-slice CRC32C sidecar for one chunk payload. Slice boundaries
+ * match the executor's slice pipeline (ExecutorConfig slices), so a
+ * helper read can verify exactly the bytes it ships.
+ */
+struct SliceChecksums
+{
+    /** One CRC32C per slice, in slice order. */
+    std::vector<uint32_t> slices;
+    /** Bytes per slice used at compute time (last slice may be
+     * short). */
+    std::size_t sliceBytes = 0;
+    /** Total payload length covered. */
+    std::size_t totalBytes = 0;
+
+    bool operator==(const SliceChecksums &) const = default;
+
+    /** Checksums [data, data+len) in slice_bytes strides (one slice
+     * covering everything when slice_bytes == 0 or >= len). */
+    static SliceChecksums compute(const uint8_t *data,
+                                  std::size_t len,
+                                  std::size_t slice_bytes);
+    static SliceChecksums compute(const Buffer &payload,
+                                  std::size_t slice_bytes)
+    {
+        return compute(payload.data(), payload.size(), slice_bytes);
+    }
+
+    /** Index of the first slice whose checksum no longer matches the
+     * payload, or -1 when every slice verifies (length mismatch
+     * fails slice 0). */
+    int firstMismatch(const uint8_t *data, std::size_t len) const;
+    int firstMismatch(const Buffer &payload) const
+    {
+        return firstMismatch(payload.data(), payload.size());
+    }
+
+    /** True when the payload matches every slice checksum. */
+    bool verify(const Buffer &payload) const
+    {
+        return firstMismatch(payload) < 0;
+    }
+};
+
+} // namespace checksum
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_EC_CHECKSUM_HH_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hardware CRC32C via the SSE4.2 CRC32 instruction, 8 bytes per
+ * step. This TU is compiled with -msse4.2 and only ever entered
+ * after the dispatcher confirms CPU support (see checksum.hh).
+ */
+
+#include "ec/checksum.hh"
+
+#ifdef CHAMELEON_HAVE_SSE42
+
+#include <cstring>
+#include <nmmintrin.h>
+
+namespace chameleon {
+namespace ec {
+namespace checksum {
+namespace detail {
+
+namespace {
+
+uint32_t
+crc32cSse42(uint32_t crc, const uint8_t *data, std::size_t len)
+{
+    uint64_t c = ~crc;
+    while (len >= 8) {
+        uint64_t word;
+        std::memcpy(&word, data, 8);
+        c = _mm_crc32_u64(c, word);
+        data += 8;
+        len -= 8;
+    }
+    auto c32 = static_cast<uint32_t>(c);
+    while (len--)
+        c32 = _mm_crc32_u8(c32, *data++);
+    return ~c32;
+}
+
+} // namespace
+
+const Kernels &
+sse42Kernels()
+{
+    static const Kernels k{&crc32cSse42};
+    return k;
+}
+
+} // namespace detail
+} // namespace checksum
+} // namespace ec
+} // namespace chameleon
+
+#endif // CHAMELEON_HAVE_SSE42

@@ -22,6 +22,8 @@ faultKindName(FaultKind kind)
         return "linkdeg";
       case FaultKind::kMonitorBlackout:
         return "blackout";
+      case FaultKind::kBitRot:
+        return "bitrot";
     }
     CHAMELEON_PANIC("unknown fault kind");
 }
@@ -39,8 +41,10 @@ parseKind(const std::string &name, std::string &err)
         return FaultKind::kLinkDegrade;
     if (name == "blackout")
         return FaultKind::kMonitorBlackout;
+    if (name == "bitrot")
+        return FaultKind::kBitRot;
     err = "unknown fault kind '" + name +
-          "' (want crash|slowdisk|linkdeg|blackout)";
+          "' (want crash|slowdisk|linkdeg|blackout|bitrot)";
     return std::nullopt;
 }
 
@@ -209,6 +213,10 @@ generateChaos(const ChaosConfig &config, int num_nodes, uint64_t seed)
         {FaultKind::kSlowDisk, config.slowDiskRate},
         {FaultKind::kLinkDegrade, config.linkRate},
         {FaultKind::kMonitorBlackout, config.blackoutRate},
+        // Last so enabling bit rot never perturbs the rng.split()
+        // sequence of the pre-existing kinds: same seed, same
+        // crash/throttle/blackout schedule, bit rot layered on top.
+        {FaultKind::kBitRot, config.bitrotRate},
     };
     for (const KindRate &kr : kinds) {
         if (kr.rate <= 0)
@@ -239,6 +247,10 @@ generateChaos(const ChaosConfig &config, int num_nodes, uint64_t seed)
               case FaultKind::kMonitorBlackout:
                 ev.duration = stream.exponential(config.meanThrottle);
                 break;
+              case FaultKind::kBitRot:
+                ev.node = static_cast<NodeId>(
+                    stream.below(static_cast<uint64_t>(num_nodes)));
+                break;
             }
             out.events.push_back(ev);
             t += stream.exponential(1.0 / kr.rate);
@@ -260,6 +272,7 @@ FaultInjector::FaultInjector(cluster::Cluster &cluster,
       metRejoins_(telemetry::metrics().counter("fault.rejoins")),
       metThrottles_(telemetry::metrics().counter("fault.throttles")),
       metBlackouts_(telemetry::metrics().counter("fault.blackouts")),
+      metBitrots_(telemetry::metrics().counter("fault.bitrots")),
       metSkipped_(telemetry::metrics().counter("fault.skipped"))
 {
 }
@@ -352,6 +365,9 @@ FaultInjector::apply(FaultEvent ev)
       case FaultKind::kMonitorBlackout:
         applyBlackout(ev);
         break;
+      case FaultKind::kBitRot:
+        applyBitRot(ev);
+        break;
     }
 }
 
@@ -430,6 +446,36 @@ FaultInjector::applyThrottle(const FaultEvent &ev)
                     n.setCapacity(id, n.capacity(id) / factor);
             }));
     }
+}
+
+void
+FaultInjector::applyBitRot(FaultEvent ev)
+{
+    if (ev.node == kInvalidNode || stripes_.nodeFailed(ev.node))
+        ev.node = pickLiveNode();
+    if (ev.node == kInvalidNode) {
+        record(ev, false);
+        return;
+    }
+    // Rot a uniformly drawn live, not-yet-corrupt chunk on the node;
+    // nothing observable changes — no flows abort, no metadata
+    // generation bumps — until a scrub or verify-on-read catches it.
+    std::vector<cluster::FailedChunk> victims;
+    for (const auto &fc : stripes_.chunksOnNode(ev.node)) {
+        if (!stripes_.chunkLost(fc.stripe, fc.chunk) &&
+            !stripes_.chunkCorrupt(fc.stripe, fc.chunk))
+            victims.push_back(fc);
+    }
+    if (victims.empty()) {
+        record(ev, false);
+        return;
+    }
+    const auto fc = victims[rng_.below(victims.size())];
+    stripes_.markCorrupt(fc.stripe, fc.chunk);
+    metBitrots_.add();
+    record(ev, true);
+    if (hooks_.onBitRot)
+        hooks_.onBitRot(fc, ev.node);
 }
 
 void

@@ -47,6 +47,10 @@ enum class FaultKind {
     /** The bandwidth monitor stops sampling for duration; repair
      * dispatch runs on frozen (stale) estimates meanwhile. */
     kMonitorBlackout,
+    /** Silent bit rot: payload bytes of one live chunk on the node
+     * flip with no externally visible failure. Only a scrub read or
+     * a checksum verify-on-read can surface it. */
+    kBitRot,
 };
 
 const char *faultKindName(FaultKind kind);
@@ -74,7 +78,7 @@ struct FaultEvent
  *
  * Spec grammar (semicolon-separated events):
  *   kind@T[:node=N][:factor=F][:dur=D]
- * with kind one of crash|slowdisk|linkdeg|blackout, e.g.
+ * with kind one of crash|slowdisk|linkdeg|blackout|bitrot, e.g.
  *   "crash@30:node=3:dur=40;linkdeg@10:factor=0.2:dur=15"
  */
 struct FaultSchedule
@@ -108,6 +112,10 @@ struct ChaosConfig
     double slowDiskRate = 0.0;
     double linkRate = 0.0;
     double blackoutRate = 0.0;
+    /** Silent bit-rot arrivals; kept out of fromRate()'s split so
+     * integrity chaos is opt-in (pre-scrub schedules reproduce
+     * bit-identically when this stays 0). */
+    double bitrotRate = 0.0;
     /** Generation window (events arrive in [0, horizon)). */
     SimTime horizon = 120.0;
     /** Mean crash downtime before rejoin; 0 = permanent crashes. */
@@ -143,6 +151,10 @@ struct InjectorHooks
     std::function<void(NodeId)> onRejoin;
     std::function<void()> onBlackoutStart;
     std::function<void()> onBlackoutEnd;
+    /** After markCorrupt: a live chunk on `node` silently rotted.
+     * Integrity bookkeeping only (detection-latency clocks) — a
+     * repair layer reacting here would be cheating. */
+    std::function<void(cluster::FailedChunk, NodeId)> onBitRot;
 };
 
 /** Log entry: one applied (or skipped) fault. */
@@ -208,6 +220,7 @@ class FaultInjector
     void applyCrash(FaultEvent ev);
     void applyThrottle(const FaultEvent &ev);
     void applyBlackout(const FaultEvent &ev);
+    void applyBitRot(FaultEvent ev);
     /** Uniformly picks a live node, or kInvalidNode if none. */
     NodeId pickLiveNode();
     void record(const FaultEvent &ev, bool applied);
@@ -226,6 +239,7 @@ class FaultInjector
     telemetry::Counter &metRejoins_;
     telemetry::Counter &metThrottles_;
     telemetry::Counter &metBlackouts_;
+    telemetry::Counter &metBitrots_;
     telemetry::Counter &metSkipped_;
 };
 

@@ -34,6 +34,10 @@ RepairExecutor::RepairExecutor(cluster::Cluster &cluster,
       metCombinedSlices_(telemetry::metrics().counter(
           "repair.exec.combined_slices")),
       metAborts_(telemetry::metrics().counter("repair.exec.aborts")),
+      metVerifyRejects_(telemetry::metrics().counter(
+          "repair.exec.verify_rejects")),
+      metDecodeRejects_(telemetry::metrics().counter(
+          "repair.exec.decode_rejects")),
       metDagChunks_(
           telemetry::metrics().counter("repair.exec.dag.chunks")),
       metDagSlices_(
@@ -376,6 +380,29 @@ RepairExecutor::tryLaunchEdge(ChunkExec &chunk, int edge_index)
     const int s = edge.nextSlice;
     const auto &src =
         chunk.plan.sources[static_cast<std::size_t>(edge.source)];
+
+    // Verify-on-read: the first slice launch is where the helper's
+    // payload leaves its disk, so the checksum kernel runs here. A
+    // corrupt helper aborts the whole chunk (deferred — the hook may
+    // mutate stripe state and the abort destroys `chunk`).
+    if (!edge.verified) {
+        edge.verified = true;
+        if (integrity_.verifySource &&
+            !integrity_.verifySource(chunk.plan.stripe, src.chunk,
+                                     src.node)) {
+            metVerifyRejects_.add();
+            const RepairId id = chunk.id;
+            const NodeId bad = src.node;
+            releaseSlots(edge);
+            cluster_.simulator().scheduleAfter(
+                0.0, [this, id, bad] {
+                    if (active_.find(id) != active_.end())
+                        abortChunk(id, bad);
+                });
+            return;
+        }
+    }
+
     const bool to_dest = (edge.target == kToDestination);
     const NodeId to = to_dest
                           ? chunk.plan.destination
@@ -751,6 +778,23 @@ RepairExecutor::checkChunkDone(RepairId id)
                 full);
         }
     }
+    // Verify-after-decode: the reconstruction is complete; checksum
+    // the decoded payload before declaring success. A rejection
+    // aborts through the normal path (deferred — we are inside flow
+    // completion dispatch, and no further events reference this
+    // chunk, so the hook fires exactly once).
+    if (integrity_.verifyDecoded) {
+        const NodeId bad = integrity_.verifyDecoded(chunk.plan);
+        if (bad != kInvalidNode) {
+            metDecodeRejects_.add();
+            cluster_.simulator().scheduleAfter(
+                0.0, [this, id, bad] {
+                    if (active_.find(id) != active_.end())
+                        abortChunk(id, bad);
+                });
+            return;
+        }
+    }
     ++completedChunks_;
     metChunks_.add();
     const SimTime now = cluster_.simulator().now();
@@ -895,6 +939,29 @@ RepairExecutor::tryLaunchDagEdge(DagExec &chunk, int edge_index)
     const NodeId from_node = chunk.dag.vertex(edge.from).node;
     const NodeId to_node = chunk.dag.vertex(edge.to).node;
     const RepairId id = chunk.id;
+
+    // Verify-on-read for leaf edges: the first slice is where the
+    // helper chunk's payload is read off disk, local or not.
+    if (edge.fromLeaf && !edge.verified) {
+        edge.verified = true;
+        if (integrity_.verifySource) {
+            const auto &leaf =
+                chunk.dag.sources()[static_cast<std::size_t>(
+                    chunk.dag.vertex(edge.from).source)];
+            if (!integrity_.verifySource(chunk.plan.stripe,
+                                         leaf.chunk, leaf.node)) {
+                metVerifyRejects_.add();
+                const NodeId bad = leaf.node;
+                releaseHeldSlots(edge.holdUp, edge.holdDown);
+                cluster_.simulator().scheduleAfter(
+                    0.0, [this, id, bad] {
+                        if (dagActive_.count(id))
+                            abortDagChunk(id, bad);
+                    });
+                return;
+            }
+        }
+    }
 
     if (edge.local) {
         // Same-node hop, no network slots: a leaf input is a local
@@ -1125,6 +1192,20 @@ RepairExecutor::checkDagChunkDone(RepairId id)
                          "repair ", id, " persisted ",
                          chunk.destWatermark, " of ",
                          chunk.chunkSlices, " slices");
+    }
+    // Verify-after-decode (see checkChunkDone for the deferral
+    // rationale).
+    if (integrity_.verifyDecoded) {
+        const NodeId bad = integrity_.verifyDecoded(chunk.plan);
+        if (bad != kInvalidNode) {
+            metDecodeRejects_.add();
+            cluster_.simulator().scheduleAfter(
+                0.0, [this, id, bad] {
+                    if (dagActive_.count(id))
+                        abortDagChunk(id, bad);
+                });
+            return;
+        }
     }
     ++completedChunks_;
     metChunks_.add();

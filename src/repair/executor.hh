@@ -147,9 +147,37 @@ class RepairExecutor
     using ChunkFail = std::function<void(const ChunkRepairPlan &,
                                          NodeId, SimTime)>;
 
+    /**
+     * Integrity verification hooks (scrub subsystem); any may be
+     * null. Both fire in event context; rejections abort the chunk
+     * through the same path as a crash, so the session's bounded
+     * retry + re-plan machinery applies unchanged.
+     */
+    struct IntegrityHooks
+    {
+        /** Verify-on-read: invoked once per helper chunk, when its
+         * first slice is about to leave the hosting node (the read
+         * runs the checksum kernel in-path). Return false to reject:
+         * the repair aborts with the helper's node as the cause. The
+         * hook is expected to promote the corrupt helper to lost
+         * before returning, so the re-plan excludes it. */
+        std::function<bool(StripeId, ChunkIndex, NodeId)>
+            verifySource;
+        /** Verify-after-decode: invoked when every transfer and
+         * destination write has landed, before the repair completes.
+         * Return kInvalidNode to accept, or the node of a corrupt
+         * source to reject (abort + re-plan). */
+        std::function<NodeId(const ChunkRepairPlan &)> verifyDecoded;
+    };
+
     RepairExecutor(cluster::Cluster &cluster, ExecutorConfig config);
 
     const ExecutorConfig &config() const { return config_; }
+
+    void setIntegrityHooks(IntegrityHooks hooks)
+    {
+        integrity_ = std::move(hooks);
+    }
 
     cluster::Cluster &cluster() { return cluster_; }
 
@@ -254,6 +282,8 @@ class RepairExecutor
         int nextSlice = 0;     // next slice index to launch
         int delivered = 0;     // slices fully delivered so far
         bool retuned = false;
+        /** Integrity verify-on-read ran for this edge's source. */
+        bool verified = false;
         sim::FlowId activeFlow = sim::kInvalidFlow;
         /** Nodes whose up/down slots the in-flight slice occupies. */
         NodeId holdUp = kInvalidNode;
@@ -321,6 +351,8 @@ class RepairExecutor
         /** From-vertex is a leaf: raw chunk read from disk in-path,
          * no relay overhead. */
         bool fromLeaf = false;
+        /** Integrity verify-on-read ran for this leaf edge. */
+        bool verified = false;
         sim::FlowId activeFlow = sim::kInvalidFlow;
         NodeId holdUp = kInvalidNode;
         NodeId holdDown = kInvalidNode;
@@ -385,6 +417,7 @@ class RepairExecutor
 
     cluster::Cluster &cluster_;
     ExecutorConfig config_;
+    IntegrityHooks integrity_;
     /** Metric handles (see telemetry/metrics.hh). */
     telemetry::Counter &metChunks_;
     telemetry::Counter &metSlices_;
@@ -397,6 +430,10 @@ class RepairExecutor
     telemetry::Counter &metCombinedSlices_;
     /** Chunk repairs aborted by node crashes. */
     telemetry::Counter &metAborts_;
+    /** Integrity-hook rejections: corrupt helper caught at read time
+     * vs. a reconstruction rejected after decode. */
+    telemetry::Counter &metVerifyRejects_;
+    telemetry::Counter &metDecodeRejects_;
     /** DAG-path metrics: chunks, slice deliveries (local = same-node
      * hops), per-chunk peak concurrent network slice flows, and
      * network occupancy (flow-seconds / repair makespan). */

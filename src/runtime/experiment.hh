@@ -20,6 +20,7 @@
 
 #include "cluster/cluster.hh"
 #include "cluster/replicator_scanner.hh"
+#include "cluster/scrub_scanner.hh"
 #include "fault/fault.hh"
 #include "repair/chameleon_scheduler.hh"
 #include "repair/executor.hh"
@@ -121,6 +122,15 @@ struct ExperimentConfig
      * ReplicatorScanner/RepairQueue path instead of feeding the
      * session its work list directly. */
     cluster::ScannerConfig scanner;
+    /** Background integrity scrubbing + executor verify hooks;
+     * scrub.enabled starts the ScrubScanner and (per its verify
+     * flags) installs verify-on-read / verify-after-decode. */
+    cluster::ScrubConfig scrub;
+    /** Silent bit-rot arrival rate (events/second within the chaos
+     * horizon); independent of chaosRate so integrity chaos is
+     * opt-in. Corruptions are only *detected* when scrubbing or the
+     * verify hooks are on. */
+    double bitrotRate = 0.0;
     uint64_t seed = 1;
     /** Hard wall on simulated time (guards runaway runs). */
     SimTime simTimeCap = 100000.0;
@@ -167,6 +177,22 @@ struct ExperimentResult
     int phases = 0;
     int retunes = 0;
     int reorders = 0;
+    /** Integrity counters (zero unless scrub.enabled). Detected
+     * covers all three detection paths (scrub read, verify-on-read,
+     * verify-after-decode); the run loop waits for the scrub
+     * subsystem to go quiescent, so with scrubbing on, injected ==
+     * detected + corruptions claimed by real losses first. */
+    int corruptionsInjected = 0;
+    int corruptionsDetected = 0;
+    int corruptionsRepaired = 0;
+    /** Full (stripe, chunk) scrub passes completed. */
+    int scrubEpochs = 0;
+    /** Bytes read by the background scrubber. */
+    Bytes scrubBytes = 0.0;
+    /** Injection-to-detection latency (seconds) over detections
+     * with a recorded injection time; 0 when none. */
+    SimTime meanDetectionLatency = 0.0;
+    SimTime maxDetectionLatency = 0.0;
     /** Uplink/downlink loads over the repair window, per node. */
     std::vector<LinkLoad> uplinks;
     std::vector<LinkLoad> downlinks;

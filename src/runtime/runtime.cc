@@ -4,6 +4,7 @@
 
 #include "cluster/repair_queue.hh"
 #include "cluster/replicator_scanner.hh"
+#include "cluster/scrub_scanner.hh"
 #include "ec/factory.hh"
 #include "repair/monitor.hh"
 #include "repair/strategies.hh"
@@ -223,6 +224,14 @@ Runtime::run(const ExperimentHooks &hooks)
                      });
     }
 
+    // Integrity scrubbing: the scanner is built before the repair
+    // layer so the outcome hooks below can chain into it; detection
+    // routing is installed after the repair layer exists.
+    std::unique_ptr<cluster::ScrubScanner> scrub;
+    if (config.scrub.enabled && algorithm != Algorithm::kNone)
+        scrub = std::make_unique<cluster::ScrubScanner>(
+            cluster, stripes, config.exec.chunkSize, config.scrub);
+
     // Launch the repair machinery.
     std::unique_ptr<repair::RepairSession> session;
     std::unique_ptr<repair::ChameleonScheduler> scheduler;
@@ -250,9 +259,11 @@ Runtime::run(const ExperimentHooks &hooks)
                     sch->enqueue(chunks);
                 });
             scheduler->setOutcomeHook(
-                [sc = scanner.get()](const cluster::FailedChunk &fc,
-                                     bool ok) {
+                [sc = scanner.get(), sb = scrub.get()](
+                    const cluster::FailedChunk &fc, bool ok) {
                     sc->onChunkOutcome(fc, ok);
+                    if (sb)
+                        sb->noteOutcome(fc, ok);
                 });
             // One synchronous sweep at the exact point the direct
             // path would hand over its work list keeps small-scale
@@ -294,9 +305,11 @@ Runtime::run(const ExperimentHooks &hooks)
                     se->enqueue(chunks);
                 });
             session->setOutcomeHook(
-                [sc = scanner.get()](const cluster::FailedChunk &fc,
-                                     bool ok) {
+                [sc = scanner.get(), sb = scrub.get()](
+                    const cluster::FailedChunk &fc, bool ok) {
                     sc->onChunkOutcome(fc, ok);
+                    if (sb)
+                        sb->noteOutcome(fc, ok);
                 });
             scanner->primeSync();
             scanner->start();
@@ -305,15 +318,98 @@ Runtime::run(const ExperimentHooks &hooks)
         }
     }
 
+    if (scrub) {
+        // Direct-path runs have no scanner outcome hook to chain
+        // behind; install the scrub bookkeeping as the sole hook.
+        if (!scan_mode) {
+            auto outcome = [sb = scrub.get()](
+                               const cluster::FailedChunk &fc,
+                               bool ok) { sb->noteOutcome(fc, ok); };
+            if (scheduler)
+                scheduler->setOutcomeHook(outcome);
+            else if (session)
+                session->setOutcomeHook(outcome);
+        }
+        // Detected corruptions enter repair through the same door as
+        // discovered losses: the prioritized queue on the scanner
+        // path, the live feed otherwise. Deferred — detection can
+        // fire from the executor's verify hooks inside flow
+        // dispatch, where launching repairs must not re-enter.
+        scrub->setOnDetected([&sim, &queue, &scanner, &scheduler,
+                              &session, scan_mode](
+                                 cluster::FailedChunk fc,
+                                 cluster::RepairTier tier) {
+            sim.scheduleAfter(0.0, [&, fc, tier] {
+                if (scan_mode) {
+                    queue->push(fc, tier);
+                    scanner->pumpAdmission();
+                } else if (scheduler) {
+                    scheduler->enqueue({fc});
+                } else if (session) {
+                    session->enqueue({fc});
+                }
+            });
+        });
+        // Executor integrity hooks. The simulator carries no real
+        // payloads, so "run the checksum kernel" consults the
+        // injector's ground-truth corrupt bit — exactly what a
+        // checksum mismatch would report (see ec/checksum.hh for the
+        // kernel itself; the integrity tests exercise it on bytes).
+        repair::RepairExecutor::IntegrityHooks ih;
+        if (config.scrub.verifyReads) {
+            ih.verifySource = [&stripes, sb = scrub.get()](
+                                  StripeId s, ChunkIndex c,
+                                  NodeId) {
+                if (!stripes.chunkCorrupt(s, c))
+                    return true;
+                sb->detect({s, c},
+                           cluster::DetectSource::kVerifyRead);
+                return false;
+            };
+        }
+        ih.verifyDecoded =
+            [&stripes, &sim, sb = scrub.get(),
+             verify = config.scrub.verifyDecode](
+                const repair::ChunkRepairPlan &plan) -> NodeId {
+            for (const auto &src : plan.sources) {
+                if (!stripes.chunkCorrupt(plan.stripe, src.chunk))
+                    continue;
+                if (verify) {
+                    sb->detect({plan.stripe, src.chunk},
+                               cluster::DetectSource::kVerifyDecode);
+                    return src.node;
+                }
+                // Verification off: the corrupt helper's garbage is
+                // folded into the reconstruction. Re-mark after the
+                // session's markRepaired clears the bit, so the
+                // propagated corruption stays scrubbable.
+                telemetry::metrics()
+                    .counter("integrity.corruptions_propagated")
+                    .add();
+                sim.scheduleAfter(0.0, [&stripes, plan] {
+                    if (!stripes.chunkLost(plan.stripe,
+                                           plan.failedChunk))
+                        stripes.markCorrupt(plan.stripe,
+                                            plan.failedChunk);
+                });
+                return kInvalidNode;
+            }
+            return kInvalidNode;
+        };
+        executor.setIntegrityHooks(std::move(ih));
+        scrub->start();
+    }
+
     // Arm mid-repair faults (explicit schedule + generated chaos)
     // once the repair layer is live, so crash hooks have somewhere
     // to deliver the newly lost chunks.
     std::unique_ptr<fault::FaultInjector> injector;
     {
         fault::FaultSchedule schedule = config.faults;
-        if (config.chaosRate > 0) {
+        if (config.chaosRate > 0 || config.bitrotRate > 0) {
             auto chaos = fault::ChaosConfig::fromRate(
                 config.chaosRate, config.chaosHorizon);
+            chaos.bitrotRate = config.bitrotRate;
             uint64_t chaos_seed = config.chaosSeed != 0
                                       ? config.chaosSeed
                                       : config.seed ^ 0x9e3779b97f4a7c15ull;
@@ -351,6 +447,14 @@ Runtime::run(const ExperimentHooks &hooks)
             };
             fault_hooks.onBlackoutStart = [&] { monitor.stop(); };
             fault_hooks.onBlackoutEnd = [&] { monitor.start(); };
+            // Start the detection-latency clock. Without a scrub
+            // scanner the corruption simply stays silent — that is
+            // the point of the no-scrub baseline.
+            fault_hooks.onBitRot = [&](cluster::FailedChunk fc,
+                                       NodeId) {
+                if (scrub)
+                    scrub->noteCorruption(fc);
+            };
             injector = std::make_unique<fault::FaultInjector>(
                 cluster, stripes, std::move(fault_hooks));
             if (scan_mode)
@@ -364,6 +468,12 @@ Runtime::run(const ExperimentHooks &hooks)
             return true;
         const bool done =
             scheduler ? scheduler->finished() : session->finished();
+        // With scrubbing on, the repair layer idling is not enough
+        // either: every injected corruption must have been surfaced
+        // and re-repaired (bounded by one scrub epoch), or claimed
+        // by a real loss first.
+        if (scrub && !scrub->quiescent())
+            return false;
         if (!scan_mode)
             return done;
         // Scanner path: the repair layer idling is not enough — the
@@ -441,6 +551,8 @@ Runtime::run(const ExperimentHooks &hooks)
     // faults out of the drain window.
     if (injector)
         injector->disarm();
+    if (scrub)
+        scrub->stop();
     if (scanner)
         scanner->stop();
     if (driver)
@@ -474,6 +586,18 @@ Runtime::run(const ExperimentHooks &hooks)
     }
     if (injector)
         result.faultsInjected = injector->faultsInjected();
+    if (scrub) {
+        result.corruptionsInjected =
+            static_cast<int>(scrub->corruptionsSeen());
+        result.corruptionsDetected =
+            static_cast<int>(scrub->corruptionsDetected());
+        result.corruptionsRepaired =
+            static_cast<int>(scrub->corruptionsRepaired());
+        result.scrubEpochs = static_cast<int>(scrub->epoch());
+        result.scrubBytes = scrub->scrubBytes();
+        result.meanDetectionLatency = scrub->meanDetectionLatency();
+        result.maxDetectionLatency = scrub->maxDetectionLatency();
+    }
     if (driver) {
         const auto &lat = driver->latencies();
         // Latency over the repair window (or the whole loaded run

@@ -411,7 +411,7 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
                     "executor", "chunks_to_repair", "stripes",
                     "failed_nodes", "requests_per_client", "warmup",
                     "chameleon", "session", "topology", "stragglers",
-                    "faults", "chaos", "scanner", "seed",
+                    "faults", "chaos", "scanner", "scrub", "seed",
                     "sim_time_cap"},
                    err))
         return fail(err);
@@ -552,11 +552,38 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
     }
 
     if (const JsonValue *chaos = doc->find("chaos")) {
-        if (!checkKeys(*chaos, "chaos", {"rate", "seed", "horizon"},
+        if (!checkKeys(*chaos, "chaos",
+                       {"rate", "seed", "horizon", "bitrot_rate"},
                        err) ||
             !readNum(*chaos, "rate", &spec.chaosRate, err) ||
             !readU64(*chaos, "seed", &spec.chaosSeed, err) ||
-            !readNum(*chaos, "horizon", &spec.chaosHorizon, err))
+            !readNum(*chaos, "horizon", &spec.chaosHorizon, err) ||
+            !readNum(*chaos, "bitrot_rate", &spec.bitrotRate, err))
+            return fail(err);
+    }
+
+    if (const JsonValue *sb = doc->find("scrub")) {
+        if (!checkKeys(*sb, "scrub",
+                       {"enabled", "rate", "interval", "adaptive",
+                        "adaptive_floor", "max_in_flight",
+                        "risk_margin", "verify_reads",
+                        "verify_decode"},
+                       err) ||
+            !readBool(*sb, "enabled", &spec.scrub.enabled, err) ||
+            !readNum(*sb, "rate", &spec.scrub.rate, err) ||
+            !readNum(*sb, "interval", &spec.scrub.tickInterval,
+                     err) ||
+            !readBool(*sb, "adaptive", &spec.scrub.adaptive, err) ||
+            !readNum(*sb, "adaptive_floor",
+                     &spec.scrub.adaptiveFloor, err) ||
+            !readInt(*sb, "max_in_flight", &spec.scrub.maxInFlight,
+                     err) ||
+            !readInt(*sb, "risk_margin", &spec.scrub.riskMargin,
+                     err) ||
+            !readBool(*sb, "verify_reads", &spec.scrub.verifyReads,
+                      err) ||
+            !readBool(*sb, "verify_decode",
+                      &spec.scrub.verifyDecode, err))
             return fail(err);
     }
 
@@ -648,6 +675,21 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
         return fail("failed_nodes must be in [1, cluster.nodes]");
     if (spec.chaosRate < 0)
         return fail("chaos.rate must be >= 0");
+    if (spec.bitrotRate < 0)
+        return fail("chaos.bitrot_rate must be >= 0");
+    if (spec.scrub.rate <= 0)
+        return fail("scrub.rate must be > 0");
+    if (spec.scrub.tickInterval <= 0)
+        return fail("scrub.interval must be > 0");
+    if (spec.scrub.adaptiveFloor <= 0 || spec.scrub.adaptiveFloor > 1)
+        return fail("scrub.adaptive_floor must be in (0, 1]");
+    if (spec.scrub.maxInFlight < 1)
+        return fail("scrub.max_in_flight must be >= 1");
+    if (spec.scrub.riskMargin < 0)
+        return fail("scrub.risk_margin must be >= 0");
+    if (spec.scrub.enabled && spec.algorithm == Algorithm::kNone)
+        return fail("scrub.enabled needs a repair algorithm "
+                    "(detected corruption has nowhere to go)");
     if (spec.warmup < 0 || spec.simTimeCap <= 0)
         return fail("warmup must be >= 0 and sim_time_cap > 0");
     return spec;
@@ -722,7 +764,22 @@ ScenarioSpec::toJson() const
     os << ",\n  \"chaos\": {\"rate\": " << formatDouble(chaosRate)
        << ", \"seed\": "
        << formatDouble(static_cast<double>(chaosSeed))
-       << ", \"horizon\": " << formatDouble(chaosHorizon) << "},\n";
+       << ", \"horizon\": " << formatDouble(chaosHorizon)
+       << ", \"bitrot_rate\": " << formatDouble(bitrotRate)
+       << "},\n";
+    os << "  \"scrub\": {\"enabled\": "
+       << (scrub.enabled ? "true" : "false")
+       << ", \"rate\": " << formatDouble(scrub.rate)
+       << ", \"interval\": " << formatDouble(scrub.tickInterval)
+       << ", \"adaptive\": " << (scrub.adaptive ? "true" : "false")
+       << ", \"adaptive_floor\": "
+       << formatDouble(scrub.adaptiveFloor)
+       << ", \"max_in_flight\": " << scrub.maxInFlight
+       << ", \"risk_margin\": " << scrub.riskMargin
+       << ", \"verify_reads\": "
+       << (scrub.verifyReads ? "true" : "false")
+       << ", \"verify_decode\": "
+       << (scrub.verifyDecode ? "true" : "false") << "},\n";
     os << "  \"scanner\": {\"enabled\": "
        << (scanner.enabled ? "true" : "false")
        << ", \"batch\": " << scanner.batchSize
@@ -763,7 +820,9 @@ ScenarioSpec::toConfig() const
     cfg.chaosRate = chaosRate;
     cfg.chaosSeed = chaosSeed;
     cfg.chaosHorizon = chaosHorizon;
+    cfg.bitrotRate = bitrotRate;
     cfg.scanner = scanner;
+    cfg.scrub = scrub;
     cfg.seed = seed;
     cfg.simTimeCap = simTimeCap;
     return cfg;

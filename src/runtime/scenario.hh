@@ -58,9 +58,15 @@ struct ScenarioSpec
     double chaosRate = 0.0;
     uint64_t chaosSeed = 0;
     SimTime chaosHorizon = 120.0;
+    /** Silent bit-rot arrival rate (chaos block, "bitrot_rate");
+     * independent of the combined chaos rate. */
+    double bitrotRate = 0.0;
     /** Background scanner / repair-queue knobs (the "scanner" JSON
      * block); scanner.enabled selects the scanner repair path. */
     cluster::ScannerConfig scanner;
+    /** Integrity scrubbing + executor verify knobs (the "scrub"
+     * JSON block); scrub.enabled starts the background scrubber. */
+    cluster::ScrubConfig scrub;
     uint64_t seed = 1;
     SimTime simTimeCap = 100000.0;
 

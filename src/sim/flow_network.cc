@@ -49,9 +49,11 @@ FlowNetwork::traceFlowSpan(const Flow &flow, SimTime end,
             path.push_back('|');
         path += resources_[static_cast<std::size_t>(r)].name;
     }
-    const auto track = flow.tag == FlowTag::kRepair
-                           ? telemetry::kTrackRepairFlow
-                           : telemetry::kTrackForeground;
+    // Scrub reads share the repair track: both are background
+    // streams contending with foreground traffic.
+    const auto track = flow.tag == FlowTag::kForeground
+                           ? telemetry::kTrackForeground
+                           : telemetry::kTrackRepairFlow;
     if (!flow.label.empty()) {
         // Labeled (per-slice) flows carry their provenance so trace
         // consumers can reassemble a chunk's pipeline occupancy.
@@ -478,7 +480,7 @@ FlowNetwork::resolve(const std::vector<ResourceId> &seeds)
     // edges), same as one fill round, and — unlike += deltas — free
     // of accumulated FP drift, so an idle link reads exactly 0.
     for (Resource *res : dirtyRes_) {
-        Rate sums[kNumFlowTags] = {0.0, 0.0};
+        Rate sums[kNumFlowTags] = {0.0, 0.0, 0.0};
         for (const Flow *f : res->active)
             sums[static_cast<int>(f->tag)] += f->rate;
         for (int t = 0; t < kNumFlowTags; ++t)

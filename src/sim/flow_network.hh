@@ -59,9 +59,11 @@ inline constexpr FlowId kInvalidFlow = -1;
 enum class FlowTag : int {
     kForeground = 0,
     kRepair = 1,
+    /** Background integrity scrub reads (cluster::ScrubScanner). */
+    kScrub = 2,
 };
 
-inline constexpr int kNumFlowTags = 2;
+inline constexpr int kNumFlowTags = 3;
 
 /**
  * Optional provenance attached to a flow for telemetry: which repair
@@ -211,13 +213,13 @@ class FlowNetwork
          * progressive-filling loop walks flows directly instead of
          * hashing ids per visit. */
         std::vector<Flow *> active;
-        Bytes taggedBytes[kNumFlowTags] = {0.0, 0.0};
+        Bytes taggedBytes[kNumFlowTags] = {0.0, 0.0, 0.0};
         WindowedUsage usage[kNumFlowTags];
         /** Incrementally maintained per-tag rate sums and flow
          * counts; the sum snaps to exactly 0 when the count does,
          * so FP dust never accumulates on idle links. */
-        Rate tagRate[kNumFlowTags] = {0.0, 0.0};
-        int32_t tagCount[kNumFlowTags] = {0, 0};
+        Rate tagRate[kNumFlowTags] = {0.0, 0.0, 0.0};
+        int32_t tagCount[kNumFlowTags] = {0, 0, 0};
         /** Dirty-set traversal epoch (solve-internal). */
         uint64_t mark = 0;
         /** Progressive-filling scratch (solve-internal). */
@@ -226,7 +228,8 @@ class FlowNetwork
 
         Resource(std::string n, Rate c, SimTime window)
             : name(std::move(n)), capacity(c),
-              usage{WindowedUsage(window), WindowedUsage(window)}
+              usage{WindowedUsage(window), WindowedUsage(window),
+                    WindowedUsage(window)}
         {
         }
     };

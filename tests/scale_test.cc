@@ -175,8 +175,9 @@ TEST(ScaleQueueProperty, SeededChaosKeepsQueueInvariants)
     //     exceeded;
     //  3. closure — after the chaos ends, every lost chunk is
     //     either repaired or its stripe is unrecoverable.
-    // On failure the chaos seed lands in chaos_seed.txt (ChurnFuzz
-    // convention) so CI can attach it to the run.
+    // On failure the chaos seed lands in chaos_seed_scalequeue.txt
+    // (ChurnFuzz convention, per-suite filename so parallel ctest
+    // runs cannot clobber each other) so CI can attach it.
     for (uint64_t seed = 1; seed <= 12; ++seed) {
         SCOPED_TRACE("chaos seed " + std::to_string(seed));
         Rng rng(seed * 9176);
@@ -292,12 +293,12 @@ TEST(ScaleQueueProperty, SeededChaosKeepsQueueInvariants)
         }
 
         if (::testing::Test::HasFailure()) {
-            std::ofstream("chaos_seed.txt")
+            std::ofstream("chaos_seed_scalequeue.txt")
                 << seed << "\n"
                 << chaos.str() << "\n";
             std::fprintf(stderr,
                          "scale queue fuzz failed; chaos seed %llu "
-                         "(schedule in chaos_seed.txt)\n",
+                         "(schedule in chaos_seed_scalequeue.txt)\n",
                          static_cast<unsigned long long>(seed));
             break;
         }
@@ -417,12 +418,12 @@ TEST(ScaleQueueProperty, ScannerChaosClosesEveryLoss)
         }
 
         if (::testing::Test::HasFailure()) {
-            std::ofstream("chaos_seed.txt")
+            std::ofstream("chaos_seed_scannerchaos.txt")
                 << seed << "\n"
                 << chaos.str() << "\n";
             std::fprintf(stderr,
                          "scanner chaos closure failed; chaos seed "
-                         "%llu (schedule in chaos_seed.txt)\n",
+                         "%llu (schedule in chaos_seed_scannerchaos.txt)\n",
                          static_cast<unsigned long long>(seed));
             break;
         }

@@ -78,13 +78,21 @@ Options (defaults in brackets):
                      (repeatable)
   --faults SPEC      inject faults mid-repair; SPEC is semicolon-
                      separated kind@T[:node=N][:factor=F][:dur=D]
-                     with kind crash|slowdisk|linkdeg|blackout and
-                     T seconds after repair starts, e.g.
+                     with kind crash|slowdisk|linkdeg|blackout|bitrot
+                     and T seconds after repair starts, e.g.
                      "crash@5:dur=40;linkdeg@10:factor=0.2:dur=15"
   --chaos-rate X     sample a random fault schedule at X events/s
                      (split across kinds)  [0 = off]
   --chaos-seed N     chaos schedule seed  [derived from --seed]
   --chaos-horizon X  chaos window length (s)  [120]
+  --bitrot-rate X    silent bit-rot corruptions at X events/s within
+                     the chaos window  [0 = off]
+  --scrub            enable background integrity scrubbing (and the
+                     executor verify-on-read/after-decode hooks)
+  --scrub-mbps X     scrub read bandwidth  [64]
+  --scrub-adaptive   back scrubbing off on foreground-busy disks
+  --no-verify-reads  disable verify-on-read of repair helpers
+  --no-verify-decode disable verify-after-decode of repaired chunks
   --seed N           RNG seed  [42]
   --trace-out PATH   write a Chrome/Perfetto trace (chrome://tracing,
                      https://ui.perfetto.dev) of every run
@@ -171,6 +179,14 @@ publishResult(Algorithm algo, const ExperimentResult &r)
     reg.gauge(base + "unrecoverable").set(r.chunksUnrecoverable);
     reg.gauge(base + "crash_replans").set(r.crashReplans);
     reg.gauge(base + "faults_injected").set(r.faultsInjected);
+    reg.gauge(base + "corruptions_injected")
+        .set(r.corruptionsInjected);
+    reg.gauge(base + "corruptions_detected")
+        .set(r.corruptionsDetected);
+    reg.gauge(base + "corruptions_repaired")
+        .set(r.corruptionsRepaired);
+    reg.gauge(base + "scrub_epochs").set(r.scrubEpochs);
+    reg.gauge(base + "scrub_mb").set(r.scrubBytes / 1e6);
 }
 
 /** Prints one result row from the published metrics snapshot so the
@@ -198,6 +214,11 @@ printResultRow(Algorithm algo, const ExperimentConfig &cfg,
         std::printf("   faults %.0f replans %.0f unrecoverable %.0f",
                     value("faults_injected"), value("crash_replans"),
                     value("unrecoverable"));
+    if (cfg.scrub.enabled)
+        std::printf("   rot %.0f/%.0f detected, %.0f re-repaired",
+                    value("corruptions_detected"),
+                    value("corruptions_injected"),
+                    value("corruptions_repaired"));
     std::printf("\n");
 }
 
@@ -353,6 +374,20 @@ main(int argc, char **argv)
         } else if (flag == "--chaos-horizon") {
             spec.chaosHorizon = std::stod(need_value(i));
             ++i;
+        } else if (flag == "--bitrot-rate") {
+            spec.bitrotRate = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--scrub") {
+            spec.scrub.enabled = true;
+        } else if (flag == "--scrub-mbps") {
+            spec.scrub.rate = std::stod(need_value(i)) * units::MiB;
+            ++i;
+        } else if (flag == "--scrub-adaptive") {
+            spec.scrub.adaptive = true;
+        } else if (flag == "--no-verify-reads") {
+            spec.scrub.verifyReads = false;
+        } else if (flag == "--no-verify-decode") {
+            spec.scrub.verifyDecode = false;
         } else if (flag == "--seed") {
             spec.seed = std::stoull(need_value(i));
             ++i;
