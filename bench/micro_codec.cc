@@ -145,7 +145,11 @@ BM_RsEncode(benchmark::State &state)
     state.SetBytesProcessed(
         static_cast<int64_t>(state.iterations()) * k * (1 << 20));
 }
-BENCHMARK(BM_RsEncode)->Args({6, 3})->Args({10, 4});
+BENCHMARK(BM_RsEncode)
+    ->Args({6, 3})
+    ->Args({10, 4})
+    ->Args({20, 8})
+    ->Args({24, 8});
 
 void
 BM_RsRepairCompute(benchmark::State &state)
@@ -178,6 +182,36 @@ BM_RsRepairCompute(benchmark::State &state)
         static_cast<int64_t>(state.iterations()) * (1 << 20));
 }
 BENCHMARK(BM_RsRepairCompute)->Arg(6)->Arg(10);
+
+/** Single-chunk repairCompute for any registry spec; registered in
+ * main() for the wide-RS / multi-group-LRC rows (Exp#17). */
+void
+BM_CodecRepair(benchmark::State &state, std::string spec)
+{
+    auto code = ec::makeCode(spec);
+    Rng rng(8);
+    std::vector<ec::Buffer> data;
+    for (int i = 0; i < code->k(); ++i)
+        data.push_back(randomChunk(rng, 1 << 20));
+    auto parity = code->encode(data);
+    std::vector<ec::Buffer> chunks = data;
+    for (auto &p : parity)
+        chunks.push_back(std::move(p));
+    std::vector<ChunkIndex> avail;
+    for (ChunkIndex c = 1; c < code->n(); ++c)
+        avail.push_back(c);
+    auto repair = code->makeRepairSpec(0, avail, rng);
+    std::vector<ec::Buffer> helper_data;
+    for (const auto &read : repair.reads)
+        helper_data.push_back(
+            chunks[static_cast<std::size_t>(read.helper)]);
+    for (auto _ : state) {
+        auto out = code->repairCompute(repair, helper_data);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * (1 << 20));
+}
 
 void
 BM_LrcLocalRepair(benchmark::State &state)
@@ -278,6 +312,13 @@ main(int argc, char **argv)
                 name.c_str(), BM_GfMulAddRegionIsa, isa)
                 ->Arg(size);
         }
+    }
+    for (const char *spec : {"rs(20,8)", "rs(24,8)",
+                             "lrc(12,2,2,2)", "lrc(24,4,2,2)"}) {
+        std::string name =
+            std::string("BM_CodecRepair/") + spec + "/1MiB";
+        benchmark::RegisterBenchmark(name.c_str(), BM_CodecRepair,
+                                     std::string(spec));
     }
     benchmark::AddCustomContext("gf_kernel", gf::kernelName());
     benchmark::Initialize(&argc, argv);

@@ -222,6 +222,32 @@ ButterflyCode::repairCompute(const RepairSpec &spec,
 }
 
 bool
+ButterflyCode::canRepair(std::span<const ChunkIndex> erased) const
+{
+    for (auto e : erased)
+        CHAMELEON_ASSERT(e >= 0 && e < 4, "bad erased index ", e);
+    return erased.size() <= 2;
+}
+
+std::optional<std::vector<ChunkIndex>>
+ButterflyCode::repairIndices(std::span<const ChunkIndex> erased) const
+{
+    if (!canRepair(erased))
+        return std::nullopt;
+    // Both repair recipes and two-loss decode read every survivor.
+    std::array<bool, 4> gone = {false, false, false, false};
+    for (auto e : erased)
+        gone[static_cast<std::size_t>(e)] = true;
+    std::vector<ChunkIndex> helpers;
+    for (ChunkIndex i = 0; i < 4; ++i)
+        if (!gone[static_cast<std::size_t>(i)])
+            helpers.push_back(i);
+    if (erased.empty())
+        helpers.clear();
+    return helpers;
+}
+
+bool
 ButterflyCode::decode(std::vector<Buffer> &chunks) const
 {
     CHAMELEON_ASSERT(chunks.size() == 4, "Butterfly stripe has 4 chunks");

@@ -63,6 +63,15 @@ class ButterflyCode : public ErasureCode
                   const std::vector<Buffer> &helper_data) const override;
 
     bool decode(std::vector<Buffer> &chunks) const override;
+
+    /** MDS over two chunk losses. */
+    bool canRepair(std::span<const ChunkIndex> erased) const override;
+
+    /** The full survivor set — the recipes admit no subset choice. */
+    std::optional<std::vector<ChunkIndex>>
+    repairIndices(std::span<const ChunkIndex> erased) const override;
+
+    int guaranteedRepairableCount() const override { return 2; }
 };
 
 } // namespace ec

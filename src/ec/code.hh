@@ -84,8 +84,24 @@ struct RepairSpec
 /**
  * Interface implemented by every code family.
  *
- * Chunk indices 0..k-1 are data chunks; k..n-1 are parity chunks
- * (systematic layout, as all the paper's codes are systematic).
+ * Stripe-layout contract (every family is systematic):
+ *   - chunk indices [0, k) are the data chunks;
+ *   - chunk indices [k, n) are parity chunks, in whatever order the
+ *     family defines (LRC places its local parities before its
+ *     global parities; see lrc_code.hh for the exact layout).
+ *   - m() is ALWAYS the total parity count n - k, never a family
+ *     constructor parameter. LRC(k, l, m_global) reports
+ *     m() == l*g + m_global; use totalParity() when you mean n - k
+ *     explicitly and the family's own accessors (e.g.
+ *     LrcCode::globalParities()) when you mean a constructor
+ *     parameter.
+ *
+ * Besides the three repair primitives (encode / makeRepairSpec /
+ * repairCompute), the interface answers the capability questions a
+ * production placement or scrub layer asks — which erasure patterns
+ * are repairable, from which minimal helper sets, and how many
+ * failures are guaranteed survivable (the shape of ytsaurus'
+ * ICodec).
  */
 class ErasureCode
 {
@@ -93,8 +109,12 @@ class ErasureCode
     virtual ~ErasureCode() = default;
 
     virtual int k() const = 0;
+    /** Total parity chunks, n - k (see the layout contract above). */
     virtual int m() const = 0;
     int n() const { return k() + m(); }
+    /** Alias of m(), named for call sites where "m" would be
+     * ambiguous with a family's global-parity parameter. */
+    int totalParity() const { return m(); }
 
     virtual std::string name() const = 0;
 
@@ -163,6 +183,40 @@ class ErasureCode
      * @retval true if the failure pattern was decodable.
      */
     virtual bool decode(std::vector<Buffer> &chunks) const = 0;
+
+    // ---- Capability queries (the ICodec surface).
+
+    /**
+     * True when every chunk in `erased` can be reconstructed from
+     * the complement survivor set. Indices must be valid and
+     * duplicate-free; an empty pattern is trivially repairable.
+     * Exactly decode()'s success predicate, answerable without
+     * touching chunk bytes.
+     */
+    virtual bool
+    canRepair(std::span<const ChunkIndex> erased) const = 0;
+
+    /**
+     * A minimal helper set sufficient to reconstruct every chunk in
+     * `erased`: a sorted, duplicate-free subset of the survivors
+     * from which no member can be dropped without losing some erased
+     * chunk. Deterministic for a given pattern (schedulers and tests
+     * rely on that), minimal in the irredundant sense — ties between
+     * equally small sets are broken by index order, not globally
+     * optimized.
+     *
+     * @return nullopt when the pattern is not repairable.
+     */
+    virtual std::optional<std::vector<ChunkIndex>>
+    repairIndices(std::span<const ChunkIndex> erased) const = 0;
+
+    /**
+     * Largest f such that EVERY erasure pattern of at most f chunks
+     * is repairable (MDS codes: m; LRC: typically far below its
+     * total parity). Patterns above this size may still repair —
+     * canRepair() is the per-pattern answer.
+     */
+    virtual int guaranteedRepairableCount() const = 0;
 };
 
 } // namespace ec

@@ -4,6 +4,7 @@
 #include "ec/lrc_code.hh"
 #include "ec/replicated_code.hh"
 #include "ec/rs_code.hh"
+#include "util/logging.hh"
 
 namespace chameleon {
 namespace ec {
@@ -21,6 +22,12 @@ makeLrc(int k, int l, int m)
 }
 
 std::shared_ptr<ErasureCode>
+makeLrc(int k, int l, int g, int m)
+{
+    return std::make_shared<LrcCode>(k, l, g, m);
+}
+
+std::shared_ptr<ErasureCode>
 makeButterfly()
 {
     return std::make_shared<ButterflyCode>();
@@ -30,6 +37,174 @@ std::shared_ptr<ErasureCode>
 makeReplicated(int copies)
 {
     return std::make_shared<ReplicatedCode>(copies);
+}
+
+namespace {
+
+/**
+ * Splits "family(a,b,c)" / "family:a,b,c" / "family" into the family
+ * key and its strictly-validated integer arguments. Every malformed
+ * shape — empty parameters ("rs(10,)"), trailing junk, non-digits,
+ * out-of-range values — produces a diagnostic instead of falling
+ * through.
+ */
+bool
+parseSpec(const std::string &spec, std::string *family,
+          std::vector<int> *args, std::string &err)
+{
+    std::size_t open = spec.find_first_of("(:");
+    std::string body;
+    if (open == std::string::npos) {
+        *family = spec;
+    } else {
+        *family = spec.substr(0, open);
+        if (spec[open] == '(') {
+            if (spec.back() != ')' || spec.size() < open + 2) {
+                err = "expected ')' at the end of '" + spec + "'";
+                return false;
+            }
+            body = spec.substr(open + 1,
+                               spec.size() - open - 2);
+        } else {
+            body = spec.substr(open + 1);
+        }
+        if (body.empty()) {
+            err = "empty parameter list in '" + spec + "'";
+            return false;
+        }
+    }
+    if (family->empty()) {
+        err = "missing code family in '" + spec + "'";
+        return false;
+    }
+    if (body.empty())
+        return true;
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t next = body.find(',', pos);
+        if (next == std::string::npos)
+            next = body.size();
+        std::string tok = body.substr(pos, next - pos);
+        if (tok.empty() || tok.size() > 6 ||
+            tok.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            err = "bad code parameter '" + tok + "' in '" + spec +
+                  "' (want a positive integer)";
+            return false;
+        }
+        int v = std::stoi(tok);
+        if (v < 1) {
+            err = "bad code parameter '" + tok + "' in '" + spec +
+                  "' (want a positive integer)";
+            return false;
+        }
+        args->push_back(v);
+        pos = next + 1;
+    }
+    return true;
+}
+
+std::string
+grammarHelp()
+{
+    std::string out;
+    for (const auto &fam : registeredCodecs()) {
+        if (!out.empty())
+            out += " | ";
+        out += fam.grammar;
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<CodecFamily> &
+registeredCodecs()
+{
+    static const std::vector<CodecFamily> families = {
+        {"rs", "rs(K,M)",
+         "Reed-Solomon: any K of the K+M chunks decode (K+M <= 256)"},
+        {"lrc", "lrc(K,L,M) | lrc(K,L,G,M)",
+         "Azure-style LRC: L local groups, G local parities per "
+         "group (default 1 = XOR), M global parities"},
+        {"butterfly", "butterfly",
+         "Butterfly(4,2): sub-chunk repair, non-combinable"},
+        {"rep", "rep(N)", "N-way replication (N >= 2)"},
+    };
+    return families;
+}
+
+std::shared_ptr<const ErasureCode>
+tryMakeCode(const std::string &spec, std::string *error)
+{
+    auto fail = [&](const std::string &msg)
+        -> std::shared_ptr<const ErasureCode> {
+        if (error)
+            *error = msg;
+        return nullptr;
+    };
+
+    std::string family;
+    std::vector<int> args;
+    std::string err;
+    if (!parseSpec(spec, &family, &args, err))
+        return fail(err);
+
+    if (family == "rs") {
+        if (args.size() != 2)
+            return fail("rs takes 2 parameters, got " +
+                        std::to_string(args.size()) + " in '" + spec +
+                        "' (want rs(K,M))");
+        if (args[0] + args[1] > 256)
+            return fail("rs(" + std::to_string(args[0]) + "," +
+                        std::to_string(args[1]) +
+                        ") exceeds the GF(2^8) limit K+M <= 256");
+        return makeRs(args[0], args[1]);
+    }
+    if (family == "lrc") {
+        if (args.size() != 3 && args.size() != 4)
+            return fail("lrc takes 3 or 4 parameters, got " +
+                        std::to_string(args.size()) + " in '" + spec +
+                        "' (want lrc(K,L,M) or lrc(K,L,G,M))");
+        const int k = args[0];
+        const int l = args[1];
+        const int g = args.size() == 4 ? args[2] : 1;
+        const int m = args.back();
+        if (l > k)
+            return fail("lrc spec '" + spec +
+                        "' has more local groups than data chunks");
+        if (k + l * g + m > 256)
+            return fail("lrc spec '" + spec +
+                        "' exceeds the GF(2^8) limit K+L*G+M <= 256");
+        return makeLrc(k, l, g, m);
+    }
+    if (family == "butterfly") {
+        if (!args.empty())
+            return fail("butterfly takes no parameters, got '" +
+                        spec + "'");
+        return makeButterfly();
+    }
+    if (family == "rep") {
+        if (args.size() != 1)
+            return fail("rep takes 1 parameter, got " +
+                        std::to_string(args.size()) + " in '" + spec +
+                        "' (want rep(N))");
+        if (args[0] < 2 || args[0] > 256)
+            return fail("rep(" + std::to_string(args[0]) +
+                        ") wants 2 <= N <= 256");
+        return makeReplicated(args[0]);
+    }
+    return fail("unknown code family '" + family + "' in '" + spec +
+                "' (want " + grammarHelp() + ")");
+}
+
+std::shared_ptr<const ErasureCode>
+makeCode(const std::string &spec)
+{
+    std::string err;
+    auto code = tryMakeCode(spec, &err);
+    CHAMELEON_ASSERT(code != nullptr, "makeCode: ", err);
+    return code;
 }
 
 } // namespace ec

@@ -1,17 +1,34 @@
 /**
  * @file
- * Convenience constructors for the code families the paper evaluates.
+ * Code construction: typed convenience constructors for the families
+ * the paper evaluates, plus a string-keyed registry so every spec in
+ * the system (ScenarioSpec JSON, `chameleon-sim --code`, bench
+ * sweeps) is parsed and validated through one grammar.
+ *
+ * Spec grammar (one per family, see registeredCodecs()):
+ *   rs(K,M)          Reed-Solomon, 1 <= K,M and K+M <= 256
+ *   lrc(K,L,M)       Azure LRC, one XOR local parity per group;
+ *                    uneven groups allowed when L does not divide K
+ *   lrc(K,L,G,M)     generalized LRC, G local parities per group
+ *   butterfly        Butterfly(4,2)
+ *   rep(N)           N-way replication, N >= 2
+ * The legacy colon spelling ("rs:10,4") is accepted as an alias of
+ * the parenthesized form.
  */
 
 #ifndef CHAMELEON_EC_FACTORY_HH_
 #define CHAMELEON_EC_FACTORY_HH_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "ec/code.hh"
 
 namespace chameleon {
 namespace ec {
+
+// ---- Typed constructors (programmatic call sites).
 
 /** RS(k, m) — e.g. RS(10,4) of Facebook f4, RS(8,3) of Yahoo COS. */
 std::shared_ptr<ErasureCode> makeRs(int k, int m);
@@ -19,11 +36,43 @@ std::shared_ptr<ErasureCode> makeRs(int k, int m);
 /** LRC(k, l, m) — e.g. LRC(8,2,2), LRC(10,2,2). */
 std::shared_ptr<ErasureCode> makeLrc(int k, int l, int m);
 
+/** Generalized LRC(k, l, g, m) with g local parities per group. */
+std::shared_ptr<ErasureCode> makeLrc(int k, int l, int g, int m);
+
 /** Butterfly(4,2). */
 std::shared_ptr<ErasureCode> makeButterfly();
 
 /** copies-way replication (the paper's storage-cost comparison). */
 std::shared_ptr<ErasureCode> makeReplicated(int copies);
+
+// ---- The registry.
+
+/** One registered code family, for --list-codes and docs. */
+struct CodecFamily
+{
+    /** Registry key ("rs"). */
+    std::string key;
+    /** Spec grammar ("rs(K,M)"). */
+    std::string grammar;
+    /** One-line description. */
+    std::string summary;
+};
+
+/** Families the registry accepts, in stable display order. */
+const std::vector<CodecFamily> &registeredCodecs();
+
+/**
+ * Builds a code from its spec string through the registry.
+ *
+ * @return nullptr on a malformed or invalid spec, with a diagnostic
+ *         in *error (when non-null) that names what was wrong —
+ *         never a silent fall-through or an assert.
+ */
+std::shared_ptr<const ErasureCode>
+tryMakeCode(const std::string &spec, std::string *error = nullptr);
+
+/** tryMakeCode() that panics on error (trusted call sites). */
+std::shared_ptr<const ErasureCode> makeCode(const std::string &spec);
 
 } // namespace ec
 } // namespace chameleon

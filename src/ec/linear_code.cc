@@ -175,6 +175,148 @@ LinearCode::repairCompute(const RepairSpec &spec,
     return out;
 }
 
+namespace {
+
+/** Ascending survivor list: [0, n) minus the erased set. */
+std::vector<ChunkIndex>
+survivorsOf(int n, std::span<const ChunkIndex> erased)
+{
+    std::vector<bool> gone(static_cast<std::size_t>(n), false);
+    for (auto e : erased)
+        gone[static_cast<std::size_t>(e)] = true;
+    std::vector<ChunkIndex> out;
+    out.reserve(static_cast<std::size_t>(n) - erased.size());
+    for (ChunkIndex i = 0; i < n; ++i)
+        if (!gone[static_cast<std::size_t>(i)])
+            out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+bool
+LinearCode::canRepair(std::span<const ChunkIndex> erased) const
+{
+    if (erased.empty())
+        return true;
+    for (auto e : erased)
+        CHAMELEON_ASSERT(e >= 0 && e < n(), "bad erased index ", e);
+    auto survivors = survivorsOf(n(), erased);
+    if (survivors.size() < static_cast<std::size_t>(k_))
+        return false;
+    for (auto e : erased)
+        if (!repairCoeffs(e, survivors))
+            return false;
+    return true;
+}
+
+std::optional<std::vector<ChunkIndex>>
+LinearCode::repairIndices(std::span<const ChunkIndex> erased) const
+{
+    if (erased.empty())
+        return std::vector<ChunkIndex>{};
+    for (auto e : erased)
+        CHAMELEON_ASSERT(e >= 0 && e < n(), "bad erased index ", e);
+    auto survivors = survivorsOf(n(), erased);
+
+    // Seed set: helpers that actually carry a nonzero coefficient in
+    // the deterministic (ascending-survivor) solve of each erased row.
+    std::vector<bool> used(static_cast<std::size_t>(n()), false);
+    for (auto e : erased) {
+        auto coeffs = repairCoeffs(e, survivors);
+        if (!coeffs)
+            return std::nullopt;
+        for (std::size_t i = 0; i < survivors.size(); ++i)
+            if ((*coeffs)[i] != 0)
+                used[static_cast<std::size_t>(survivors[i])] = true;
+    }
+    std::vector<ChunkIndex> helpers;
+    for (ChunkIndex i = 0; i < n(); ++i)
+        if (used[static_cast<std::size_t>(i)])
+            helpers.push_back(i);
+
+    // Prune pass: drop any helper whose removal keeps every erased
+    // chunk solvable. Lowest index first keeps the result
+    // deterministic; the surviving set is irredundant.
+    for (std::size_t i = 0; i < helpers.size();) {
+        std::vector<ChunkIndex> without;
+        without.reserve(helpers.size() - 1);
+        for (std::size_t j = 0; j < helpers.size(); ++j)
+            if (j != i)
+                without.push_back(helpers[j]);
+        bool droppable = true;
+        for (auto e : erased) {
+            if (!repairCoeffs(e, without)) {
+                droppable = false;
+                break;
+            }
+        }
+        if (droppable)
+            helpers = std::move(without);
+        else
+            ++i;
+    }
+    return helpers;
+}
+
+std::optional<std::vector<ChunkIndex>>
+LinearCode::minimalHelpersFor(
+    ChunkIndex failed, std::span<const ChunkIndex> candidates) const
+{
+    std::vector<ChunkIndex> sorted(candidates.begin(),
+                                   candidates.end());
+    std::sort(sorted.begin(), sorted.end());
+    auto coeffs = repairCoeffs(failed, sorted);
+    if (!coeffs)
+        return std::nullopt;
+    std::vector<ChunkIndex> helpers;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        if ((*coeffs)[i] != 0)
+            helpers.push_back(sorted[i]);
+    for (std::size_t i = 0; i < helpers.size();) {
+        std::vector<ChunkIndex> without;
+        without.reserve(helpers.size() - 1);
+        for (std::size_t j = 0; j < helpers.size(); ++j)
+            if (j != i)
+                without.push_back(helpers[j]);
+        if (repairCoeffs(failed, without))
+            helpers = std::move(without);
+        else
+            ++i;
+    }
+    return helpers;
+}
+
+int
+LinearCode::guaranteedRepairableCount() const
+{
+    // Level f is guaranteed iff every size-f pattern repairs. Erasing
+    // more than m chunks leaves fewer than k survivor rows, so m is a
+    // hard cap and the enumeration is over at most C(n, m) patterns.
+    for (int f = 1; f <= m_; ++f) {
+        std::vector<ChunkIndex> pattern(static_cast<std::size_t>(f));
+        // Lexicographic enumeration of all f-subsets of [0, n).
+        for (int i = 0; i < f; ++i)
+            pattern[static_cast<std::size_t>(i)] = i;
+        while (true) {
+            if (!canRepair(pattern))
+                return f - 1;
+            int i = f - 1;
+            while (i >= 0 &&
+                   pattern[static_cast<std::size_t>(i)] ==
+                       n() - f + i)
+                --i;
+            if (i < 0)
+                break;
+            ++pattern[static_cast<std::size_t>(i)];
+            for (int j = i + 1; j < f; ++j)
+                pattern[static_cast<std::size_t>(j)] =
+                    pattern[static_cast<std::size_t>(j - 1)] + 1;
+        }
+    }
+    return m_;
+}
+
 bool
 LinearCode::decode(std::vector<Buffer> &chunks) const
 {

@@ -41,6 +41,35 @@ class LinearCode : public ErasureCode
     specFor(ChunkIndex failed,
             std::span<const ChunkIndex> helpers) const override;
 
+    /**
+     * Generic rank test: every erased row must lie in the span of the
+     * survivor rows. Works for any linear code, MDS or not.
+     */
+    bool canRepair(std::span<const ChunkIndex> erased) const override;
+
+    /**
+     * Generic minimal helper set: solve each erased row over the
+     * ascending survivor list, union the helpers with nonzero
+     * coefficients, then greedily prune helpers (lowest index first)
+     * that are not needed by any erased chunk. Deterministic and
+     * irredundant; for LRC single failures this reproduces the local
+     * group exactly.
+     */
+    std::optional<std::vector<ChunkIndex>>
+    repairIndices(std::span<const ChunkIndex> erased) const override;
+
+    /**
+     * Brute force over erasure patterns, level by level: returns
+     * f - 1 for the first f whose C(n, f) patterns include an
+     * unrepairable one, capped at m (erasing more than m chunks
+     * always loses rank). MDS subclasses override with m().
+     *
+     * Recomputed on every call (no memo): code instances are shared
+     * across sweep worker threads, and the enumeration is cheap at
+     * simulation scale.
+     */
+    int guaranteedRepairableCount() const override;
+
     /** The full n x k generator matrix (identity on top). */
     const gf::Matrix &generator() const { return gen_; }
 
@@ -71,6 +100,17 @@ class LinearCode : public ErasureCode
     /** Builds a spec given chosen helpers (validates solvability). */
     RepairSpec specFromHelpers(ChunkIndex failed,
                                std::span<const ChunkIndex> helpers) const;
+
+    /**
+     * Deterministic minimal helper subset of `candidates` repairing
+     * the single chunk `failed` (single-target analogue of
+     * repairIndices): solve over the ascending candidate list, keep
+     * nonzero-coefficient helpers, prune redundant ones lowest index
+     * first. nullopt when the candidates cannot repair `failed`.
+     */
+    std::optional<std::vector<ChunkIndex>>
+    minimalHelpersFor(ChunkIndex failed,
+                      std::span<const ChunkIndex> candidates) const;
 
   private:
     int k_;

@@ -9,52 +9,124 @@ namespace ec {
 
 namespace {
 
-gf::Matrix
-buildLrcGenerator(int k, int l, int m)
+int
+groupSizeOf(int k, int l, int gi)
 {
-    CHAMELEON_ASSERT(l >= 1 && k % l == 0,
-                     "LRC requires l | k, got k=", k, " l=", l);
-    const int group = k / l;
-    const int n = k + l + m;
+    // Uneven split: the first k % l groups take one extra chunk.
+    return k / l + (gi < k % l ? 1 : 0);
+}
+
+int
+groupStartOf(int k, int l, int gi)
+{
+    return gi * (k / l) + std::min(gi, k % l);
+}
+
+gf::Matrix
+buildLrcGenerator(int k, int l, int g, int m)
+{
+    CHAMELEON_ASSERT(l >= 1 && l <= k,
+                     "LRC requires 1 <= l <= k, got k=", k, " l=", l);
+    CHAMELEON_ASSERT(g >= 1, "LRC needs >= 1 local parity per group");
+    CHAMELEON_ASSERT(m >= 1, "LRC needs >= 1 global parity");
+    const int n = k + l * g + m;
+    CHAMELEON_ASSERT(n <= 256, "LRC(", k, ",", l, ",", g, ",", m,
+                     ") exceeds GF(2^8) limit");
     gf::Matrix gen(static_cast<std::size_t>(n),
                    static_cast<std::size_t>(k));
     for (int i = 0; i < k; ++i)
         gen.set(i, i, gf::kOne);
-    // Local parities: XOR of the group's data chunks.
-    for (int g = 0; g < l; ++g)
-        for (int j = 0; j < group; ++j)
-            gen.set(k + g, g * group + j, gf::kOne);
+    // Local parities. g == 1 keeps the classic XOR rows (and, with
+    // l | k, a generator byte-identical to the original three-arg
+    // LrcCode); g > 1 uses per-group Cauchy rows, making each group
+    // MDS against g local losses.
+    for (int gi = 0; gi < l; ++gi) {
+        const int start = groupStartOf(k, l, gi);
+        const int size = groupSizeOf(k, l, gi);
+        if (g == 1) {
+            for (int j = 0; j < size; ++j)
+                gen.set(k + gi, start + j, gf::kOne);
+        } else {
+            gf::Matrix local =
+                gf::Matrix::cauchy(static_cast<std::size_t>(g),
+                                   static_cast<std::size_t>(size));
+            for (int r = 0; r < g; ++r)
+                for (int c = 0; c < size; ++c)
+                    gen.set(k + gi * g + r, start + c,
+                            local.at(r, c));
+        }
+    }
     // Global parities: Cauchy combinations of all data chunks.
     gf::Matrix parity = gf::Matrix::cauchy(static_cast<std::size_t>(m),
                                            static_cast<std::size_t>(k));
     for (int r = 0; r < m; ++r)
         for (int c = 0; c < k; ++c)
-            gen.set(k + l + r, c, parity.at(r, c));
+            gen.set(k + l * g + r, c, parity.at(r, c));
     return gen;
 }
 
 } // namespace
 
 LrcCode::LrcCode(int k, int l, int m)
-    : LinearCode(k, l + m, buildLrcGenerator(k, l, m)),
-      l_(l), mGlobal_(m)
+    : LrcCode(k, l, 1, m)
+{
+    CHAMELEON_ASSERT(k % l == 0,
+                     "classic LRC requires l | k, got k=", k, " l=", l);
+}
+
+LrcCode::LrcCode(int k, int l, int g, int m)
+    : LinearCode(k, l * g + m, buildLrcGenerator(k, l, g, m)),
+      l_(l), g_(g), mGlobal_(m)
 {
 }
 
 std::string
 LrcCode::name() const
 {
+    if (g_ == 1)
+        return "LRC(" + std::to_string(k()) + "," +
+               std::to_string(l_) + "," + std::to_string(mGlobal_) +
+               ")";
     return "LRC(" + std::to_string(k()) + "," + std::to_string(l_) +
-           "," + std::to_string(mGlobal_) + ")";
+           "," + std::to_string(g_) + "," + std::to_string(mGlobal_) +
+           ")";
+}
+
+int
+LrcCode::groupSize(int gi) const
+{
+    CHAMELEON_ASSERT(gi >= 0 && gi < l_, "bad group ", gi);
+    return groupSizeOf(k(), l_, gi);
+}
+
+int
+LrcCode::groupStart(int gi) const
+{
+    CHAMELEON_ASSERT(gi >= 0 && gi < l_, "bad group ", gi);
+    return groupStartOf(k(), l_, gi);
+}
+
+int
+LrcCode::groupSize() const
+{
+    CHAMELEON_ASSERT(k() % l_ == 0,
+                     name(), " has uneven groups; use groupSize(gi)");
+    return k() / l_;
 }
 
 int
 LrcCode::groupOf(ChunkIndex idx) const
 {
-    if (idx < k())
-        return idx / groupSize();
-    if (idx < k() + l_)
-        return idx - k();
+    if (idx < k()) {
+        const int base = k() / l_;
+        const int rem = k() % l_;
+        const int fat = rem * (base + 1);
+        if (idx < fat)
+            return idx / (base + 1);
+        return rem + (idx - fat) / base;
+    }
+    if (idx < k() + l_ * g_)
+        return (idx - k()) / g_;
     return -1;
 }
 
@@ -63,36 +135,38 @@ LrcCode::makeRepairSpec(ChunkIndex failed,
                         std::span<const ChunkIndex> available,
                         Rng &rng) const
 {
+    auto available_of = [&](const std::vector<ChunkIndex> &want) {
+        std::vector<ChunkIndex> have;
+        for (ChunkIndex w : want)
+            if (w != failed &&
+                std::find(available.begin(), available.end(), w) !=
+                    available.end())
+                have.push_back(w);
+        return have;
+    };
+
     const int g = groupOf(failed);
     if (g >= 0) {
-        // Data chunk or local parity: try the local group first.
-        std::vector<ChunkIndex> helpers;
-        for (int j = 0; j < groupSize(); ++j) {
-            ChunkIndex idx = g * groupSize() + j;
-            if (idx != failed)
-                helpers.push_back(idx);
-        }
-        ChunkIndex lp = static_cast<ChunkIndex>(k() + g);
-        if (lp != failed)
-            helpers.push_back(lp);
-        bool all_present = std::all_of(
-            helpers.begin(), helpers.end(), [&](ChunkIndex h) {
-                return std::find(available.begin(), available.end(), h) !=
-                       available.end();
-            });
-        if (all_present)
+        // Data chunk or local parity: try the local group (its data
+        // chunks plus its local parities) first. The solver both
+        // decides solvability and drops zero-coefficient helpers, so
+        // with g_ > 1 only one local parity is actually read.
+        std::vector<ChunkIndex> want;
+        for (int j = 0; j < groupSize(g); ++j)
+            want.push_back(groupStart(g) + j);
+        for (int j = 0; j < g_; ++j)
+            want.push_back(static_cast<ChunkIndex>(k() + g * g_ + j));
+        auto helpers = available_of(want);
+        if (helpers.size() == want.size() - 1 &&
+            canRepairWith(failed, helpers))
             return specFromHelpers(failed, helpers);
     } else {
         // Global parity: read the k data chunks when intact.
-        std::vector<ChunkIndex> helpers;
+        std::vector<ChunkIndex> want;
         for (ChunkIndex j = 0; j < k(); ++j)
-            helpers.push_back(j);
-        bool all_present = std::all_of(
-            helpers.begin(), helpers.end(), [&](ChunkIndex h) {
-                return std::find(available.begin(), available.end(), h) !=
-                       available.end();
-            });
-        if (all_present)
+            want.push_back(j);
+        auto helpers = available_of(want);
+        if (helpers.size() == want.size())
             return specFromHelpers(failed, helpers);
     }
 
@@ -115,28 +189,28 @@ HelperPool
 LrcCode::helperPool(ChunkIndex failed,
                     std::span<const ChunkIndex> available) const
 {
-    auto contains_all = [&](const std::vector<ChunkIndex> &want) {
-        return std::all_of(want.begin(), want.end(), [&](ChunkIndex h) {
-            return std::find(available.begin(), available.end(), h) !=
-                   available.end();
-        });
+    auto available_of = [&](const std::vector<ChunkIndex> &want) {
+        std::vector<ChunkIndex> have;
+        for (ChunkIndex w : want)
+            if (w != failed &&
+                std::find(available.begin(), available.end(), w) !=
+                    available.end())
+                have.push_back(w);
+        return have;
     };
 
     HelperPool pool;
     pool.combinable = true;
     const int g = groupOf(failed);
     if (g >= 0) {
-        std::vector<ChunkIndex> group;
-        for (int j = 0; j < groupSize(); ++j) {
-            ChunkIndex idx = g * groupSize() + j;
-            if (idx != failed)
-                group.push_back(idx);
-        }
-        ChunkIndex lp = static_cast<ChunkIndex>(k() + g);
-        if (lp != failed)
-            group.push_back(lp);
-        if (contains_all(group)) {
-            pool.candidates = std::move(group);
+        std::vector<ChunkIndex> want;
+        for (int j = 0; j < groupSize(g); ++j)
+            want.push_back(groupStart(g) + j);
+        for (int j = 0; j < g_; ++j)
+            want.push_back(static_cast<ChunkIndex>(k() + g * g_ + j));
+        auto local = available_of(want);
+        if (auto minimal = minimalHelpersFor(failed, local)) {
+            pool.candidates = std::move(*minimal);
             pool.required = static_cast<int>(pool.candidates.size());
             pool.fixedSet = true;
             return pool;
@@ -145,14 +219,25 @@ LrcCode::helperPool(ChunkIndex failed,
         std::vector<ChunkIndex> data;
         for (ChunkIndex j = 0; j < k(); ++j)
             data.push_back(j);
-        if (contains_all(data)) {
+        if (available_of(data).size() == data.size()) {
             pool.candidates = std::move(data);
             pool.required = k();
             pool.fixedSet = true;
             return pool;
         }
     }
-    pool.candidates.assign(available.begin(), available.end());
+
+    // Degraded: derive the true minimal helper set from the
+    // generator. An unrepairable pattern yields an empty candidate
+    // list (< required), which the admission gates report as
+    // unrecoverable instead of panicking inside makeRepairSpec.
+    if (auto minimal = minimalHelpersFor(failed, available)) {
+        pool.candidates = std::move(*minimal);
+        pool.required = static_cast<int>(pool.candidates.size());
+        pool.fixedSet = true;
+        return pool;
+    }
+    pool.candidates.clear();
     pool.required = k();
     pool.fixedSet = false;
     return pool;

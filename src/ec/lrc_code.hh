@@ -1,18 +1,31 @@
 /**
  * @file
- * Azure-style Locally Repairable Code LRC(k, l, m).
+ * Azure-style Locally Repairable Code, generalized to multiple local
+ * parities per group and arbitrary group counts: LRC(k, l, g, m).
  *
- * The k data chunks are split into l equal local groups; each group
- * gets one local parity (the XOR of its members) and the stripe gets
- * m global parities (Cauchy combinations of all k data chunks).
- * Repairing a data chunk or a local parity touches only the k/l
- * chunks of its group; repairing a global parity reads k chunks —
- * exactly the asymmetry the paper exploits in Exp#9.
+ * The k data chunks are split into l local groups; group gi holds g
+ * local parities and the stripe holds m global parities (Cauchy
+ * combinations of all k data chunks). With g = 1 (classic Azure LRC,
+ * spelled LRC(k, l, m)) each local parity is the XOR of its group;
+ * with g > 1 the local parities are Cauchy combinations restricted to
+ * the group, so each group is itself MDS and tolerates g losses
+ * locally. When l does not divide k the first k % l groups take one
+ * extra data chunk (see groupSize(gi)/groupStart(gi)).
+ *
+ * Repairing a data chunk or a local parity touches only its group;
+ * repairing a global parity reads k chunks — exactly the asymmetry
+ * the paper exploits in Exp#9.
  *
  * Chunk layout within a stripe:
- *   [0, k)            data chunks,
- *   [k, k+l)          local parities (group g's parity at k+g),
- *   [k+l, k+l+m)      global parities.
+ *   [0, k)             data chunks; group gi spans
+ *                      [groupStart(gi), groupStart(gi) + groupSize(gi));
+ *   [k, k + l*g)       local parities (group gi's j-th at k + gi*g + j);
+ *   [k + l*g, n)       global parities.
+ *
+ * Beware the m() trap: the constructor takes the GLOBAL parity count,
+ * but m() (per the ErasureCode layout contract) reports the TOTAL
+ * parity l*g + m. Use globalParities() for the constructor parameter
+ * and totalParity() when you mean n - k explicitly.
  */
 
 #ifndef CHAMELEON_EC_LRC_CODE_HH_
@@ -23,22 +36,39 @@
 namespace chameleon {
 namespace ec {
 
-/** LRC(k, l, m); see file comment. m() reports total parity l + m. */
+/** LRC(k, l, g, m); see file comment. */
 class LrcCode : public LinearCode
 {
   public:
     /**
+     * Classic Azure LRC(k, l, m): one XOR local parity per group.
+     *
      * @param k  data chunks; must be divisible by l.
-     * @param l  number of local groups / local parities.
+     * @param l  number of local groups.
      * @param m  number of global parities.
      */
     LrcCode(int k, int l, int m);
 
+    /**
+     * Generalized form with g local parities per group and uneven
+     * groups allowed (l need not divide k).
+     */
+    LrcCode(int k, int l, int g, int m);
+
     std::string name() const override;
 
     int localGroups() const { return l_; }
+    /** Constructor parameter m — NOT m(), which is total parity. */
     int globalParities() const { return mGlobal_; }
-    int groupSize() const { return k() / l_; }
+    /** Local parities per group (1 for classic Azure LRC). */
+    int localParitiesPerGroup() const { return g_; }
+
+    /** Data chunks in group gi. */
+    int groupSize(int gi) const;
+    /** First data chunk index of group gi. */
+    int groupStart(int gi) const;
+    /** Uniform group size; asserts l | k (legacy call sites). */
+    int groupSize() const;
 
     /** Group of a data chunk or local parity; -1 for globals. */
     int groupOf(ChunkIndex idx) const;
@@ -49,9 +79,11 @@ class LrcCode : public LinearCode
                    Rng &rng) const override;
 
     /**
-     * The local group when intact (fixed set); the data chunks for a
-     * global parity; otherwise the full survivor set with a free
-     * choice of k helpers.
+     * The local group when locally solvable (fixed set); the data
+     * chunks for an intact global parity; otherwise the minimal
+     * helper set derived from the generator (empty candidates when
+     * the pattern is unrepairable, which downstream admission gates
+     * report as unrecoverable).
      */
     HelperPool
     helperPool(ChunkIndex failed,
@@ -59,6 +91,7 @@ class LrcCode : public LinearCode
 
   private:
     int l_;
+    int g_;
     int mGlobal_;
 };
 

@@ -34,6 +34,9 @@ class ReplicatedCode : public LinearCode
     HelperPool
     helperPool(ChunkIndex failed,
                std::span<const ChunkIndex> available) const override;
+
+    /** Any copies-1 losses leave a readable replica. */
+    int guaranteedRepairableCount() const override { return m(); }
 };
 
 } // namespace ec

@@ -37,6 +37,9 @@ class RsCode : public LinearCode
     HelperPool
     helperPool(ChunkIndex failed,
                std::span<const ChunkIndex> available) const override;
+
+    /** MDS: every pattern of up to m erasures repairs. */
+    int guaranteedRepairableCount() const override { return m(); }
 };
 
 } // namespace ec

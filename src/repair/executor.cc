@@ -606,6 +606,44 @@ RepairExecutor::abortChunksTouching(NodeId node)
     return static_cast<int>(doomed.size() + dag_doomed.size());
 }
 
+bool
+RepairExecutor::cancel(RepairId id)
+{
+    auto &net = cluster_.network();
+    if (auto it = active_.find(id); it != active_.end()) {
+        ChunkExec &chunk = it->second;
+        for (Edge &edge : chunk.edges) {
+            // kLaunchingFlow edges have a deferred beginSliceFlow in
+            // the event queue; it no-ops once the chunk leaves
+            // active_.
+            if (edge.activeFlow != sim::kInvalidFlow &&
+                edge.activeFlow != kLaunchingFlow)
+                net.cancelFlow(edge.activeFlow);
+            edge.activeFlow = sim::kInvalidFlow;
+            releaseSlots(edge);
+        }
+        for (sim::FlowId write : chunk.destWrites)
+            net.cancelFlow(write);
+        active_.erase(it);
+        return true;
+    }
+    if (auto it = dagActive_.find(id); it != dagActive_.end()) {
+        DagExec &chunk = it->second;
+        for (DagEdge &edge : chunk.edges) {
+            if (edge.activeFlow != sim::kInvalidFlow &&
+                edge.activeFlow != kLaunchingFlow)
+                net.cancelFlow(edge.activeFlow);
+            edge.activeFlow = sim::kInvalidFlow;
+            releaseHeldSlots(edge.holdUp, edge.holdDown);
+        }
+        for (sim::FlowId write : chunk.destWrites)
+            net.cancelFlow(write);
+        dagActive_.erase(it);
+        return true;
+    }
+    return false;
+}
+
 void
 RepairExecutor::abortChunk(RepairId id, NodeId cause)
 {

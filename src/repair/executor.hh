@@ -223,6 +223,19 @@ class RepairExecutor
      */
     int abortChunksTouching(NodeId node);
 
+    /**
+     * Silently tears down a launched repair the caller no longer
+     * wants (hedged degraded reads cancel the losing attempt once
+     * the winner lands): cancels its flows, releases its slots, and
+     * erases its state WITHOUT firing ChunkFail or counting an
+     * abort — the cancellation is a scheduling decision, not a
+     * failure. Works for tree and DAG repairs alike.
+     *
+     * @return false when `id` is not active (already completed,
+     *         aborted, or canceled), which callers treat as benign.
+     */
+    bool cancel(RepairId id);
+
     bool chunkActive(RepairId id) const;
 
     /** The plan being executed (valid while active). */

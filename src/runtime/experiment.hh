@@ -26,6 +26,7 @@
 #include "repair/executor.hh"
 #include "repair/session.hh"
 #include "traffic/foreground_driver.hh"
+#include "traffic/hedged_read.hh"
 #include "traffic/trace_profile.hh"
 #include "util/stats.hh"
 
@@ -131,6 +132,11 @@ struct ExperimentConfig
      * opt-in. Corruptions are only *detected* when scrubbing or the
      * verify hooks are on. */
     double bitrotRate = 0.0;
+    /** Hedged degraded-read policy; degraded.enabled routes the
+     * run's repairs through traffic::HedgedReadManager instead of
+     * the session/scheduler (session algorithms only — the
+     * Chameleon dispatcher owns its own plans). */
+    traffic::HedgedReadConfig degraded;
     uint64_t seed = 1;
     /** Hard wall on simulated time (guards runaway runs). */
     SimTime simTimeCap = 100000.0;
@@ -177,6 +183,12 @@ struct ExperimentResult
     int phases = 0;
     int retunes = 0;
     int reorders = 0;
+    /** Hedged degraded-read counters (zero unless degraded.enabled):
+     * hedged attempts launched / hedges that beat their primary, and
+     * the per-read issue-to-completion latency distribution. */
+    int hedgesIssued = 0;
+    int hedgeWins = 0;
+    LatencySummary degradedLatency;
     /** Integrity counters (zero unless scrub.enabled). Detected
      * covers all three detection paths (scrub read, verify-on-read,
      * verify-after-decode); the run loop waits for the scrub

@@ -10,6 +10,7 @@
 #include "repair/strategies.hh"
 #include "telemetry/telemetry.hh"
 #include "traffic/foreground_driver.hh"
+#include "traffic/hedged_read.hh"
 #include "util/logging.hh"
 
 namespace chameleon {
@@ -236,8 +237,30 @@ Runtime::run(const ExperimentHooks &hooks)
     std::unique_ptr<repair::RepairSession> session;
     std::unique_ptr<repair::ChameleonScheduler> scheduler;
     std::unique_ptr<repair::RepairBoostSelector> rb;
+    std::unique_ptr<traffic::HedgedReadManager> hedged;
     if (algorithm == Algorithm::kNone) {
         // trace-only run
+    } else if (config.degraded.enabled) {
+        CHAMELEON_ASSERT(!isChameleonFamily(algorithm),
+                         "degraded.enabled does not apply to ",
+                         algorithmName(algorithm),
+                         ": the Chameleon dispatcher owns its plans");
+        CHAMELEON_ASSERT(!scan_mode, "degraded reads are driven by an "
+                                     "eager work list, not the "
+                                     "scanner path");
+        CHAMELEON_ASSERT(!config.scrub.enabled,
+                         "degraded reads do not route scrub repairs");
+        CHAMELEON_ASSERT(
+            config.topology.kind == dag::RepairTopology::kAuto,
+            "degraded reads are direct star reconstructions; no "
+            "topology override applies");
+        // Consume the plan-rng split the session branch would have,
+        // so the fault injector's stream stays aligned with a
+        // same-seed session run.
+        (void)rng.split();
+        hedged = std::make_unique<traffic::HedgedReadManager>(
+            stripes, executor, monitor, config.degraded);
+        hedged->start(pending);
     } else if (isChameleonFamily(algorithm)) {
         CHAMELEON_ASSERT(
             config.topology.kind == dag::RepairTopology::kAuto,
@@ -434,6 +457,8 @@ Runtime::run(const ExperimentHooks &hooks)
                         driver->excludeNode(node);
                     if (scheduler)
                         scheduler->onNodeCrash(node, lost);
+                    else if (hedged)
+                        hedged->onNodeCrash(node, lost);
                     else if (session)
                         session->onNodeCrash(node, lost);
                     if (scanner)
@@ -466,8 +491,9 @@ Runtime::run(const ExperimentHooks &hooks)
     auto repair_done = [&] {
         if (algorithm == Algorithm::kNone)
             return true;
-        const bool done =
-            scheduler ? scheduler->finished() : session->finished();
+        const bool done = scheduler ? scheduler->finished()
+                          : hedged  ? hedged->finished()
+                                    : session->finished();
         // With scrubbing on, the repair layer idling is not enough
         // either: every injected corruption must have been surfaced
         // and re-repaired (bounded by one scrub epoch), or claimed
@@ -515,6 +541,7 @@ Runtime::run(const ExperimentHooks &hooks)
         if (!repair_seen_done && repair_done()) {
             repair_seen_done = true;
             repair_finish = scheduler ? scheduler->finishTime()
+                            : hedged  ? hedged->finishTime()
                                       : session->finishTime();
             lat_end = driver ? driver->latencies().count() : 0;
         }
@@ -528,6 +555,7 @@ Runtime::run(const ExperimentHooks &hooks)
     if (algorithm != Algorithm::kNone && repair_done() &&
         !repair_seen_done) {
         repair_finish = scheduler ? scheduler->finishTime()
+                        : hedged  ? hedged->finishTime()
                                   : session->finishTime();
         lat_end = driver ? driver->latencies().count() : 0;
     }
@@ -562,13 +590,16 @@ Runtime::run(const ExperimentHooks &hooks)
 
     // ---- Metrics.
     if (algorithm != Algorithm::kNone && repair_done()) {
-        result.chunksRepaired =
-            scheduler ? scheduler->chunksRepaired()
-                      : session->chunksRepaired();
+        result.chunksRepaired = scheduler
+                                    ? scheduler->chunksRepaired()
+                                : hedged ? hedged->chunksRepaired()
+                                         : session->chunksRepaired();
         result.chunksUnrecoverable =
             scheduler ? scheduler->chunksUnrecoverable()
+            : hedged  ? hedged->chunksUnrecoverable()
                       : session->chunksUnrecoverable();
         result.crashReplans = scheduler ? scheduler->crashReplans()
+                              : hedged  ? hedged->crashReplans()
                                         : session->crashReplans();
         result.repairTime = repair_finish - repair_start;
         if (result.chunksRepaired > 0) {
@@ -582,6 +613,11 @@ Runtime::run(const ExperimentHooks &hooks)
             result.phases = scheduler->phasesRun();
             result.retunes = scheduler->retunes();
             result.reorders = scheduler->reorders();
+        }
+        if (hedged) {
+            result.hedgesIssued = hedged->hedgesIssued();
+            result.hedgeWins = hedged->hedgeWins();
+            result.degradedLatency = hedged->latencies().summary();
         }
     }
     if (injector)

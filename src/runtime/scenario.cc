@@ -46,13 +46,12 @@ parseNum(const std::string &s)
     return v;
 }
 
-std::optional<int>
-parsePositiveInt(const std::string &s)
+bool
+isSessionAlgorithm(Algorithm a)
 {
-    auto v = parseNum(s);
-    if (!v || *v != std::floor(*v) || *v < 1 || *v > 1e9)
-        return std::nullopt;
-    return static_cast<int>(*v);
+    return a == Algorithm::kCr || a == Algorithm::kPpr ||
+           a == Algorithm::kEcpipe || a == Algorithm::kRbCr ||
+           a == Algorithm::kRbPpr || a == Algorithm::kRbEcpipe;
 }
 
 const char *
@@ -230,40 +229,13 @@ ScenarioSpec::ScenarioSpec()
 std::optional<std::shared_ptr<const ec::ErasureCode>>
 tryParseCode(const std::string &spec, std::string *error)
 {
-    auto fail = [&](const std::string &msg)
-        -> std::optional<std::shared_ptr<const ec::ErasureCode>> {
-        if (error)
-            *error = msg;
+    // One grammar for every entry point: the ec registry parses and
+    // validates the spec and reports diagnostics for malformed forms
+    // ("rs(10,)", "lrc(12)") instead of falling through.
+    auto code = ec::tryMakeCode(spec, error);
+    if (!code)
         return std::nullopt;
-    };
-    if (spec == "butterfly")
-        return std::shared_ptr<const ec::ErasureCode>(
-            ec::makeButterfly());
-    auto colon = spec.find(':');
-    if (colon == std::string::npos)
-        return fail("bad code spec '" + spec +
-                    "' (want rs:K,M | lrc:K,L,M | butterfly | rep:N)");
-    auto family = spec.substr(0, colon);
-    auto params = splitOn(spec.substr(colon + 1), ',');
-    std::vector<int> nums;
-    for (const auto &p : params) {
-        auto n = parsePositiveInt(p);
-        if (!n)
-            return fail("bad code parameter '" + p + "' in '" + spec +
-                        "'");
-        nums.push_back(*n);
-    }
-    if (family == "rs" && nums.size() == 2)
-        return std::shared_ptr<const ec::ErasureCode>(
-            ec::makeRs(nums[0], nums[1]));
-    if (family == "lrc" && nums.size() == 3)
-        return std::shared_ptr<const ec::ErasureCode>(
-            ec::makeLrc(nums[0], nums[1], nums[2]));
-    if (family == "rep" && nums.size() == 1)
-        return std::shared_ptr<const ec::ErasureCode>(
-            ec::makeReplicated(nums[0]));
-    return fail("bad code spec '" + spec +
-                "' (want rs:K,M | lrc:K,L,M | butterfly | rep:N)");
+    return code;
 }
 
 bool
@@ -411,8 +383,8 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
                     "executor", "chunks_to_repair", "stripes",
                     "failed_nodes", "requests_per_client", "warmup",
                     "chameleon", "session", "topology", "stragglers",
-                    "faults", "chaos", "scanner", "scrub", "seed",
-                    "sim_time_cap"},
+                    "faults", "chaos", "scanner", "scrub", "degraded",
+                    "seed", "sim_time_cap"},
                    err))
         return fail(err);
 
@@ -587,6 +559,30 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
             return fail(err);
     }
 
+    if (const JsonValue *dg = doc->find("degraded")) {
+        if (!checkKeys(*dg, "degraded",
+                       {"enabled", "hedge", "hedge_multiplier",
+                        "hedge_min_delay", "max_hedges",
+                        "max_in_flight", "max_retries",
+                        "retry_backoff"},
+                       err) ||
+            !readBool(*dg, "enabled", &spec.degraded.enabled, err) ||
+            !readBool(*dg, "hedge", &spec.degraded.hedge, err) ||
+            !readNum(*dg, "hedge_multiplier",
+                     &spec.degraded.hedgeMultiplier, err) ||
+            !readNum(*dg, "hedge_min_delay",
+                     &spec.degraded.hedgeMinDelay, err) ||
+            !readInt(*dg, "max_hedges", &spec.degraded.maxHedges,
+                     err) ||
+            !readInt(*dg, "max_in_flight",
+                     &spec.degraded.maxInFlight, err) ||
+            !readInt(*dg, "max_retries", &spec.degraded.maxRetries,
+                     err) ||
+            !readNum(*dg, "retry_backoff",
+                     &spec.degraded.retryBackoff, err))
+            return fail(err);
+    }
+
     if (!readInt(*doc, "chunks_to_repair", &spec.chunksToRepair,
                  err) ||
         !readInt(*doc, "stripes", &spec.stripes, err) ||
@@ -633,14 +629,7 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
         return fail("executor.slices must be in [0, 16384] "
                     "(0 = derive from slice_size)");
     if (spec.topology.kind != dag::RepairTopology::kAuto) {
-        bool session_algo =
-            spec.algorithm == Algorithm::kCr ||
-            spec.algorithm == Algorithm::kPpr ||
-            spec.algorithm == Algorithm::kEcpipe ||
-            spec.algorithm == Algorithm::kRbCr ||
-            spec.algorithm == Algorithm::kRbPpr ||
-            spec.algorithm == Algorithm::kRbEcpipe;
-        if (!session_algo)
+        if (!isSessionAlgorithm(spec.algorithm))
             return fail("topology '" + topo +
                         "' only applies to session algorithms "
                         "(cr|ppr|ecpipe|rb-*); '" +
@@ -690,6 +679,37 @@ ScenarioSpec::fromJson(const std::string &text, std::string *error)
     if (spec.scrub.enabled && spec.algorithm == Algorithm::kNone)
         return fail("scrub.enabled needs a repair algorithm "
                     "(detected corruption has nowhere to go)");
+    if (spec.degraded.hedgeMultiplier < 1.0)
+        return fail("degraded.hedge_multiplier must be >= 1");
+    if (spec.degraded.hedgeMinDelay < 0)
+        return fail("degraded.hedge_min_delay must be >= 0");
+    if (spec.degraded.maxHedges < 0)
+        return fail("degraded.max_hedges must be >= 0");
+    if (spec.degraded.maxInFlight < 1)
+        return fail("degraded.max_in_flight must be >= 1");
+    if (spec.degraded.maxRetries < 0)
+        return fail("degraded.max_retries must be >= 0");
+    if (spec.degraded.retryBackoff < 0)
+        return fail("degraded.retry_backoff must be >= 0");
+    if (spec.degraded.enabled) {
+        if (!isSessionAlgorithm(spec.algorithm))
+            return fail("degraded.enabled only applies to session "
+                        "algorithms (cr|ppr|ecpipe|rb-*); '" +
+                        algorithmKey(spec.algorithm) +
+                        "' owns its own plans");
+        if (spec.scanner.enabled)
+            return fail("degraded.enabled is incompatible with "
+                        "scanner.enabled (degraded reads are driven "
+                        "by an eager work list)");
+        if (spec.scrub.enabled)
+            return fail("degraded.enabled is incompatible with "
+                        "scrub.enabled (degraded reads do not route "
+                        "scrub repairs)");
+        if (spec.topology.kind != dag::RepairTopology::kAuto)
+            return fail("degraded.enabled is incompatible with a "
+                        "topology override (attempts are direct star "
+                        "reconstructions)");
+    }
     if (spec.warmup < 0 || spec.simTimeCap <= 0)
         return fail("warmup must be >= 0 and sim_time_cap > 0");
     return spec;
@@ -780,6 +800,18 @@ ScenarioSpec::toJson() const
        << (scrub.verifyReads ? "true" : "false")
        << ", \"verify_decode\": "
        << (scrub.verifyDecode ? "true" : "false") << "},\n";
+    os << "  \"degraded\": {\"enabled\": "
+       << (degraded.enabled ? "true" : "false")
+       << ", \"hedge\": " << (degraded.hedge ? "true" : "false")
+       << ", \"hedge_multiplier\": "
+       << formatDouble(degraded.hedgeMultiplier)
+       << ", \"hedge_min_delay\": "
+       << formatDouble(degraded.hedgeMinDelay)
+       << ", \"max_hedges\": " << degraded.maxHedges
+       << ", \"max_in_flight\": " << degraded.maxInFlight
+       << ", \"max_retries\": " << degraded.maxRetries
+       << ", \"retry_backoff\": "
+       << formatDouble(degraded.retryBackoff) << "},\n";
     os << "  \"scanner\": {\"enabled\": "
        << (scanner.enabled ? "true" : "false")
        << ", \"batch\": " << scanner.batchSize
@@ -823,6 +855,7 @@ ScenarioSpec::toConfig() const
     cfg.bitrotRate = bitrotRate;
     cfg.scanner = scanner;
     cfg.scrub = scrub;
+    cfg.degraded = degraded;
     cfg.seed = seed;
     cfg.simTimeCap = simTimeCap;
     return cfg;

@@ -34,7 +34,9 @@ struct ScenarioSpec
     /** Optional label, used as the result-row name when set. */
     std::string name;
     Algorithm algorithm = Algorithm::kChameleon;
-    /** Erasure code spec: rs:K,M | lrc:K,L,M | butterfly | rep:N. */
+    /** Erasure code spec, parsed by the ec registry grammar:
+     * rs(K,M) | lrc(K,L,M) | lrc(K,L,G,M) | butterfly | rep(N),
+     * with "family:args" accepted as a legacy alias. */
     std::string code = "rs:10,4";
     /** Trace profile name: ycsb-a|ibm|memcached|etc|none. */
     std::string trace = "ycsb-a";
@@ -67,6 +69,12 @@ struct ScenarioSpec
     /** Integrity scrubbing + executor verify knobs (the "scrub"
      * JSON block); scrub.enabled starts the background scrubber. */
     cluster::ScrubConfig scrub;
+    /** Hedged degraded-read policy (the "degraded" JSON block);
+     * degraded.enabled routes repairs through the hedged-read
+     * manager — session algorithms only, rejected for the Chameleon
+     * family and kNone, and incompatible with scanner/scrub/topology
+     * overrides (fromJson enforces all of it). */
+    traffic::HedgedReadConfig degraded;
     uint64_t seed = 1;
     SimTime simTimeCap = 100000.0;
 

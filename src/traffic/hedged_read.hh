@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Hedged/adaptive degraded reads.
+ *
+ * A client reading a chunk that lived on a failed node must
+ * reconstruct it from helpers — a degraded read. Tail latency of
+ * such reads is dominated by the slowest helper, so this manager
+ * applies the classic hedged-request policy (Dean & Barroso, "The
+ * Tail at Scale") to the repair fan-in:
+ *
+ *   1. issue the bandwidth-cheapest helper set from the code's
+ *      HelperPool (ranked by BandwidthMonitor service estimates);
+ *   2. arm a straggler timer at hedgeMultiplier times the estimated
+ *      completion time of that attempt;
+ *   3. on expiry, identify the laggard helper from the executor's
+ *      per-edge progress, and launch a second attempt that avoids it
+ *      (different helper set where the code allows one, different
+ *      destination always);
+ *   4. first attempt to land wins; the loser is canceled through
+ *      RepairExecutor::cancel() — a scheduling decision, not a
+ *      failure, so no abort metric or failure callback fires.
+ *
+ * The manager mirrors RepairSession's lifecycle surface (start /
+ * onNodeCrash / finished / counters) so the runtime can swap it in
+ * as the repair layer for degraded-read experiments; the scenario
+ * knobs live under "degraded" (see runtime/scenario.hh).
+ */
+
+#ifndef CHAMELEON_TRAFFIC_HEDGED_READ_HH_
+#define CHAMELEON_TRAFFIC_HEDGED_READ_HH_
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "cluster/stripe_manager.hh"
+#include "repair/executor.hh"
+#include "repair/monitor.hh"
+#include "util/stats.hh"
+
+namespace chameleon {
+namespace traffic {
+
+/** Degraded-read policy knobs (scenario key "degraded"). */
+struct HedgedReadConfig
+{
+    /** Route the run's repairs through the hedged-read manager. */
+    bool enabled = false;
+    /** Arm hedge timers (false = single-attempt baseline, the
+     * no-hedge comparison leg). */
+    bool hedge = true;
+    /** Timer = hedgeMultiplier * estimated attempt completion. */
+    double hedgeMultiplier = 1.5;
+    /** Floor on the timer, so sub-second estimates do not hedge on
+     * scheduling noise. */
+    SimTime hedgeMinDelay = 0.5;
+    /** Hedged attempts per read on top of the primary. */
+    int maxHedges = 1;
+    /** Concurrent degraded reads in flight. */
+    int maxInFlight = 32;
+    /** Crash-abort re-plans per read before giving up. */
+    int maxRetries = 5;
+    /** Delay before a crash-aborted read is re-issued. */
+    SimTime retryBackoff = 1.0;
+
+    bool operator==(const HedgedReadConfig &) const = default;
+};
+
+/** Windowed hedged degraded-read runner; see file comment. */
+class HedgedReadManager
+{
+  public:
+    HedgedReadManager(cluster::StripeManager &stripes,
+                      repair::RepairExecutor &executor,
+                      const repair::BandwidthMonitor &monitor,
+                      HedgedReadConfig config);
+
+    /** Begins reading `pending` (FIFO order). */
+    void start(std::vector<cluster::FailedChunk> pending);
+
+    /**
+     * Absorbs a mid-run node crash (same contract as
+     * RepairSession::onNodeCrash): aborts attempts touching the dead
+     * node and queues the chunks it destroyed.
+     */
+    void onNodeCrash(NodeId node,
+                     const std::vector<cluster::FailedChunk>
+                         &newly_lost);
+
+    /** True once every read completed or became unrecoverable. */
+    bool finished() const;
+
+    SimTime startTime() const { return startTime_; }
+    SimTime finishTime() const { return finishTime_; }
+
+    int chunksRepaired() const { return chunksRepaired_; }
+    int chunksUnrecoverable() const
+    {
+        return static_cast<int>(unrecoverable_.size());
+    }
+    int crashReplans() const { return crashReplans_; }
+
+    /** Hedged attempts launched / won against their primary. */
+    int hedgesIssued() const { return hedgesIssued_; }
+    int hedgeWins() const { return hedgeWins_; }
+
+    /** Issue-to-completion latency of every finished read (s). */
+    const LatencyRecorder &latencies() const { return latencies_; }
+
+  private:
+    /** One launched reconstruction attempt of a read. */
+    struct Attempt
+    {
+        repair::RepairId id = repair::kInvalidRepair;
+        NodeId destination = kInvalidNode;
+    };
+
+    /** One degraded read, possibly racing two attempts. */
+    struct Read
+    {
+        cluster::FailedChunk chunk;
+        Attempt primary;
+        Attempt hedge;
+        int hedges = 0;
+        int retries = 0;
+        /** Invalidates in-flight timer callbacks after completion,
+         * hedging, or re-planning. */
+        uint64_t generation = 0;
+        SimTime issued = 0.0;
+    };
+
+    using Key = std::pair<StripeId, ChunkIndex>;
+
+    sim::Simulator &simulator() const;
+    void pump();
+    void issueRead(const cluster::FailedChunk &fc);
+    /**
+     * Plans and launches one attempt: cheapest helpers by service
+     * estimate (skipping `avoid_helper` when the code allows a
+     * choice), best-service destination other than `avoid_dest`.
+     * Invalid Attempt when no viable plan exists.
+     */
+    Attempt launchAttempt(const cluster::FailedChunk &fc,
+                          NodeId avoid_helper, NodeId avoid_dest);
+    /** Estimated completion time (s from now) of `plan`. */
+    SimTime estimateCompletion(const repair::ChunkRepairPlan &plan)
+        const;
+    void armTimer(Read &read, SimTime estimate);
+    void onTimer(Key key, uint64_t generation);
+    void onAttemptDone(const repair::ChunkRepairPlan &plan,
+                       SimTime when);
+    void onAttemptFailed(const repair::ChunkRepairPlan &plan,
+                         NodeId cause, SimTime when);
+    void markUnrecoverable(const cluster::FailedChunk &fc);
+    void releaseReservation(StripeId stripe, NodeId destination);
+    void requeueDeferred();
+    void checkFinished(SimTime when);
+
+    cluster::StripeManager &stripes_;
+    repair::RepairExecutor &executor_;
+    const repair::BandwidthMonitor &monitor_;
+    HedgedReadConfig config_;
+    std::deque<cluster::FailedChunk> pending_;
+    /** Reads parked because concurrent attempts on the same stripe
+     * hold every candidate destination. */
+    std::deque<cluster::FailedChunk> deferred_;
+    std::map<Key, Read> active_;
+    /** Destinations held by in-flight attempts, per stripe — a
+     * read's primary and hedge (and concurrent reads of sibling
+     * chunks) must land on distinct nodes. */
+    std::map<StripeId, std::set<NodeId>> reserved_;
+    std::vector<cluster::FailedChunk> unrecoverable_;
+    int chunksRepaired_ = 0;
+    int totalChunks_ = 0;
+    int crashReplans_ = 0;
+    int hedgesIssued_ = 0;
+    int hedgeWins_ = 0;
+    LatencyRecorder latencies_;
+    SimTime startTime_ = 0.0;
+    SimTime finishTime_ = kTimeNever;
+    bool started_ = false;
+};
+
+} // namespace traffic
+} // namespace chameleon
+
+#endif // CHAMELEON_TRAFFIC_HEDGED_READ_HH_

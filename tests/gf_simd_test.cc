@@ -154,6 +154,42 @@ TEST_P(GfKernelParity, MulAddMultiMatchesSequentialMulAdds)
     }
 }
 
+/** Wide-matrix leg (Exp#17): one RS(24,8)-shaped row — 24 sources
+ * in a single fused pass, the widest row any registered code
+ * produces — byte-identical to 24 sequential scalar passes across
+ * SIMD-width-crossing sizes and misalignments. */
+TEST_P(GfKernelParity, WideMatrixRowK24Parity)
+{
+    const Kernels &k = detail::kernels(GetParam());
+    const Kernels &ref = detail::scalarKernels();
+    Rng rng(0x5EED24);
+    constexpr std::size_t kWideK = 24;
+    std::vector<std::vector<uint8_t>> srcs;
+    std::vector<const uint8_t *> ptrs;
+    for (std::size_t j = 0; j < kWideK; ++j)
+        srcs.push_back(randomBytes(rng, kMaxSize));
+    for (auto &s : srcs)
+        ptrs.push_back(s.data());
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{31}, std::size_t{32},
+          std::size_t{33}, std::size_t{255}, std::size_t{4096},
+          kMaxSize}) {
+        std::vector<uint8_t> coeffs;
+        for (std::size_t j = 0; j < kWideK; ++j)
+            coeffs.push_back(
+                static_cast<uint8_t>(1 + rng.below(255)));
+        const std::size_t doff = rng.below(kMaxAlign + 1);
+        auto dst = randomBytes(rng, kArena);
+        auto expect = dst;
+        for (std::size_t j = 0; j < kWideK; ++j)
+            ref.mulAdd(expect.data() + doff, ptrs[j], n, coeffs[j]);
+        k.mulAddMulti(dst.data() + doff, ptrs.data(), coeffs.data(),
+                      kWideK, n);
+        ASSERT_EQ(dst, expect)
+            << "kernel " << k.name << " n=" << n << " doff=" << doff;
+    }
+}
+
 TEST_P(GfKernelParity, ZeroLengthIsNoop)
 {
     const Kernels &k = detail::kernels(GetParam());

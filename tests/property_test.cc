@@ -133,7 +133,8 @@ TEST_P(RsRandomRepair, RandomFailurePatternsDecodeIffRecoverable)
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RsRandomRepair,
     ::testing::Values(KmParam{3, 2}, KmParam{5, 3}, KmParam{7, 3},
-                      KmParam{9, 4}, KmParam{11, 4}, KmParam{14, 6}),
+                      KmParam{9, 4}, KmParam{11, 4}, KmParam{14, 6},
+                      KmParam{20, 8}, KmParam{24, 8}),
     [](const auto &info) {
         return "RS_" + std::to_string(info.param.first) + "_" +
                std::to_string(info.param.second);
@@ -177,6 +178,34 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(std::get<1>(info.param)) + "_" +
                std::to_string(std::get<2>(info.param));
     });
+
+/** Wide-matrix leg (Exp#17): the multi-group LRC's canRepair verdict
+ * must agree with full decode on random multi-failure patterns, and
+ * repairable patterns must restore every byte. */
+TEST(WideCodeProperty, MultiGroupLrcRandomPatternsDecodeIffCanRepair)
+{
+    auto code = ec::makeCode("lrc(24,4,2,2)");
+    Rng rng(4000);
+    auto chunks = randomStripe(rng, *code, 48);
+    for (int trial = 0; trial < 60; ++trial) {
+        int failures = 1 + static_cast<int>(rng.below(6));
+        std::set<ChunkIndex> failed;
+        auto damaged = chunks;
+        while (static_cast<int>(failed.size()) < failures) {
+            auto f = static_cast<ChunkIndex>(
+                rng.below(static_cast<uint64_t>(code->n())));
+            if (failed.insert(f).second)
+                damaged[static_cast<std::size_t>(f)].clear();
+        }
+        std::vector<ChunkIndex> pattern(failed.begin(), failed.end());
+        bool ok = code->decode(damaged);
+        EXPECT_EQ(ok, code->canRepair(pattern))
+            << "failures=" << failures;
+        if (ok) {
+            EXPECT_EQ(damaged, chunks);
+        }
+    }
+}
 
 // ----------------------------------------------------------- plans
 

@@ -100,6 +100,15 @@ TEST(Scenario, EveryFieldRoundTrips)
     spec.session.maxInFlight = 17;
     spec.session.maxRetries = 2;
     spec.session.retryBackoff = 1.5;
+    // enabled stays false here; DegradedBlockRoundTrips covers the
+    // enabled path and its validation couplings.
+    spec.degraded.hedge = false;
+    spec.degraded.hedgeMultiplier = 2.25;
+    spec.degraded.hedgeMinDelay = 0.75;
+    spec.degraded.maxHedges = 2;
+    spec.degraded.maxInFlight = 8;
+    spec.degraded.maxRetries = 3;
+    spec.degraded.retryBackoff = 0.5;
     spec.stragglers = {
         StragglerEvent{5.0, kInvalidNode, 0.05, 15.0, true, true},
         StragglerEvent{10.5, 3, 1.0 / 3.0, 2.5, true, false},
@@ -249,6 +258,94 @@ TEST(Scenario, CodeSpecs)
     EXPECT_FALSE(tryParseCode("rs:10", &err).has_value());
     EXPECT_FALSE(tryParseCode("xor:2", &err).has_value());
     EXPECT_FALSE(tryParseCode("", &err).has_value());
+}
+
+TEST(Scenario, RegistryCodeSpecsRoundTrip)
+{
+    // The registry grammar — including wide-RS and multi-group LRC —
+    // parses and survives a full spec round-trip untouched.
+    for (const char *code :
+         {"rs(20,8)", "rs(24,8)", "lrc(12,2,2,2)", "lrc(24,4,2,2)",
+          "butterfly", "rep(3)"}) {
+        EXPECT_TRUE(tryParseCode(code).has_value()) << code;
+        ScenarioSpec spec;
+        spec.code = code;
+        std::string err;
+        auto back = ScenarioSpec::fromJson(spec.toJson(), &err);
+        ASSERT_TRUE(back.has_value()) << code << ": " << err;
+        EXPECT_EQ(back->code, code);
+        EXPECT_EQ(back->toJson(), spec.toJson());
+    }
+}
+
+TEST(Scenario, MalformedCodeSpecsCarryDiagnostics)
+{
+    for (const char *bad :
+         {"rs(10,)", "rs(,4)", "rs(10,4", "rs()", "lrc(10)",
+          "rs(10,4)x", "bogus(1,2)"}) {
+        std::string err;
+        EXPECT_FALSE(tryParseCode(bad, &err).has_value()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+        // The spec-level diagnostic names the offending spec.
+        expectRejected(std::string(R"({"code": ")") + bad + "\"}",
+                       bad);
+    }
+}
+
+TEST(Scenario, DegradedBlockRoundTrips)
+{
+    ScenarioSpec spec;
+    spec.algorithm = Algorithm::kCr;
+    spec.code = "rs(20,8)";
+    spec.cluster.numNodes = 36;
+    spec.degraded.enabled = true;
+    spec.degraded.hedge = true;
+    spec.degraded.hedgeMultiplier = 1.75;
+    spec.degraded.hedgeMinDelay = 0.25;
+    spec.degraded.maxHedges = 2;
+    spec.degraded.maxInFlight = 16;
+    spec.degraded.maxRetries = 4;
+    spec.degraded.retryBackoff = 0.75;
+
+    std::string err;
+    auto back = ScenarioSpec::fromJson(spec.toJson(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*back, spec);
+    EXPECT_EQ(back->toJson(), spec.toJson());
+}
+
+TEST(Scenario, RejectsBadDegraded)
+{
+    // Unknown knob inside the block.
+    expectRejected(R"({"degraded": {"hedging": true}})", "hedging");
+    // Knob ranges.
+    expectRejected(R"({"degraded": {"hedge_multiplier": 0.5}})",
+                   "hedge_multiplier");
+    expectRejected(R"({"degraded": {"hedge_min_delay": -1}})",
+                   "hedge_min_delay");
+    expectRejected(R"({"degraded": {"max_hedges": -1}})",
+                   "max_hedges");
+    expectRejected(R"({"degraded": {"max_in_flight": 0}})",
+                   "max_in_flight");
+    expectRejected(R"({"degraded": {"max_retries": -1}})",
+                   "max_retries");
+    expectRejected(R"({"degraded": {"retry_backoff": -1}})",
+                   "retry_backoff");
+    // The default (chameleon) algorithm owns its own plans.
+    expectRejected(R"({"degraded": {"enabled": true}})", "session");
+    // Driven by an eager work list: no scanner, scrub, or topology
+    // override underneath.
+    expectRejected(R"({"algorithm": "cr",
+                       "degraded": {"enabled": true},
+                       "scanner": {"enabled": true}})",
+                   "scanner");
+    expectRejected(R"({"algorithm": "cr",
+                       "degraded": {"enabled": true},
+                       "scrub": {"enabled": true}})",
+                   "scrub");
+    expectRejected(R"({"algorithm": "cr", "topology": "star",
+                       "degraded": {"enabled": true}})",
+                   "topology");
 }
 
 TEST(Scenario, StragglerGrammarRoundTrips)

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "ec/factory.hh"
 #include "fault/fault.hh"
 #include "runtime/runtime.hh"
 #include "runtime/scenario.hh"
@@ -53,7 +54,11 @@ Options (defaults in brackets):
   --jobs N           run the algorithm list on N sweep workers
                      (0 = hardware concurrency); output is identical
                      to --jobs 1  [1]
-  --code SPEC        rs:K,M | lrc:K,L,M | butterfly | rep:N  [rs:10,4]
+  --code SPEC        rs(K,M) | lrc(K,L,M) | lrc(K,L,G,M) | butterfly
+                     | rep(N), or the legacy "family:args" spelling;
+                     see --list-codes  [rs:10,4]
+  --list-codes       print the registered code families (grammar and
+                     capability summary) and exit
   --trace NAME       ycsb-a|ibm|memcached|etc|none  [ycsb-a]
   --trace-file PATH  replay a '<op> <key> <bytes>' trace file
   --chunks N         chunks to repair  [60]
@@ -87,6 +92,12 @@ Options (defaults in brackets):
   --chaos-horizon X  chaos window length (s)  [120]
   --bitrot-rate X    silent bit-rot corruptions at X events/s within
                      the chaos window  [0 = off]
+  --degraded         route repairs through the hedged degraded-read
+                     manager (session algorithms only)
+  --no-hedge         degraded baseline: single attempt, no hedging
+  --hedge-mult X     hedge timer = X * estimated completion  [1.5]
+  --hedge-delay X    minimum hedge timer (s)  [0.5]
+  --max-hedges N     hedged attempts per read  [1]
   --scrub            enable background integrity scrubbing (and the
                      executor verify-on-read/after-decode hooks)
   --scrub-mbps X     scrub read bandwidth  [64]
@@ -187,6 +198,10 @@ publishResult(Algorithm algo, const ExperimentResult &r)
         .set(r.corruptionsRepaired);
     reg.gauge(base + "scrub_epochs").set(r.scrubEpochs);
     reg.gauge(base + "scrub_mb").set(r.scrubBytes / 1e6);
+    reg.gauge(base + "hedges").set(r.hedgesIssued);
+    reg.gauge(base + "hedge_wins").set(r.hedgeWins);
+    reg.gauge(base + "degraded_p99_ms")
+        .set(r.degradedLatency.p99 * 1e3);
 }
 
 /** Prints one result row from the published metrics snapshot so the
@@ -219,6 +234,10 @@ printResultRow(Algorithm algo, const ExperimentConfig &cfg,
                     value("corruptions_detected"),
                     value("corruptions_injected"),
                     value("corruptions_repaired"));
+    if (cfg.degraded.enabled)
+        std::printf("   degraded P99 %8.1f ms, hedges %.0f won %.0f",
+                    value("degraded_p99_ms"), value("hedges"),
+                    value("hedge_wins"));
     std::printf("\n");
 }
 
@@ -286,6 +305,12 @@ main(int argc, char **argv)
         } else if (flag == "--jobs") {
             jobs = std::stoi(need_value(i));
             ++i;
+        } else if (flag == "--list-codes") {
+            for (const auto &fam : ec::registeredCodecs())
+                std::printf("%-12s %-28s %s\n", fam.key.c_str(),
+                            fam.grammar.c_str(),
+                            fam.summary.c_str());
+            return 0;
         } else if (flag == "--code") {
             spec.code = need_value(i);
             std::string err;
@@ -376,6 +401,19 @@ main(int argc, char **argv)
             ++i;
         } else if (flag == "--bitrot-rate") {
             spec.bitrotRate = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--degraded") {
+            spec.degraded.enabled = true;
+        } else if (flag == "--no-hedge") {
+            spec.degraded.hedge = false;
+        } else if (flag == "--hedge-mult") {
+            spec.degraded.hedgeMultiplier = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--hedge-delay") {
+            spec.degraded.hedgeMinDelay = std::stod(need_value(i));
+            ++i;
+        } else if (flag == "--max-hedges") {
+            spec.degraded.maxHedges = std::stoi(need_value(i));
             ++i;
         } else if (flag == "--scrub") {
             spec.scrub.enabled = true;
